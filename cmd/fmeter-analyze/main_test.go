@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	fmeter "repro"
+)
+
+// writeLog collects n intervals of a workload and writes them as JSONL,
+// optionally stripping labels.
+func writeLog(t *testing.T, path string, spec fmeter.WorkloadSpec, n int, seed int64, stripLabel bool) {
+	t.Helper()
+	sys, err := fmeter.New(fmeter.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(spec, n, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripLabel {
+		for _, d := range docs {
+			d.Label = ""
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := fmeter.WriteDocuments(f, docs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyMode(t *testing.T) {
+	dir := t.TempDir()
+	scp := filepath.Join(dir, "scp.jsonl")
+	db := filepath.Join(dir, "dbench.jsonl")
+	unk := filepath.Join(dir, "unknown.jsonl")
+	writeLog(t, scp, fmeter.ScpWorkload(), 8, 1, false)
+	writeLog(t, db, fmeter.DbenchWorkload(), 8, 2, false)
+	writeLog(t, unk, fmeter.ScpWorkload(), 4, 3, true)
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-mode", "classify", "-k", "3", "-in", scp + "," + db + "," + unk}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "classifying 4 unlabeled") {
+		t.Errorf("header missing: %q", s)
+	}
+	// All four unknown scp intervals should classify as scp.
+	if got := strings.Count(s, "-> scp"); got != 4 {
+		t.Errorf("scp classifications = %d of 4:\n%s", got, s)
+	}
+}
+
+func TestClusterMode(t *testing.T) {
+	dir := t.TempDir()
+	all := filepath.Join(dir, "all.jsonl")
+	writeLog(t, all, fmeter.ScpWorkload(), 8, 4, false)
+	second := filepath.Join(dir, "kc.jsonl")
+	writeLog(t, second, fmeter.KcompileWorkload(), 8, 5, false)
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-mode", "cluster", "-k", "2", "-in", all + "," + second}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "K-means K=2 over 16 signatures") {
+		t.Errorf("cluster header missing: %q", s)
+	}
+	if !strings.Contains(s, "purity 1.000") && !strings.Contains(s, "purity 0.9") {
+		t.Errorf("expected high purity: %q", s)
+	}
+}
+
+func TestContrastMode(t *testing.T) {
+	dir := t.TempDir()
+	scp := filepath.Join(dir, "scp.jsonl")
+	db := filepath.Join(dir, "dbench.jsonl")
+	writeLog(t, scp, fmeter.ScpWorkload(), 6, 6, false)
+	writeLog(t, db, fmeter.DbenchWorkload(), 6, 7, false)
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-mode", "contrast", "-labels", "scp,dbench", "-top", "8", "-in", scp + "," + db}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, `separating "scp"`) {
+		t.Errorf("contrast header missing: %q", s)
+	}
+	// The crypto path should surface as an scp-positive discriminator.
+	if !strings.Contains(s, "crypto") && !strings.Contains(s, "journal") && !strings.Contains(s, "ext3") {
+		t.Errorf("expected recognizable discriminating functions:\n%s", s)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-mode", "classify"}, &out, &errBuf); err == nil {
+		t.Error("missing -in should fail")
+	}
+	dir := t.TempDir()
+	lbl := filepath.Join(dir, "l.jsonl")
+	writeLog(t, lbl, fmeter.ScpWorkload(), 3, 8, false)
+	if err := run([]string{"-mode", "classify", "-in", lbl}, &out, &errBuf); err == nil {
+		t.Error("classify without unlabeled docs should fail")
+	}
+	if err := run([]string{"-mode", "bogus", "-in", lbl}, &out, &errBuf); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run([]string{"-mode", "contrast", "-labels", "onlyone", "-in", lbl}, &out, &errBuf); err == nil {
+		t.Error("contrast with one label should fail")
+	}
+	if err := run([]string{"-mode", "contrast", "-labels", "scp,ghost", "-in", lbl}, &out, &errBuf); err == nil {
+		t.Error("contrast with unknown label should fail")
+	}
+	if err := run([]string{"-in", filepath.Join(dir, "missing.jsonl")}, &out, &errBuf); err == nil {
+		t.Error("missing file should fail")
+	}
+}

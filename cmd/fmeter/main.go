@@ -1,0 +1,132 @@
+// Command fmeter collects low-level system signatures from a simulated
+// monitored machine: it runs a workload under the Fmeter tracer, reads the
+// kernel function counters through debugfs every interval, and writes the
+// raw-count documents as JSON Lines.
+//
+// Usage:
+//
+//	fmeter -workload scp -n 50 -interval 10s -out scp.jsonl
+//	fmeter -workload netperf -driver 1.5.1-nolro -n 20 -out nolro.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	fmeter "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fmeter:", err)
+		os.Exit(1)
+	}
+}
+
+// workloadByName maps CLI names to workload constructors.
+func workloadByName(name string) (fmeter.WorkloadSpec, error) {
+	switch name {
+	case "scp":
+		return fmeter.ScpWorkload(), nil
+	case "kcompile":
+		return fmeter.KcompileWorkload(), nil
+	case "dbench":
+		return fmeter.DbenchWorkload(), nil
+	case "apachebench":
+		return fmeter.ApachebenchWorkload(), nil
+	case "netperf":
+		return fmeter.NetperfWorkload(), nil
+	case "boot":
+		return fmeter.BootWorkload(), nil
+	default:
+		return fmeter.WorkloadSpec{}, fmt.Errorf("unknown workload %q (scp|kcompile|dbench|apachebench|netperf|boot)", name)
+	}
+}
+
+// driverByName maps CLI names to myri10ge variants.
+func driverByName(name string) (fmeter.DriverVariant, error) {
+	switch name {
+	case "1.5.1":
+		return fmeter.Driver151, nil
+	case "1.4.3":
+		return fmeter.Driver143, nil
+	case "1.5.1-nolro":
+		return fmeter.Driver151NoLRO, nil
+	default:
+		return 0, fmt.Errorf("unknown driver %q (1.5.1|1.4.3|1.5.1-nolro)", name)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fmeter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workloadName = fs.String("workload", "scp", "workload to run: scp|kcompile|dbench|apachebench|netperf|boot")
+		driverName   = fs.String("driver", "", "myri10ge variant for netperf: 1.5.1|1.4.3|1.5.1-nolro")
+		n            = fs.Int("n", 30, "number of monitoring intervals to collect")
+		interval     = fs.Duration("interval", 10*time.Second, "collection interval (virtual time; paper uses 2-10s)")
+		seed         = fs.Int64("seed", 1, "random seed (runs are reproducible)")
+		outPath      = fs.String("out", "-", "output JSONL file, - for stdout")
+		quiet        = fs.Bool("quiet", false, "suppress the per-run summary on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := workloadByName(*workloadName)
+	if err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1")
+	}
+
+	sys, err := fmeter.New(fmeter.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *driverName != "" {
+		v, err := driverByName(*driverName)
+		if err != nil {
+			return err
+		}
+		if err := sys.LoadDriver(v); err != nil {
+			return err
+		}
+	} else if *workloadName == "netperf" {
+		// netperf needs a NIC driver; default to the paper's baseline.
+		if err := sys.LoadDriver(fmeter.Driver151); err != nil {
+			return err
+		}
+	}
+
+	out := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		out = f
+	}
+
+	docs, err := sys.Collect(spec, *n, *interval, out)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		var total uint64
+		for _, d := range docs {
+			total += d.Total()
+		}
+		fmt.Fprintf(stderr, "collected %d signatures (%s, interval %v, %d kernel function calls total)\n",
+			len(docs), spec.Name, *interval, total)
+	}
+	return nil
+}

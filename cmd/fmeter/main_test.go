@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fmeter "repro"
+)
+
+func TestRunCollectsToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-workload", "scp", "-n", "3", "-interval", "5s"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := fmeter.ReadDocuments(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	if docs[0].Label != "scp" {
+		t.Errorf("label = %q", docs[0].Label)
+	}
+	if !strings.Contains(errBuf.String(), "collected 3 signatures") {
+		t.Errorf("summary missing: %q", errBuf.String())
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.jsonl")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-workload", "dbench", "-n", "2", "-out", path, "-quiet"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("stdout should be empty with -out file")
+	}
+	if errBuf.Len() != 0 {
+		t.Error("-quiet should silence the summary")
+	}
+}
+
+func TestRunNetperfDefaultsDriver(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-workload", "netperf", "-n", "1", "-quiet"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-workload", "netperf", "-driver", "1.4.3", "-n", "1", "-quiet"}, &out2, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 || out2.Len() == 0 {
+		t.Error("netperf collection produced no documents")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-driver", "nope", "-workload", "netperf"},
+		{"-n", "0"},
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestWorkloadByNameCoversAll(t *testing.T) {
+	for _, name := range []string{"scp", "kcompile", "dbench", "apachebench", "netperf", "boot"} {
+		if _, err := workloadByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := workloadByName("x"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestDriverByName(t *testing.T) {
+	for name, want := range map[string]fmeter.DriverVariant{
+		"1.5.1": fmeter.Driver151, "1.4.3": fmeter.Driver143, "1.5.1-nolro": fmeter.Driver151NoLRO,
+	} {
+		got, err := driverByName(name)
+		if err != nil || got != want {
+			t.Errorf("driverByName(%s) = %v, %v", name, got, err)
+		}
+	}
+}

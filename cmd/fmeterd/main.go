@@ -1,0 +1,118 @@
+// Command fmeterd is the long-running logging-daemon simulation: it
+// collects signatures continuously over many intervals (the deployment
+// mode §1 argues for — "signature generation can be turned on at
+// production time for long continuous periods of time"), streaming each
+// interval document to the log as soon as it is collected and printing a
+// status line periodically.
+//
+// Usage:
+//
+//	fmeterd -workload dbench -intervals 360 -interval 10s -log run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	fmeter "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fmeterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fmeterd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		workloadName = fs.String("workload", "dbench", "workload to monitor: scp|kcompile|dbench|apachebench|netperf")
+		driverName   = fs.String("driver", "", "myri10ge variant when monitoring netperf")
+		intervals    = fs.Int("intervals", 360, "number of monitoring intervals before exiting")
+		interval     = fs.Duration("interval", 10*time.Second, "collection interval (virtual time)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		logPath      = fs.String("log", "-", "JSONL signature log, - for stdout")
+		statusEvery  = fs.Int("status-every", 30, "print a status line every N intervals (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *intervals < 1 {
+		return fmt.Errorf("-intervals must be >= 1")
+	}
+
+	var spec fmeter.WorkloadSpec
+	switch *workloadName {
+	case "scp":
+		spec = fmeter.ScpWorkload()
+	case "kcompile":
+		spec = fmeter.KcompileWorkload()
+	case "dbench":
+		spec = fmeter.DbenchWorkload()
+	case "apachebench":
+		spec = fmeter.ApachebenchWorkload()
+	case "netperf":
+		spec = fmeter.NetperfWorkload()
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+
+	sys, err := fmeter.New(fmeter.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	if *workloadName == "netperf" {
+		v := fmeter.Driver151
+		switch *driverName {
+		case "", "1.5.1":
+		case "1.4.3":
+			v = fmeter.Driver143
+		case "1.5.1-nolro":
+			v = fmeter.Driver151NoLRO
+		default:
+			return fmt.Errorf("unknown driver %q", *driverName)
+		}
+		if err := sys.LoadDriver(v); err != nil {
+			return err
+		}
+	}
+
+	out := stdout
+	if *logPath != "-" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		out = f
+	}
+
+	start := time.Now()
+	var totalCalls uint64
+	// Collect one interval at a time so each document hits the log as
+	// soon as it exists — the daemon's whole point is continuous,
+	// crash-surviving logging (§1: post-mortem analysis).
+	for i := 0; i < *intervals; i++ {
+		docs, err := sys.Collect(spec, 1, *interval, out)
+		if err != nil {
+			return fmt.Errorf("interval %d: %w", i, err)
+		}
+		totalCalls += docs[0].Total()
+		if *statusEvery > 0 && (i+1)%*statusEvery == 0 {
+			fmt.Fprintf(stderr, "[fmeterd] %d/%d intervals, %d calls counted, wall %v\n",
+				i+1, *intervals, totalCalls, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Fprintf(stderr, "[fmeterd] done: %d intervals of %v (%s), %d kernel function calls\n",
+		*intervals, *interval, spec.Name, totalCalls)
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	fmeter "repro"
+)
+
+func TestDaemonStreamsIntervals(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-workload", "dbench", "-intervals", "4", "-interval", "5s", "-status-every", "2",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := fmeter.ReadDocuments(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	status := errBuf.String()
+	if strings.Count(status, "[fmeterd]") < 3 {
+		t.Errorf("expected periodic status lines, got %q", status)
+	}
+	if !strings.Contains(status, "done: 4 intervals") {
+		t.Errorf("final summary missing: %q", status)
+	}
+}
+
+func TestDaemonAppendsToLogFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sig.jsonl")
+	var out, errBuf bytes.Buffer
+	for i := 0; i < 2; i++ {
+		if err := run([]string{
+			"-workload", "scp", "-intervals", "2", "-log", path, "-status-every", "0",
+		}, &out, &errBuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	docs, err := fmeter.ReadDocuments(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 {
+		t.Errorf("appended log has %d docs, want 4", len(docs))
+	}
+}
+
+func TestDaemonNetperfDriverSelection(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-workload", "netperf", "-driver", "1.5.1-nolro", "-intervals", "1", "-status-every", "0",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Error("no document logged")
+	}
+}
+
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		{"-workload", "nope"},
+		{"-intervals", "0"},
+		{"-workload", "netperf", "-driver", "bogus"},
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

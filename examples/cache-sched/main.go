@@ -1,0 +1,114 @@
+// Cache-aware co-scheduling (§2.2/§6): meta-cluster workload syndrome
+// centroids to find classes of behaviour that exercise the same kernel
+// code paths, then group those workloads onto shared cache domains. Tasks
+// that hit the same in-kernel data structures benefit from sharing an L3
+// (Boyd-Wickizer et al., HotOS'09), and tf-idf signatures reveal exactly
+// that affinity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	fmeter "repro"
+)
+
+const perWorkload = 20
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Five workload classes; scp and netperf share the TCP stack, dbench
+	// and kcompile share the VFS/ext3 path, apachebench straddles both.
+	type wl struct {
+		spec   fmeter.WorkloadSpec
+		driver fmeter.DriverVariant // 0 = none
+	}
+	workloads := []wl{
+		{spec: fmeter.ScpWorkload()},
+		{spec: fmeter.KcompileWorkload()},
+		{spec: fmeter.DbenchWorkload()},
+		{spec: fmeter.ApachebenchWorkload()},
+		{spec: fmeter.NetperfWorkload(), driver: fmeter.Driver151},
+	}
+
+	var docs []*fmeter.Document
+	for i, w := range workloads {
+		sys, err := fmeter.New(fmeter.Config{Seed: int64(1000 * (i + 1))})
+		if err != nil {
+			return err
+		}
+		if w.driver != 0 {
+			if err := sys.LoadDriver(w.driver); err != nil {
+				return err
+			}
+		}
+		batch, err := sys.Collect(w.spec, perWorkload, 10*time.Second, nil)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, batch...)
+	}
+
+	sigs, _, err := fmeter.BuildSignatures(docs, 3815)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: cluster each workload's signatures into one syndrome
+	// centroid (K-means per class, K=1 — the class's mean behaviour).
+	var centroids []fmeter.Vector
+	var names []string
+	for _, w := range workloads {
+		var own []fmeter.Signature
+		for _, s := range sigs {
+			if s.Label == w.spec.Name {
+				own = append(own, s)
+			}
+		}
+		res, err := fmeter.ClusterSignatures(own, 1, 9)
+		if err != nil {
+			return err
+		}
+		centroids = append(centroids, res.Centroids[0])
+		names = append(names, w.spec.Name)
+	}
+
+	// Step 2: meta-cluster the centroids into as many groups as there
+	// are cache domains (the R710 has two sockets, i.e. two L3 domains).
+	const cacheDomains = 2
+	assign, err := fmeter.MetaClusterCentroids(centroids, cacheDomains, 11)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("cache-domain assignment from signature meta-clustering:")
+	for domain := 0; domain < cacheDomains; domain++ {
+		fmt.Printf("  L3 domain %d:", domain)
+		for i, a := range assign {
+			if a == domain {
+				fmt.Printf(" %s", names[i])
+			}
+		}
+		fmt.Println()
+	}
+
+	// Step 3: show the pairwise affinity that drove the grouping.
+	fmt.Println("\npairwise centroid cosine similarity (higher = same kernel paths):")
+	cos := fmeter.CosineMetric()
+	for i := range centroids {
+		for j := i + 1; j < len(centroids); j++ {
+			sim, err := cos.Score(centroids[i], centroids[j])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-12s x %-12s %.3f\n", names[i], names[j], sim)
+		}
+	}
+	return nil
+}

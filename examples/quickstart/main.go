@@ -1,0 +1,78 @@
+// Quickstart: collect low-level system signatures from two workloads,
+// embed them into the tf-idf vector space, and query a signature database
+// by similarity — the end-to-end Fmeter pipeline in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	fmeter "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Boot a simulated monitored machine with the Fmeter tracer: every
+	// core-kernel function call is counted in per-CPU slots.
+	sys, err := fmeter.New(fmeter.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("instrumented kernel functions: %d\n", sys.Dim())
+
+	// The logging daemon reads the counters through debugfs every 10
+	// seconds; each interval's count difference is one "document".
+	var docs []*fmeter.Document
+	for _, spec := range []fmeter.WorkloadSpec{fmeter.ScpWorkload(), fmeter.DbenchWorkload()} {
+		batch, err := sys.Collect(spec, 15, 10*time.Second, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("collected %2d signatures under %s\n", len(batch), spec.Name)
+		docs = append(docs, batch...)
+	}
+
+	// Embed: tf-idf over the corpus, then L2 normalization (§2.1).
+	sigs, model, err := fmeter.BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tf-idf model fitted over %d documents (dim %d)\n", len(sigs), model.Dim())
+
+	// Index all but one signature in a labeled database, then retrieve
+	// the held-out one by similarity.
+	db, err := fmeter.NewDB(sys.Dim())
+	if err != nil {
+		return err
+	}
+	query, rest := sigs[0], sigs[1:]
+	for _, s := range rest {
+		if err := db.Add(s); err != nil {
+			return err
+		}
+	}
+	for _, metric := range []fmeter.Metric{fmeter.CosineMetric(), fmeter.EuclideanMetric()} {
+		hits, err := db.TopK(query.V, 3, metric)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nquery %s (%s) — top 3 by %s:\n", query.DocID, query.Label, metric.Name)
+		for _, h := range hits {
+			fmt.Printf("  %-12s label=%-8s score=%.4f\n", h.Signature.DocID, h.Signature.Label, h.Score)
+		}
+	}
+
+	// Majority-vote retrieval classification (§2.2's similarity search).
+	label, err := db.Classify(query.V, 5, fmeter.EuclideanMetric())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n5-NN classification of %s: %s (truth: %s)\n", query.DocID, label, query.Label)
+	return nil
+}

@@ -1,0 +1,110 @@
+// Workload classification (the Table 4 scenario): train an SVM on labeled
+// signatures of three workloads and classify held-out intervals. This is
+// the paper's envisioned operator loop — label signatures of known
+// behaviour once, then recognize future instances automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	fmeter "repro"
+)
+
+const (
+	perClass = 40
+	holdout  = 8 // last intervals of each class held out for testing
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	specs := []fmeter.WorkloadSpec{
+		fmeter.ScpWorkload(),
+		fmeter.KcompileWorkload(),
+		fmeter.DbenchWorkload(),
+	}
+
+	// Collect each workload on its own machine instance, "without
+	// interference from each-other" (§4.2.1).
+	var docs []*fmeter.Document
+	for i, spec := range specs {
+		sys, err := fmeter.New(fmeter.Config{Seed: int64(100 * (i + 1))})
+		if err != nil {
+			return err
+		}
+		batch, err := sys.Collect(spec, perClass, 10*time.Second, nil)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, batch...)
+		fmt.Printf("collected %d signatures for %s\n", len(batch), spec.Name)
+	}
+
+	sigs, _, err := fmeter.BuildSignatures(docs, 3815)
+	if err != nil {
+		return err
+	}
+
+	// Split train/test per class: the first perClass-holdout intervals
+	// train, the rest test.
+	var train, test []fmeter.Signature
+	counts := map[string]int{}
+	for _, s := range sigs {
+		counts[s.Label]++
+		if counts[s.Label] <= perClass-holdout {
+			train = append(train, s)
+		} else {
+			test = append(test, s)
+		}
+	}
+
+	// One one-vs-rest SVM per workload (the paper's binary classifier
+	// applied to each grouping).
+	classifiers := map[string]*fmeter.Classifier{}
+	for _, spec := range specs {
+		clf, err := fmeter.TrainClassifier(train, spec.Name, 10, 7)
+		if err != nil {
+			return err
+		}
+		classifiers[spec.Name] = clf
+	}
+
+	// Classify the held-out signatures by the highest decision score.
+	correct := 0
+	confusion := map[string]map[string]int{}
+	for _, s := range test {
+		best, bestScore := "", 0.0
+		for name, clf := range classifiers {
+			if _, score := clf.Matches(s); best == "" || score > bestScore {
+				best, bestScore = name, score
+			}
+		}
+		if confusion[s.Label] == nil {
+			confusion[s.Label] = map[string]int{}
+		}
+		confusion[s.Label][best]++
+		if best == s.Label {
+			correct++
+		}
+	}
+	fmt.Printf("\nheld-out accuracy: %d/%d (%.1f%%)\n", correct, len(test), 100*float64(correct)/float64(len(test)))
+	fmt.Println("confusion (truth -> predicted):")
+	for _, spec := range specs {
+		fmt.Printf("  %-10s %v\n", spec.Name, confusion[spec.Name])
+	}
+
+	// Clustering view of the same data (the §4.2.2 comparison): K-means
+	// with K = true class count.
+	res, err := fmeter.ClusterSignatures(sigs, len(specs), 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nK-means (K=%d) purity over all %d signatures: %.3f\n", len(specs), len(sigs), res.Purity)
+	return nil
+}

@@ -1,0 +1,154 @@
+package fmeter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerStrings(t *testing.T) {
+	if TracerVanilla.String() != "vanilla" || TracerFtrace.String() != "ftrace" || TracerFmeter.String() != "fmeter" {
+		t.Error("tracer names wrong")
+	}
+	if !strings.Contains(Tracer(42).String(), "42") {
+		t.Error("unknown tracer should render its value")
+	}
+}
+
+func TestWorkloadConstructors(t *testing.T) {
+	for _, spec := range []WorkloadSpec{
+		ScpWorkload(), KcompileWorkload(), DbenchWorkload(),
+		ApachebenchWorkload(), NetperfWorkload(), BootWorkload(),
+	} {
+		if spec.Name == "" || len(spec.Ops) == 0 {
+			t.Errorf("constructor produced empty spec: %+v", spec)
+		}
+	}
+}
+
+func TestTimeAccessors(t *testing.T) {
+	sys, err := New(Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.KernelTime() != 0 || sys.UserTime() != 0 {
+		t.Error("fresh system should have zero clocks")
+	}
+	if _, err := sys.RunOp("simple_write", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if sys.KernelTime() <= 0 {
+		t.Error("RunOp should advance the kernel clock")
+	}
+	if _, err := sys.RunOp("no_such_op", 1); err == nil {
+		t.Error("unknown op should fail")
+	}
+}
+
+func TestTopTermsAndContrastFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scpDocs, err := sys.Collect(ScpWorkload(), 6, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := New(Config{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbDocs, err := sys2.Collect(DbenchWorkload(), 6, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(append(scpDocs, dbDocs...), sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sys.FunctionNames()
+
+	top, err := TopTerms(sigs[0], 10, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("top terms = %d", len(top))
+	}
+	// An scp signature's dominant terms should include the crypto path.
+	foundCrypto := false
+	for _, tw := range top {
+		if strings.Contains(tw.Name, "crypto") || strings.Contains(tw.Name, "sha1") {
+			foundCrypto = true
+		}
+	}
+	if !foundCrypto {
+		t.Errorf("scp top terms lack crypto functions: %+v", top)
+	}
+
+	diff, err := Contrast(sigs[0], sigs[len(sigs)-1], 10, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scp-vs-dbench contrast should surface ext3/journal on the negative
+	// side or crypto on the positive side.
+	recognizable := false
+	for _, tw := range diff {
+		n := tw.Name
+		if (strings.Contains(n, "crypto") && tw.Weight > 0) ||
+			((strings.Contains(n, "ext3") || strings.Contains(n, "journal")) && tw.Weight < 0) {
+			recognizable = true
+		}
+	}
+	if !recognizable {
+		t.Errorf("contrast lacks recognizable discriminators: %+v", diff)
+	}
+}
+
+func TestModelPersistenceFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 4, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, model, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mBuf, sBuf bytes.Buffer
+	if err := WriteModel(&mBuf, model); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSignatures(&sBuf, sigs); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadModel(&mBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Dim() != model.Dim() {
+		t.Error("model round trip lost dimension")
+	}
+	s2, err := ReadSignatures(&sBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2) != len(sigs) {
+		t.Error("signature round trip lost entries")
+	}
+}
+
+func TestMinkowskiMetricFacade(t *testing.T) {
+	m := MinkowskiMetric(3)
+	d, err := m.Score(Vector{0, 0}, Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || m.HigherIsCloser {
+		t.Errorf("minkowski metric misconfigured: %v %v", d, m.HigherIsCloser)
+	}
+}

@@ -1,0 +1,452 @@
+// Package fmeter is a reproduction of "Fmeter: Extracting Indexable
+// Low-level System Signatures by Counting Kernel Function Calls" (Marian,
+// Lee, Weatherspoon, Sagar — Middleware 2012).
+//
+// Fmeter counts every kernel function invocation with per-CPU counters and
+// embeds the per-interval counts into the classical vector space model:
+// each monitoring interval becomes a tf-idf weight vector — an indexable,
+// low-level system signature amenable to clustering, classification, and
+// similarity search.
+//
+// Because a real patched kernel is not available here, the package drives
+// a simulated monolithic kernel (see internal/kernel and DESIGN.md for the
+// substitution argument): a deterministic ~3815-function symbol table,
+// syscall-level operations with realistic call paths, loadable-module
+// semantics, and the three instrumentation backends the paper compares
+// (vanilla, Ftrace's ring-buffer function tracer, and Fmeter's counter
+// stubs).
+//
+// # Quick start
+//
+//	sys, _ := fmeter.New(fmeter.Config{Tracer: fmeter.TracerFmeter, Seed: 1})
+//	docs, _ := sys.Collect(fmeter.ScpWorkload(), 50, 10*time.Second, nil)
+//	sigs, model, _ := fmeter.BuildSignatures(docs, sys.Dim())
+//
+// See examples/ for complete programs.
+package fmeter
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/debugfs"
+	"repro/internal/driver"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/svm"
+	"repro/internal/trace"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// Re-exported core types: the vector space model's vocabulary.
+type (
+	// Document is one monitoring interval of raw function counts.
+	Document = core.Document
+	// Signature is a document embedded as a tf-idf weight vector.
+	Signature = core.Signature
+	// Corpus is a collection of documents over a fixed term space.
+	Corpus = core.Corpus
+	// Model is a fitted tf-idf weighting (the learned idf vector).
+	Model = core.Model
+	// DB is a labeled signature database with similarity search.
+	DB = core.DB
+	// Metric scores signature similarity or distance.
+	Metric = core.Metric
+	// SearchResult is one similarity-query hit.
+	SearchResult = core.SearchResult
+	// Vector is a dense signature vector.
+	Vector = vecmath.Vector
+	// WorkloadSpec declares a workload's kernel-operation mix.
+	WorkloadSpec = workload.Spec
+	// DriverVariant selects a myri10ge driver scenario (Table 5).
+	DriverVariant = driver.Variant
+)
+
+// Driver variants of the paper's subtle-behaviour experiment.
+const (
+	Driver151      = driver.V151
+	Driver143      = driver.V143
+	Driver151NoLRO = driver.V151NoLRO
+)
+
+// Tracer selects the instrumentation configuration.
+type Tracer int
+
+// The paper's three kernel configurations.
+const (
+	TracerVanilla Tracer = iota + 1
+	TracerFtrace
+	TracerFmeter
+)
+
+// String names the tracer.
+func (t Tracer) String() string {
+	switch t {
+	case TracerVanilla:
+		return "vanilla"
+	case TracerFtrace:
+		return "ftrace"
+	case TracerFmeter:
+		return "fmeter"
+	default:
+		return fmt.Sprintf("tracer(%d)", int(t))
+	}
+}
+
+// Config configures a simulated monitored machine.
+type Config struct {
+	// NumCPU defaults to 16, the paper's testbed width.
+	NumCPU int
+	// Tracer defaults to TracerFmeter.
+	Tracer Tracer
+	// Seed drives all stochastic behaviour; runs are reproducible.
+	Seed int64
+	// CountJitter / LatencyJitter are relative noise levels; negative
+	// disables, zero uses the evaluation defaults (0.02 / 0.01).
+	CountJitter   float64
+	LatencyJitter float64
+}
+
+// System is one simulated machine wired for signature collection.
+type System struct {
+	st  *kernel.SymbolTable
+	cat *kernel.Catalog
+	eng *kernel.Engine
+	fs  *debugfs.FS
+	fm  *trace.Fmeter
+	ft  *trace.Ftrace
+	col *daemon.Collector
+	cfg Config
+}
+
+// New boots a simulated machine.
+func New(cfg Config) (*System, error) {
+	if cfg.NumCPU == 0 {
+		cfg.NumCPU = 16
+	}
+	if cfg.Tracer == 0 {
+		cfg.Tracer = TracerFmeter
+	}
+	jitter := func(v, def float64) float64 {
+		switch {
+		case v < 0:
+			return 0
+		case v == 0:
+			return def
+		default:
+			return v
+		}
+	}
+	st := kernel.NewSymbolTable()
+	cat, err := kernel.NewCatalog(st)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{st: st, cat: cat, fs: debugfs.New(), cfg: cfg}
+	var backend kernel.Backend
+	switch cfg.Tracer {
+	case TracerVanilla:
+		backend = kernel.NopBackend()
+	case TracerFtrace:
+		ft, err := trace.NewFtrace(st, cfg.NumCPU, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := ft.RegisterDebugfs(s.fs); err != nil {
+			return nil, err
+		}
+		s.ft = ft
+		backend = ft
+	case TracerFmeter:
+		fm, err := trace.NewFmeter(st, cfg.NumCPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := fm.RegisterDebugfs(s.fs); err != nil {
+			return nil, err
+		}
+		s.fm = fm
+		backend = fm
+	default:
+		return nil, fmt.Errorf("fmeter: unknown tracer %v", cfg.Tracer)
+	}
+	eng, err := kernel.NewEngine(cat, kernel.EngineConfig{
+		NumCPU:        cfg.NumCPU,
+		Backend:       backend,
+		Seed:          cfg.Seed,
+		CountJitter:   jitter(cfg.CountJitter, 0.02),
+		LatencyJitter: jitter(cfg.LatencyJitter, 0.01),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	if s.fm != nil {
+		col, err := daemon.NewCollector(s.fs, st)
+		if err != nil {
+			return nil, err
+		}
+		s.col = col
+	}
+	return s, nil
+}
+
+// Dim returns the signature dimension: the number of instrumented
+// core-kernel functions.
+func (s *System) Dim() int { return s.st.Len() }
+
+// FunctionNames returns the instrumented function names indexed by
+// signature dimension.
+func (s *System) FunctionNames() []string { return s.st.Names() }
+
+// Tracer returns the active instrumentation configuration.
+func (s *System) Tracer() Tracer { return s.cfg.Tracer }
+
+// LoadDriver loads a myri10ge variant as an uninstrumented runtime module
+// (its functions never appear in signatures; only its calls into the core
+// kernel do).
+func (s *System) LoadDriver(v DriverVariant) error {
+	mod, err := driver.New(s.st, v)
+	if err != nil {
+		return err
+	}
+	return s.eng.RegisterModule(mod)
+}
+
+// Collect runs the logging daemon for n intervals of the given length
+// under the workload, returning the labeled interval documents. If w is
+// non-nil every document is also streamed to it as JSON Lines. Requires
+// the Fmeter tracer.
+func (s *System) Collect(spec WorkloadSpec, n int, interval time.Duration, w io.Writer) ([]*Document, error) {
+	if s.col == nil {
+		return nil, fmt.Errorf("fmeter: Collect requires the Fmeter tracer, have %v", s.cfg.Tracer)
+	}
+	run, err := workload.NewRunner(s.eng, spec, s.cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	body := func(d time.Duration) error {
+		_, err := run.RunInterval(d)
+		return err
+	}
+	return s.col.CollectSeries(spec.Name, spec.Name, n, interval, body, w)
+}
+
+// RunOp executes a catalog operation in a closed loop and returns the
+// virtual elapsed kernel time — the micro-benchmark primitive of Table 1.
+func (s *System) RunOp(name string, times int) (time.Duration, error) {
+	return s.eng.ExecOpName(name, times)
+}
+
+// KernelTime returns total virtual kernel-mode time.
+func (s *System) KernelTime() time.Duration { return s.eng.KernelTime() }
+
+// UserTime returns total virtual user-mode time.
+func (s *System) UserTime() time.Duration { return s.eng.UserTime() }
+
+// Snapshot returns the current per-function invocation totals (Fmeter
+// tracer only).
+func (s *System) Snapshot() ([]uint64, error) {
+	if s.fm == nil {
+		return nil, fmt.Errorf("fmeter: Snapshot requires the Fmeter tracer, have %v", s.cfg.Tracer)
+	}
+	return s.fm.Snapshot(), nil
+}
+
+// Workload constructors (§4's evaluation workloads).
+
+// ScpWorkload is the secure-copy workload.
+func ScpWorkload() WorkloadSpec { return workload.Scp(16) }
+
+// KcompileWorkload is the kernel-compile workload.
+func KcompileWorkload() WorkloadSpec { return workload.Kcompile(16) }
+
+// DbenchWorkload is the disk-benchmark workload.
+func DbenchWorkload() WorkloadSpec { return workload.Dbench(16) }
+
+// ApachebenchWorkload is the HTTP macro-benchmark workload.
+func ApachebenchWorkload() WorkloadSpec { return workload.Apachebench(16) }
+
+// NetperfWorkload is the TCP-stream receive workload; load a driver
+// variant first.
+func NetperfWorkload() WorkloadSpec { return driver.NetperfRx(16) }
+
+// BootWorkload is the boot phase of Figure 1.
+func BootWorkload() WorkloadSpec { return workload.Boot() }
+
+// Signature pipeline helpers.
+
+// NewCorpus creates an empty corpus over dim terms.
+func NewCorpus(dim int) (*Corpus, error) { return core.NewCorpus(dim) }
+
+// BuildSignatures builds a corpus from documents, fits the tf-idf model,
+// embeds every document, and L2-normalizes the signatures into the unit
+// ball (the paper's preprocessing for learning).
+func BuildSignatures(docs []*Document, dim int) ([]Signature, *Model, error) {
+	corpus, err := core.NewCorpus(dim)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, d := range docs {
+		if err := corpus.Add(d); err != nil {
+			return nil, nil, err
+		}
+	}
+	sigs, model, err := corpus.Signatures()
+	if err != nil {
+		return nil, nil, err
+	}
+	core.Normalize(sigs)
+	return sigs, model, nil
+}
+
+// NewDB creates an empty labeled signature database.
+func NewDB(dim int) (*DB, error) { return core.NewDB(dim) }
+
+// CosineMetric is the cosine similarity of §2.1.
+func CosineMetric() Metric { return core.CosineMetric() }
+
+// EuclideanMetric is the paper's default L2-induced distance.
+func EuclideanMetric() Metric { return core.EuclideanMetric() }
+
+// MinkowskiMetric is the Lp-induced distance for p >= 1.
+func MinkowskiMetric(p float64) Metric { return core.MinkowskiMetric(p) }
+
+// WriteDocuments / ReadDocuments persist interval documents as JSON Lines.
+func WriteDocuments(w io.Writer, docs []*Document) error { return core.WriteDocuments(w, docs) }
+
+// ReadDocuments parses a JSON Lines document stream.
+func ReadDocuments(r io.Reader) ([]*Document, error) { return core.ReadDocuments(r) }
+
+// WriteSignatures / ReadSignatures persist embedded signatures.
+func WriteSignatures(w io.Writer, sigs []Signature) error { return core.WriteSignatures(w, sigs) }
+
+// ReadSignatures parses a JSON Lines signature stream.
+func ReadSignatures(r io.Reader) ([]Signature, error) { return core.ReadSignatures(r) }
+
+// WriteModel / ReadModel persist a fitted tf-idf model so later
+// collections embed into the same vector space (§2.2's database
+// workflow).
+func WriteModel(w io.Writer, m *Model) error { return core.WriteModel(w, m) }
+
+// ReadModel parses a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
+
+// TermWeight is one kernel function's contribution to a signature.
+type TermWeight = core.TermWeight
+
+// TopTerms returns the k largest-magnitude components of a signature —
+// the kernel functions that dominate the interval's behaviour. Pass
+// System.FunctionNames() to resolve names.
+func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
+	return core.TopTerms(sig, k, names)
+}
+
+// Contrast returns the k kernel functions that most distinguish signature
+// a from signature b (positive weight = stronger in a).
+func Contrast(a, b Signature, k int, names []string) ([]TermWeight, error) {
+	return core.Contrast(a, b, k, names)
+}
+
+// Learning helpers over labeled signatures.
+
+// Classifier wraps a trained binary SVM together with its positive label.
+type Classifier struct {
+	model    *svm.Model
+	PosLabel string
+}
+
+// TrainClassifier fits a soft-margin SVM (polynomial kernel, the paper's
+// default) that separates signatures labeled posLabel (+1) from all
+// others (-1).
+func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64) (*Classifier, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("fmeter: no signatures")
+	}
+	x := make([]Vector, len(sigs))
+	y := make([]float64, len(sigs))
+	for i, s := range sigs {
+		x[i] = s.V
+		if s.Label == posLabel {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+	m, err := svm.Train(x, y, svm.Config{C: c, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{model: m, PosLabel: posLabel}, nil
+}
+
+// Matches reports whether the signature is classified as PosLabel, along
+// with the decision score.
+func (c *Classifier) Matches(sig Signature) (bool, float64) {
+	score := c.model.Decision(sig.V)
+	return score >= 0, score
+}
+
+// ClusterResult is a K-means clustering of signatures.
+type ClusterResult struct {
+	// Assign maps signature index to cluster.
+	Assign []int
+	// Centroids are the cluster syndromes (§2.2).
+	Centroids []Vector
+	// Purity is the clustering purity against the signature labels.
+	Purity float64
+}
+
+// ClusterSignatures K-means-clusters signatures into k groups and scores
+// purity against their labels.
+func ClusterSignatures(sigs []Signature, k int, seed int64) (*ClusterResult, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("fmeter: no signatures")
+	}
+	pts := make([]Vector, len(sigs))
+	labels := make([]string, len(sigs))
+	for i, s := range sigs {
+		pts[i] = s.V
+		labels[i] = s.Label
+	}
+	res, err := cluster.KMeans(pts, cluster.KMeansConfig{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	purity, err := metrics.Purity(res.Assign, labels)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterResult{Assign: res.Assign, Centroids: res.Centroids, Purity: purity}, nil
+}
+
+// Dendrogram re-exports the hierarchical clustering tree.
+type Dendrogram = cluster.Dendrogram
+
+// HierarchicalCluster builds a single-linkage dendrogram over signatures
+// (Figure 4).
+func HierarchicalCluster(sigs []Signature) (*Dendrogram, error) {
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("fmeter: no signatures")
+	}
+	pts := make([]Vector, len(sigs))
+	for i, s := range sigs {
+		pts[i] = s.V
+	}
+	return cluster.Hierarchical(pts, cluster.SingleLinkage)
+}
+
+// MetaClusterCentroids clusters cluster centroids (§2.2/§6's recursive
+// clustering for, e.g., cache-aware co-scheduling).
+func MetaClusterCentroids(centroids []Vector, k int, seed int64) ([]int, error) {
+	res, err := cluster.MetaCluster(centroids, cluster.KMeansConfig{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Assign, nil
+}

@@ -1,0 +1,239 @@
+package fmeter
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestNewDefaults(t *testing.T) {
+	sys, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Tracer() != TracerFmeter {
+		t.Errorf("default tracer = %v", sys.Tracer())
+	}
+	if sys.Dim() != 3815 {
+		t.Errorf("Dim = %d, want 3815", sys.Dim())
+	}
+	if len(sys.FunctionNames()) != sys.Dim() {
+		t.Error("FunctionNames length mismatch")
+	}
+	if _, err := New(Config{Tracer: Tracer(99)}); err == nil {
+		t.Error("bad tracer should fail")
+	}
+}
+
+func TestCollectAndBuildSignatures(t *testing.T) {
+	sys, err := New(Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	docs, err := sys.Collect(ScpWorkload(), 6, 10*time.Second, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 6 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	back, err := ReadDocuments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 6 {
+		t.Fatalf("logged docs = %d", len(back))
+	}
+	sigs, model, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 6 || model.Dim() != sys.Dim() {
+		t.Fatal("signature pipeline lost data")
+	}
+	for _, s := range sigs {
+		if s.Label != "scp" {
+			t.Errorf("label = %q", s.Label)
+		}
+		l2 := s.V.L2()
+		if l2 != 0 && (l2 < 0.999 || l2 > 1.001) {
+			t.Errorf("signature not unit-ball scaled: %v", l2)
+		}
+	}
+}
+
+func TestCollectRequiresFmeterTracer(t *testing.T) {
+	sys, err := New(Config{Tracer: TracerVanilla, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Collect(ScpWorkload(), 1, time.Second, nil); err == nil {
+		t.Error("Collect under vanilla should fail")
+	}
+	if _, err := sys.Snapshot(); err == nil {
+		t.Error("Snapshot under vanilla should fail")
+	}
+}
+
+func TestRunOpOverheadOrdering(t *testing.T) {
+	elapsed := func(tr Tracer) time.Duration {
+		sys, err := New(Config{Tracer: tr, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.RunOp("simple_read", 5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	v, fm, ft := elapsed(TracerVanilla), elapsed(TracerFmeter), elapsed(TracerFtrace)
+	if !(v < fm && fm < ft) {
+		t.Errorf("overhead ordering broken: %v %v %v", v, fm, ft)
+	}
+}
+
+func TestDriverLifecycleAndNetperf(t *testing.T) {
+	sys, err := New(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadDriver(Driver151NoLRO); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(NetperfWorkload(), 3, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	if docs[0].Total() == 0 {
+		t.Error("netperf interval empty")
+	}
+	if err := sys.LoadDriver(Driver151); err == nil {
+		t.Error("loading a second myri10ge should fail (name collision)")
+	}
+}
+
+func TestClassifierEndToEnd(t *testing.T) {
+	collect := func(spec WorkloadSpec, seed int64) []*Document {
+		sys, err := New(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs, err := sys.Collect(spec, 12, 10*time.Second, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return docs
+	}
+	docs := append(collect(ScpWorkload(), 10), collect(DbenchWorkload(), 20)...)
+	sigs, _, err := BuildSignatures(docs, 3815)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainClassifier(sigs, "scp", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, s := range sigs {
+		match, _ := clf.Matches(s)
+		if match == (s.Label == "scp") {
+			correct++
+		}
+	}
+	if correct < len(sigs)-1 {
+		t.Errorf("classifier got %d/%d on training data", correct, len(sigs))
+	}
+	if _, err := TrainClassifier(nil, "x", 1, 1); err == nil {
+		t.Error("empty training should fail")
+	}
+}
+
+func TestClusteringEndToEnd(t *testing.T) {
+	collect := func(spec WorkloadSpec, seed int64) []*Document {
+		sys, err := New(Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs, err := sys.Collect(spec, 10, 10*time.Second, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return docs
+	}
+	docs := append(collect(ScpWorkload(), 30), collect(KcompileWorkload(), 40)...)
+	sigs, _, err := BuildSignatures(docs, 3815)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterSignatures(sigs, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Purity < 0.8 {
+		t.Errorf("purity = %v", res.Purity)
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	meta, err := MetaClusterCentroids(res.Centroids, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta) != 2 || meta[0] == meta[1] {
+		t.Errorf("meta clustering = %v", meta)
+	}
+	root, err := HierarchicalCluster(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root.Leaves()) != len(sigs) {
+		t.Error("dendrogram lost leaves")
+	}
+	if _, err := ClusterSignatures(nil, 2, 1); err == nil {
+		t.Error("empty clustering should fail")
+	}
+	if _, err := HierarchicalCluster(nil); err == nil {
+		t.Error("empty hierarchical should fail")
+	}
+}
+
+func TestSignatureDBSearch(t *testing.T) {
+	sys, err := New(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(DbenchWorkload(), 8, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sigs[1:] {
+		if err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, metric := range []Metric{CosineMetric(), EuclideanMetric(), MinkowskiMetric(1)} {
+		hits, err := db.TopK(sigs[0].V, 3, metric)
+		if err != nil {
+			t.Fatalf("%s: %v", metric.Name, err)
+		}
+		if len(hits) != 3 {
+			t.Fatalf("%s: hits = %d", metric.Name, len(hits))
+		}
+		if hits[0].Signature.Label != "dbench" {
+			t.Errorf("%s: nearest = %q", metric.Name, hits[0].Signature.Label)
+		}
+	}
+}

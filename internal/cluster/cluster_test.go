@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+)
+
+// blob generates n points around center with the given spread.
+func blob(r *rand.Rand, n int, center vecmath.Vector, spread float64) []vecmath.Vector {
+	out := make([]vecmath.Vector, n)
+	for i := range out {
+		p := center.Clone()
+		for j := range p {
+			p[j] += spread * r.NormFloat64()
+		}
+		out[i] = p
+	}
+	return out
+}
+
+func TestKMeansValidation(t *testing.T) {
+	pts := []vecmath.Vector{{0, 0}, {1, 1}}
+	if _, err := KMeans(pts, KMeansConfig{K: 0}); err == nil {
+		t.Error("K=0 should fail")
+	}
+	if _, err := KMeans(pts, KMeansConfig{K: 3}); err == nil {
+		t.Error("K > n should fail")
+	}
+	if _, err := KMeans([]vecmath.Vector{{0}, {1, 1}}, KMeansConfig{K: 1}); err == nil {
+		t.Error("inconsistent dims should fail")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := blob(r, 40, vecmath.Vector{0, 0}, 0.3)
+	b := blob(r, 40, vecmath.Vector{10, 10}, 0.3)
+	pts := append(append([]vecmath.Vector{}, a...), b...)
+	res, err := KMeans(pts, KMeansConfig{K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of blob a in one cluster, all of blob b in the other.
+	ca := res.Assign[0]
+	for i := 1; i < 40; i++ {
+		if res.Assign[i] != ca {
+			t.Fatalf("blob a split between clusters")
+		}
+	}
+	cb := res.Assign[40]
+	if cb == ca {
+		t.Fatal("blobs merged")
+	}
+	for i := 41; i < 80; i++ {
+		if res.Assign[i] != cb {
+			t.Fatalf("blob b split between clusters")
+		}
+	}
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids: %d", len(res.Centroids))
+	}
+	if res.Inertia <= 0 {
+		t.Errorf("inertia = %v", res.Inertia)
+	}
+}
+
+func TestKMeansK1CentroidIsMean(t *testing.T) {
+	pts := []vecmath.Vector{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	res, err := KMeans(pts, KMeansConfig{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Centroids[0].Equal(vecmath.Vector{1, 1}, 1e-9) {
+		t.Errorf("centroid = %v", res.Centroids[0])
+	}
+}
+
+func TestKMeansKEqualsNPerfect(t *testing.T) {
+	pts := []vecmath.Vector{{0, 0}, {5, 0}, {0, 5}, {5, 5}}
+	res, err := KMeans(pts, KMeansConfig{K: 4, Seed: 2, Restarts: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Errorf("K=n should reach zero inertia, got %v", res.Inertia)
+	}
+	seen := map[int]bool{}
+	for _, a := range res.Assign {
+		seen[a] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("K=n should use all clusters: %v", res.Assign)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := append(blob(r, 30, vecmath.Vector{0, 0}, 1), blob(r, 30, vecmath.Vector{4, 4}, 1)...)
+	a, err := KMeans(pts, KMeansConfig{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, KMeansConfig{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Error("same seed should reproduce the same clustering")
+	}
+}
+
+func TestMetaCluster(t *testing.T) {
+	if _, err := MetaCluster(nil, KMeansConfig{K: 1}); err == nil {
+		t.Error("empty centroid set should fail")
+	}
+	cents := []vecmath.Vector{{0, 0}, {0.1, 0}, {9, 9}, {9.2, 9.1}}
+	res, err := MetaCluster(cents, KMeansConfig{K: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[2] != res.Assign[3] || res.Assign[0] == res.Assign[2] {
+		t.Errorf("meta-clustering wrong: %v", res.Assign)
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	if _, err := Hierarchical(nil, SingleLinkage); err == nil {
+		t.Error("no points should fail")
+	}
+	if _, err := Hierarchical([]vecmath.Vector{{1}}, Linkage(9)); err == nil {
+		t.Error("bad linkage should fail")
+	}
+	if _, err := Hierarchical([]vecmath.Vector{{1}, {1, 2}}, SingleLinkage); err == nil {
+		t.Error("inconsistent dims should fail")
+	}
+}
+
+func TestHierarchicalSingleLeaf(t *testing.T) {
+	d, err := Hierarchical([]vecmath.Vector{{1, 2}}, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsLeaf() || d.Leaf != 0 || d.Size != 1 {
+		t.Errorf("single point tree = %+v", d)
+	}
+	if d.String() != "0" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestHierarchicalPerfectSplit(t *testing.T) {
+	// Figure 4's property: with two well-separated classes the root's two
+	// children partition the classes exactly.
+	r := rand.New(rand.NewSource(7))
+	a := blob(r, 10, vecmath.Vector{0, 0}, 0.2)
+	b := blob(r, 10, vecmath.Vector{8, 8}, 0.2)
+	pts := append(append([]vecmath.Vector{}, a...), b...)
+	for _, linkage := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		root, err := Hierarchical(pts, linkage)
+		if err != nil {
+			t.Fatalf("%s: %v", linkage, err)
+		}
+		if root.Size != 20 {
+			t.Fatalf("%s: root size %d", linkage, root.Size)
+		}
+		left := root.Left.Leaves()
+		inA := 0
+		for _, l := range left {
+			if l < 10 {
+				inA++
+			}
+		}
+		if !(inA == len(left) || inA == 0) {
+			t.Errorf("%s: root split mixes classes: left=%v", linkage, left)
+		}
+	}
+}
+
+func TestDendrogramStringNestedParens(t *testing.T) {
+	pts := []vecmath.Vector{{0}, {0.1}, {10}}
+	root, err := Hierarchical(pts, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := root.String()
+	// 0 and 1 merge first, then 2 joins: "((0, 1), 2)" or "(2, (0, 1))".
+	if !strings.Contains(s, "(0, 1)") && !strings.Contains(s, "(1, 0)") {
+		t.Errorf("String = %q; closest pair not merged first", s)
+	}
+	if strings.Count(s, "(") != 2 {
+		t.Errorf("String = %q; want 2 merges", s)
+	}
+}
+
+func TestCut(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	a := blob(r, 8, vecmath.Vector{0, 0}, 0.2)
+	b := blob(r, 8, vecmath.Vector{5, 5}, 0.2)
+	c := blob(r, 8, vecmath.Vector{-5, 5}, 0.2)
+	pts := append(append(append([]vecmath.Vector{}, a...), b...), c...)
+	root, err := Hierarchical(pts, AverageLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := root.Cut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 3; g++ {
+		first := assign[g*8]
+		for i := 1; i < 8; i++ {
+			if assign[g*8+i] != first {
+				t.Fatalf("blob %d split: %v", g, assign)
+			}
+		}
+	}
+	if _, err := root.Cut(0); err == nil {
+		t.Error("Cut(0) should fail")
+	}
+	if _, err := root.Cut(25); err == nil {
+		t.Error("Cut beyond leaves should fail")
+	}
+	// Cut(n) = every point its own cluster.
+	all, err := root.Cut(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range all {
+		if seen[a] {
+			t.Fatal("Cut(n) should give singleton clusters")
+		}
+		seen[a] = true
+	}
+}
+
+func TestLinkageStrings(t *testing.T) {
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" || AverageLinkage.String() != "average" {
+		t.Error("linkage names wrong")
+	}
+}
+
+// Property: dendrogram leaves are a permutation of the input indices.
+func TestPropertyDendrogramLeavesComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		pts := blob(r, n, vecmath.Vector{0, 0, 0}, 2)
+		root, err := Hierarchical(pts, SingleLinkage)
+		if err != nil {
+			return false
+		}
+		leaves := root.Leaves()
+		if len(leaves) != n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, l := range leaves {
+			if l < 0 || l >= n || seen[l] {
+				return false
+			}
+			seen[l] = true
+		}
+		return root.Size == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge heights are non-decreasing up the tree for single and
+// complete linkage (monotone linkages).
+func TestPropertyMonotoneMergeHeights(t *testing.T) {
+	var check func(d *Dendrogram) bool
+	check = func(d *Dendrogram) bool {
+		if d.IsLeaf() {
+			return true
+		}
+		for _, ch := range []*Dendrogram{d.Left, d.Right} {
+			if !ch.IsLeaf() && ch.Height > d.Height+1e-9 {
+				return false
+			}
+			if !check(ch) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := blob(r, 3+r.Intn(15), vecmath.Vector{0, 0}, 3)
+		for _, l := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+			root, err := Hierarchical(pts, l)
+			if err != nil || !check(root) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: K-means inertia never increases when K grows (best of
+// restarts, same seed family).
+func TestPropertyInertiaDecreasesWithK(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	pts := append(blob(r, 30, vecmath.Vector{0, 0}, 1), blob(r, 30, vecmath.Vector{6, 0}, 1)...)
+	prev := 0.0
+	for k := 1; k <= 6; k++ {
+		res, err := KMeans(pts, KMeansConfig{K: k, Seed: 17, Restarts: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 1 && res.Inertia > prev*1.05 {
+			t.Errorf("inertia rose from %v (K=%d) to %v (K=%d)", prev, k-1, res.Inertia, k)
+		}
+		prev = res.Inertia
+	}
+}
+
+func BenchmarkKMeans250x3815(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var pts []vecmath.Vector
+	for c := 0; c < 3; c++ {
+		center := vecmath.NewVector(3815)
+		for j := 0; j < 50; j++ {
+			center[r.Intn(3815)] = r.Float64()
+		}
+		pts = append(pts, blob(r, 83, center, 0.01)...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(pts, KMeansConfig{K: 3, Seed: int64(i), Restarts: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/vecmath"
+)
+
+// Linkage selects how inter-cluster distance is computed during
+// agglomeration. The paper evaluates all three and reports single linkage
+// ("the results for complete- and average-linkage are similar").
+type Linkage int
+
+// Linkage flavors.
+const (
+	SingleLinkage Linkage = iota + 1
+	CompleteLinkage
+	AverageLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	default:
+		return fmt.Sprintf("linkage(%d)", int(l))
+	}
+}
+
+// Dendrogram is a node of the agglomeration tree. Leaves carry a point
+// index; internal nodes carry their merge distance.
+type Dendrogram struct {
+	// Leaf is the point index for leaves, -1 for internal nodes.
+	Leaf int
+	// Left and Right are the merged subtrees (nil for leaves).
+	Left, Right *Dendrogram
+	// Height is the linkage distance at which the merge happened.
+	Height float64
+	// Size is the number of leaves under this node.
+	Size int
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (d *Dendrogram) IsLeaf() bool { return d.Leaf >= 0 }
+
+// String renders the tree in the nested-parenthesis form of Figure 4:
+// leaves print their index, merges print "(left, right)".
+func (d *Dendrogram) String() string {
+	var b strings.Builder
+	d.render(&b)
+	return b.String()
+}
+
+func (d *Dendrogram) render(b *strings.Builder) {
+	if d.IsLeaf() {
+		b.WriteString(strconv.Itoa(d.Leaf))
+		return
+	}
+	b.WriteByte('(')
+	d.Left.render(b)
+	b.WriteString(", ")
+	d.Right.render(b)
+	b.WriteByte(')')
+}
+
+// Leaves returns the point indices under the node in left-to-right order.
+func (d *Dendrogram) Leaves() []int {
+	if d.IsLeaf() {
+		return []int{d.Leaf}
+	}
+	return append(d.Left.Leaves(), d.Right.Leaves()...)
+}
+
+// Hierarchical performs agglomerative clustering over points with the
+// given linkage, using Euclidean distance, and returns the dendrogram
+// root. It is O(n^3) in the straightforward Lance-Williams form, which is
+// ample for the paper's 20-250 signature experiments.
+func Hierarchical(points []vecmath.Vector, linkage Linkage) (*Dendrogram, error) {
+	switch linkage {
+	case SingleLinkage, CompleteLinkage, AverageLinkage:
+	default:
+		return nil, fmt.Errorf("cluster: unknown linkage %d", int(linkage))
+	}
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	dim := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, p.Dim(), dim)
+		}
+	}
+
+	// Active cluster set with pairwise distance matrix.
+	active := make([]*Dendrogram, n)
+	for i := range active {
+		active[i] = &Dendrogram{Leaf: i, Size: 1}
+	}
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i == j {
+				continue
+			}
+			d, err := vecmath.Euclidean(points[i], points[j])
+			if err != nil {
+				return nil, err
+			}
+			dist[i][j] = d
+		}
+	}
+
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+	for remaining > 1 {
+		// Find the closest active pair.
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if dist[i][j] < bd {
+					bi, bj, bd = i, j, dist[i][j]
+				}
+			}
+		}
+		merged := &Dendrogram{
+			Leaf: -1, Left: active[bi], Right: active[bj],
+			Height: bd, Size: active[bi].Size + active[bj].Size,
+		}
+		// Lance-Williams update: slot bi holds the merged cluster.
+		for k := 0; k < n; k++ {
+			if !alive[k] || k == bi || k == bj {
+				continue
+			}
+			var nd float64
+			switch linkage {
+			case SingleLinkage:
+				nd = math.Min(dist[bi][k], dist[bj][k])
+			case CompleteLinkage:
+				nd = math.Max(dist[bi][k], dist[bj][k])
+			case AverageLinkage:
+				si, sj := float64(active[bi].Size), float64(active[bj].Size)
+				nd = (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+			}
+			dist[bi][k] = nd
+			dist[k][bi] = nd
+		}
+		active[bi] = merged
+		alive[bj] = false
+		remaining--
+	}
+	for i := range alive {
+		if alive[i] {
+			return active[i], nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: agglomeration lost the root")
+}
+
+// Cut slices the dendrogram into k clusters by undoing the k-1 highest
+// merges (the "height cut" the paper calls notoriously hard to choose for
+// more than two classes). It returns per-point cluster assignments.
+func (d *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: cut k=%d must be >= 1", k)
+	}
+	if k > d.Size {
+		return nil, fmt.Errorf("cluster: cut k=%d exceeds %d leaves", k, d.Size)
+	}
+	// Repeatedly split the cluster whose merge height is largest.
+	clusters := []*Dendrogram{d}
+	for len(clusters) < k {
+		// Find the internal node with maximum height.
+		bi, bh := -1, math.Inf(-1)
+		for i, c := range clusters {
+			if !c.IsLeaf() && c.Height > bh {
+				bi, bh = i, c.Height
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("cluster: cannot cut into %d clusters", k)
+		}
+		node := clusters[bi]
+		clusters[bi] = node.Left
+		clusters = append(clusters, node.Right)
+	}
+	assign := make([]int, d.Size)
+	for c, node := range clusters {
+		for _, leaf := range node.Leaves() {
+			if leaf < 0 || leaf >= len(assign) {
+				return nil, fmt.Errorf("cluster: leaf index %d out of range", leaf)
+			}
+			assign[leaf] = c
+		}
+	}
+	return assign, nil
+}

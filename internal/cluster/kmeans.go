@@ -1,0 +1,180 @@
+// Package cluster implements the unsupervised learners of §4.2.2: K-means
+// (the paper's primary clustering mechanism) and agglomerative hierarchical
+// clustering in single-, complete-, and average-linkage flavors, with the
+// Figure 4 dendrogram rendering. Both use the Euclidean (L2-induced)
+// distance, the paper's default metric.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// KMeansConfig controls Lloyd's algorithm.
+type KMeansConfig struct {
+	// K is the number of target clusters (the paper's "greatest advantage
+	// and greatest drawback" of K-means: it must be chosen).
+	K int
+	// MaxIter bounds Lloyd iterations per restart (default 100).
+	MaxIter int
+	// Restarts runs the algorithm multiple times with fresh random
+	// initializations and keeps the lowest-inertia result (default 8).
+	Restarts int
+	// Seed drives initialization.
+	Seed int64
+	// Init selects the initialization strategy (default InitRandom, the
+	// era-appropriate choice; InitPlusPlus converges with fewer restarts).
+	Init InitMethod
+}
+
+func (c *KMeansConfig) fillDefaults() {
+	if c.MaxIter == 0 {
+		c.MaxIter = 100
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 8
+	}
+}
+
+// KMeansResult is a clustering of the input points.
+type KMeansResult struct {
+	// Assign maps point index to cluster index in [0, K).
+	Assign []int
+	// Centroids are the cluster means; the paper uses them as behaviour
+	// "syndromes" for later similarity lookup and meta-clustering.
+	Centroids []vecmath.Vector
+	// Inertia is the summed squared distance of points to their
+	// centroids (the K-means objective).
+	Inertia float64
+	// Iterations is the number of Lloyd iterations of the winning
+	// restart.
+	Iterations int
+}
+
+// KMeans clusters points with Lloyd's algorithm and random-point
+// initialization, keeping the best of cfg.Restarts runs.
+func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: K=%d must be >= 1", cfg.K)
+	}
+	if len(points) < cfg.K {
+		return nil, fmt.Errorf("cluster: %d points for K=%d", len(points), cfg.K)
+	}
+	dim := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, p.Dim(), dim)
+		}
+	}
+	cfg.fillDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	best := &KMeansResult{Inertia: math.Inf(1)}
+	for r := 0; r < cfg.Restarts; r++ {
+		res, err := kmeansOnce(points, cfg.K, cfg.MaxIter, cfg.Init, rng)
+		if err != nil {
+			return nil, err
+		}
+		if res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// kmeansOnce runs one restart of Lloyd's algorithm.
+func kmeansOnce(points []vecmath.Vector, k, maxIter int, init InitMethod, rng *rand.Rand) (*KMeansResult, error) {
+	n := len(points)
+	dim := points[0].Dim()
+
+	var centroids []vecmath.Vector
+	if init == InitPlusPlus {
+		centroids = plusPlusInit(points, k, rng)
+	} else {
+		// Initialize centroids from k distinct random points.
+		perm := rng.Perm(n)
+		centroids = make([]vecmath.Vector, k)
+		for i := 0; i < k; i++ {
+			centroids[i] = points[perm[i]].Clone()
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		changed := false
+		// Assignment step.
+		for i, p := range points {
+			bestC, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				d, err := vecmath.SquaredEuclidean(p, centroids[c])
+				if err != nil {
+					return nil, err
+				}
+				if d < bestD {
+					bestC, bestD = c, d
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Update step.
+		counts := make([]int, k)
+		sums := make([]vecmath.Vector, k)
+		for c := range sums {
+			sums[c] = vecmath.NewVector(dim)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, x := range p {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Empty cluster: reseed from a random point, the standard
+				// Lloyd repair.
+				centroids[c] = points[rng.Intn(n)].Clone()
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range sums[c] {
+				sums[c][j] *= inv
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		d, err := vecmath.SquaredEuclidean(p, centroids[assign[i]])
+		if err != nil {
+			return nil, err
+		}
+		inertia += d
+	}
+	return &KMeansResult{Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
+}
+
+// MetaCluster applies K-means recursively to cluster centroids (§2.2/§6:
+// determining which entire classes of behaviour are similar, e.g. to
+// co-schedule tasks that share kernel code paths on one cache domain).
+func MetaCluster(centroids []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
+	if len(centroids) == 0 {
+		return nil, errors.New("cluster: no centroids to meta-cluster")
+	}
+	return KMeans(centroids, cfg)
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// InitMethod selects the K-means initialization strategy.
+type InitMethod int
+
+// Initialization strategies.
+const (
+	// InitRandom seeds centroids from K distinct random points (the
+	// classic Lloyd initialization the paper's era used).
+	InitRandom InitMethod = iota
+	// InitPlusPlus seeds with the k-means++ D^2 weighting (Arthur &
+	// Vassilvitskii 2007), which needs fewer restarts to find good
+	// optima.
+	InitPlusPlus
+)
+
+// String names the method.
+func (m InitMethod) String() string {
+	switch m {
+	case InitRandom:
+		return "random"
+	case InitPlusPlus:
+		return "kmeans++"
+	default:
+		return fmt.Sprintf("init(%d)", int(m))
+	}
+}
+
+// plusPlusInit picks k centroids with D^2 sampling.
+func plusPlusInit(points []vecmath.Vector, k int, rng *rand.Rand) []vecmath.Vector {
+	n := len(points)
+	centroids := make([]vecmath.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(n)].Clone())
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = math.Inf(1)
+	}
+	for len(centroids) < k {
+		last := centroids[len(centroids)-1]
+		var total float64
+		for i, p := range points {
+			d := vecmath.MustEuclidean(p, last)
+			if dd := d * d; dd < d2[i] {
+				d2[i] = dd
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, points[rng.Intn(n)].Clone())
+			continue
+		}
+		u := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= u {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, points[pick].Clone())
+	}
+	return centroids
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering in
+// [-1, 1]: how much closer points sit to their own cluster than to the
+// nearest other cluster. It penalizes both over- and under-splitting,
+// unlike purity (which saturates at K = n, the property Figure 6 exploits).
+func Silhouette(points []vecmath.Vector, assign []int) (float64, error) {
+	n := len(points)
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: empty clustering")
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d points vs %d assignments", n, len(assign))
+	}
+	sizes := map[int]int{}
+	for _, a := range assign {
+		if a < 0 {
+			return 0, fmt.Errorf("cluster: negative cluster id")
+		}
+		sizes[a]++
+	}
+	if len(sizes) < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs at least two clusters")
+	}
+	var total float64
+	counted := 0
+	for i := range points {
+		own := assign[i]
+		if sizes[own] == 1 {
+			// Singleton clusters contribute silhouette 0 by convention.
+			counted++
+			continue
+		}
+		// Mean distance to each cluster.
+		sums := map[int]float64{}
+		for j := range points {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += vecmath.MustEuclidean(points[i], points[j])
+		}
+		a := sums[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c, s := range sums {
+			if c == own {
+				continue
+			}
+			if m := s / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if maxAB := math.Max(a, b); maxAB > 0 {
+			total += (b - a) / maxAB
+		}
+		counted++
+	}
+	return total / float64(counted), nil
+}
+
+// KSelection is the result of a silhouette-guided K sweep.
+type KSelection struct {
+	// BestK is the K with the highest mean silhouette.
+	BestK int
+	// Scores maps each swept K to its silhouette.
+	Scores map[int]float64
+	// Results maps each swept K to its clustering.
+	Results map[int]*KMeansResult
+}
+
+// ChooseK sweeps K in [2, kMax] and picks the silhouette-optimal
+// clustering — a remedy for the paper's noted K-means drawback that "the
+// ability to choose the number of resulting clusters ... is also its
+// greatest drawback".
+func ChooseK(points []vecmath.Vector, kMax int, cfg KMeansConfig) (*KSelection, error) {
+	if kMax < 2 {
+		return nil, fmt.Errorf("cluster: kMax=%d must be >= 2", kMax)
+	}
+	if kMax > len(points) {
+		kMax = len(points)
+	}
+	sel := &KSelection{Scores: map[int]float64{}, Results: map[int]*KMeansResult{}}
+	best := math.Inf(-1)
+	for k := 2; k <= kMax; k++ {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c)
+		if err != nil {
+			return nil, err
+		}
+		score, err := Silhouette(points, res.Assign)
+		if err != nil {
+			return nil, err
+		}
+		sel.Scores[k] = score
+		sel.Results[k] = res
+		if score > best {
+			best = score
+			sel.BestK = k
+		}
+	}
+	return sel, nil
+}

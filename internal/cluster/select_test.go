@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func threeBlobs(t *testing.T, seed int64) ([]vecmath.Vector, []int) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var pts []vecmath.Vector
+	var truth []int
+	centers := []vecmath.Vector{{0, 0}, {8, 0}, {0, 8}}
+	for c, center := range centers {
+		for _, p := range blob(r, 20, center, 0.4) {
+			pts = append(pts, p)
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestPlusPlusInitSeparatesBlobs(t *testing.T) {
+	pts, _ := threeBlobs(t, 1)
+	res, err := KMeans(pts, KMeansConfig{K: 3, Seed: 2, Restarts: 1, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One restart of ++ on well-separated blobs should land near the
+	// optimum: every blob in its own cluster.
+	for g := 0; g < 3; g++ {
+		first := res.Assign[g*20]
+		for i := 1; i < 20; i++ {
+			if res.Assign[g*20+i] != first {
+				t.Fatalf("blob %d split with kmeans++ init", g)
+			}
+		}
+	}
+}
+
+func TestPlusPlusNotWorseThanRandom(t *testing.T) {
+	pts, _ := threeBlobs(t, 3)
+	randRes, err := KMeans(pts, KMeansConfig{K: 3, Seed: 4, Restarts: 1, Init: InitRandom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppRes, err := KMeans(pts, KMeansConfig{K: 3, Seed: 4, Restarts: 1, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppRes.Inertia > randRes.Inertia*1.5 {
+		t.Errorf("kmeans++ inertia %v much worse than random %v", ppRes.Inertia, randRes.Inertia)
+	}
+}
+
+func TestPlusPlusDegenerateIdenticalPoints(t *testing.T) {
+	pts := []vecmath.Vector{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(pts, KMeansConfig{K: 3, Seed: 1, Init: InitPlusPlus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia != 0 {
+		t.Errorf("identical points should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestInitMethodString(t *testing.T) {
+	if InitRandom.String() != "random" || InitPlusPlus.String() != "kmeans++" {
+		t.Error("init method names wrong")
+	}
+}
+
+func TestSilhouetteGoodVsBadClustering(t *testing.T) {
+	pts, truth := threeBlobs(t, 5)
+	good, err := Silhouette(pts, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.7 {
+		t.Errorf("true clustering silhouette = %v, want high", good)
+	}
+	// A bad clustering: split by index parity, ignoring geometry.
+	bad := make([]int, len(pts))
+	for i := range bad {
+		bad[i] = i % 2
+	}
+	badScore, err := Silhouette(pts, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badScore >= good {
+		t.Errorf("arbitrary clustering (%v) should score below the truth (%v)", badScore, good)
+	}
+}
+
+func TestSilhouetteValidation(t *testing.T) {
+	pts := []vecmath.Vector{{0}, {1}}
+	if _, err := Silhouette(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := Silhouette(pts, []int{0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Silhouette(pts, []int{0, 0}); err == nil {
+		t.Error("single cluster should fail")
+	}
+	if _, err := Silhouette(pts, []int{-1, 0}); err == nil {
+		t.Error("negative id should fail")
+	}
+}
+
+func TestSilhouetteSingletonConvention(t *testing.T) {
+	pts := []vecmath.Vector{{0, 0}, {0.1, 0}, {9, 9}}
+	s, err := Silhouette(pts, []int{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The singleton contributes 0; the pair contributes strongly positive.
+	if s <= 0 || s > 1 {
+		t.Errorf("silhouette = %v", s)
+	}
+}
+
+func TestChooseKFindsTrueK(t *testing.T) {
+	pts, _ := threeBlobs(t, 7)
+	sel, err := ChooseK(pts, 6, KMeansConfig{Seed: 8, Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.BestK != 3 {
+		t.Errorf("BestK = %d, want 3 (scores %v)", sel.BestK, sel.Scores)
+	}
+	if len(sel.Scores) != 5 || len(sel.Results) != 5 {
+		t.Errorf("sweep covered %d Ks, want 5 (2..6)", len(sel.Scores))
+	}
+	if _, err := ChooseK(pts, 1, KMeansConfig{}); err == nil {
+		t.Error("kMax < 2 should fail")
+	}
+}
+
+func TestChooseKCapsAtN(t *testing.T) {
+	pts := []vecmath.Vector{{0, 0}, {1, 0}, {10, 0}}
+	sel, err := ChooseK(pts, 10, KMeansConfig{Seed: 1, Restarts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sel.Scores[4]; ok {
+		t.Error("sweep should cap at n points")
+	}
+}

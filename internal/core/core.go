@@ -1,0 +1,268 @@
+// Package core implements the paper's primary contribution: embedding
+// kernel function invocation counts into the classical vector space model
+// (Salton, Wong, Yang 1975) to obtain formal, indexable, low-level system
+// signatures (§2.1).
+//
+// The mapping is:
+//
+//   - "term"     → a core-kernel function (identified by its index in the
+//     symbol table, which is induced by its start address);
+//   - "document" → the per-function invocation counts observed over one
+//     monitoring interval;
+//   - "corpus"   → a collection of monitored intervals.
+//
+// Each document j becomes a weight vector v_j = [w_1j, ..., w_Nj]^T with
+// w_ij = tf_ij × idf_i, where
+//
+//	tf_ij  = n_ij / Σ_k n_kj          (length-normalized term frequency)
+//	idf_i  = log(|D| / |{d : t_i∈d}|) (inverse document frequency)
+//
+// The tf normalization prevents bias toward longer monitoring runs; the
+// idf factor attenuates functions that occur in every interval (the
+// "prepositions" of kernel execution — e.g. the top-ranked virtual memory
+// routines), including uniform measurement interference from the logging
+// daemon itself (§5).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/vecmath"
+)
+
+// Document is one monitoring interval: raw per-function invocation counts
+// plus identifying metadata. Counts are sparse — most of the ~3800
+// dimensions are zero in a typical interval.
+type Document struct {
+	// ID uniquely names the interval (e.g. "scp-0042").
+	ID string
+	// Label is the class label when known ("scp", "kcompile", ...); empty
+	// for unlabeled documents.
+	Label string
+	// Duration is the monitoring interval length. It does not enter the
+	// tf-idf computation (tf is length-normalized by construction) but is
+	// retained because it is a daemon configuration parameter (§5).
+	Duration time.Duration
+	// Counts maps function index (FuncID) to invocation count.
+	Counts map[int]uint64
+}
+
+// NewDocument builds a document from a dense count vector, storing only
+// non-zero entries.
+func NewDocument(id, label string, d time.Duration, dense []uint64) *Document {
+	doc := &Document{ID: id, Label: label, Duration: d, Counts: make(map[int]uint64)}
+	for i, c := range dense {
+		if c != 0 {
+			doc.Counts[i] = c
+		}
+	}
+	return doc
+}
+
+// Total returns the total number of invocations in the document (the tf
+// denominator Σ_k n_kj).
+func (d *Document) Total() uint64 {
+	var t uint64
+	for _, c := range d.Counts {
+		t += c
+	}
+	return t
+}
+
+// TF returns the document's term-frequency vector as a sparse vector:
+// tf_i = n_i / Σ_k n_k.
+func (d *Document) TF() vecmath.SparseVector {
+	tf := vecmath.NewSparse()
+	total := float64(d.Total())
+	if total == 0 {
+		return tf
+	}
+	for i, c := range d.Counts {
+		tf.Set(i, float64(c)/total)
+	}
+	return tf
+}
+
+// Signature is a document embedded into the vector space: a tf-idf weight
+// vector plus provenance.
+type Signature struct {
+	DocID string
+	Label string
+	V     vecmath.Vector
+}
+
+// Corpus is a collection of documents over a fixed term space of dimension
+// Dim (the size of the core-kernel symbol table).
+type Corpus struct {
+	dim  int
+	docs []*Document
+	df   []int // document frequency per term, maintained incrementally
+}
+
+// NewCorpus creates an empty corpus over dim terms.
+func NewCorpus(dim int) (*Corpus, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
+	}
+	return &Corpus{dim: dim, df: make([]int, dim)}, nil
+}
+
+// Dim returns the term-space dimension.
+func (c *Corpus) Dim() int { return c.dim }
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Docs returns the documents in insertion order. Callers must not mutate
+// the returned slice.
+func (c *Corpus) Docs() []*Document { return c.docs }
+
+// Add appends a document to the corpus, validating its term indices.
+func (c *Corpus) Add(doc *Document) error {
+	if doc == nil {
+		return errors.New("core: nil document")
+	}
+	for i := range doc.Counts {
+		if i < 0 || i >= c.dim {
+			return fmt.Errorf("core: document %s has term %d outside dimension %d", doc.ID, i, c.dim)
+		}
+	}
+	c.docs = append(c.docs, doc)
+	for i, n := range doc.Counts {
+		if n > 0 {
+			c.df[i]++
+		}
+	}
+	return nil
+}
+
+// DocumentFrequency returns |{d : t_i ∈ d}| for every term.
+func (c *Corpus) DocumentFrequency() []int {
+	out := make([]int, len(c.df))
+	copy(out, c.df)
+	return out
+}
+
+// Labels returns the distinct labels present in the corpus, in first-seen
+// order.
+func (c *Corpus) Labels() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range c.docs {
+		if d.Label != "" && !seen[d.Label] {
+			seen[d.Label] = true
+			out = append(out, d.Label)
+		}
+	}
+	return out
+}
+
+// ByLabel returns the documents carrying the given label.
+func (c *Corpus) ByLabel(label string) []*Document {
+	var out []*Document
+	for _, d := range c.docs {
+		if d.Label == label {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Model is a fitted tf-idf weighting: the idf vector learned from a
+// training corpus. Applying the model to new documents embeds them into
+// the same vector space, which is what lets a classifier trained on one
+// corpus score signatures retrieved later.
+type Model struct {
+	dim int
+	idf []float64
+}
+
+// Fit computes the idf model from the corpus:
+//
+//	idf_i = log(|D| / df_i)
+//
+// Terms absent from every document get idf 0 (they contribute nothing, and
+// there is no evidence to weight them by).
+func (c *Corpus) Fit() (*Model, error) {
+	if len(c.docs) == 0 {
+		return nil, errors.New("core: cannot fit tf-idf on an empty corpus")
+	}
+	m := &Model{dim: c.dim, idf: make([]float64, c.dim)}
+	n := float64(len(c.docs))
+	for i, df := range c.df {
+		if df > 0 {
+			m.idf[i] = math.Log(n / float64(df))
+		}
+	}
+	return m, nil
+}
+
+// Dim returns the model's term-space dimension.
+func (m *Model) Dim() int { return m.dim }
+
+// IDF returns a copy of the fitted idf vector.
+func (m *Model) IDF() []float64 {
+	out := make([]float64, len(m.idf))
+	copy(out, m.idf)
+	return out
+}
+
+// Transform embeds one document into the vector space: w_i = tf_i × idf_i.
+// The returned signature is NOT length-normalized; use Normalize (or the
+// vecmath helpers) when a method requires unit vectors, as the paper does
+// for SVM classification ("scaled into the unit-ball using the L2 norm").
+func (m *Model) Transform(doc *Document) (Signature, error) {
+	if doc == nil {
+		return Signature{}, errors.New("core: nil document")
+	}
+	v := vecmath.NewVector(m.dim)
+	total := float64(doc.Total())
+	if total > 0 {
+		for i, c := range doc.Counts {
+			if i < 0 || i >= m.dim {
+				return Signature{}, fmt.Errorf("core: document %s term %d outside dimension %d", doc.ID, i, m.dim)
+			}
+			v[i] = float64(c) / total * m.idf[i]
+		}
+	}
+	return Signature{DocID: doc.ID, Label: doc.Label, V: v}, nil
+}
+
+// TransformAll embeds a slice of documents.
+func (m *Model) TransformAll(docs []*Document) ([]Signature, error) {
+	out := make([]Signature, 0, len(docs))
+	for _, d := range docs {
+		s, err := m.Transform(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Signatures fits the corpus and embeds every document in one step — the
+// common path when the whole corpus is available up front, matching the
+// paper's offline transformation ("the difference is later transformed
+// into tf-idf scores, once an entire corpus is generated").
+func (c *Corpus) Signatures() ([]Signature, *Model, error) {
+	m, err := c.Fit()
+	if err != nil {
+		return nil, nil, err
+	}
+	sigs, err := m.TransformAll(c.docs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sigs, m, nil
+}
+
+// Normalize L2-normalizes the signatures in place (unit-ball scaling).
+func Normalize(sigs []Signature) {
+	for i := range sigs {
+		sigs[i].V.Normalize()
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// Metric scores the similarity or dissimilarity of two signature vectors.
+type Metric struct {
+	// Name identifies the metric in reports.
+	Name string
+	// Score computes the metric value for two vectors of equal dimension.
+	Score func(x, y vecmath.Vector) (float64, error)
+	// HigherIsCloser is true for similarities (cosine) and false for
+	// distances (Euclidean, Minkowski).
+	HigherIsCloser bool
+}
+
+// CosineMetric is the cosine similarity of §2.1.
+func CosineMetric() Metric {
+	return Metric{Name: "cosine", Score: vecmath.Cosine, HigherIsCloser: true}
+}
+
+// EuclideanMetric is the L2-induced distance, the paper's default.
+func EuclideanMetric() Metric {
+	return Metric{Name: "euclidean", Score: vecmath.Euclidean, HigherIsCloser: false}
+}
+
+// MinkowskiMetric is the Lp-induced distance for p >= 1.
+func MinkowskiMetric(p float64) Metric {
+	return Metric{
+		Name: fmt.Sprintf("minkowski(p=%g)", p),
+		Score: func(x, y vecmath.Vector) (float64, error) {
+			return vecmath.Minkowski(x, y, p)
+		},
+		HigherIsCloser: false,
+	}
+}
+
+// SearchResult is one hit of a similarity query.
+type SearchResult struct {
+	Signature Signature
+	// Score is the metric value against the query.
+	Score float64
+}
+
+// DB is the labeled signature database the paper envisions operators
+// maintaining (§2.2): signatures of forensically identified behaviours,
+// stored for later retrieval, comparison, and classifier training.
+type DB struct {
+	dim  int
+	sigs []Signature
+}
+
+// NewDB creates an empty database for signatures of the given dimension.
+func NewDB(dim int) (*DB, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
+	}
+	return &DB{dim: dim}, nil
+}
+
+// Len returns the number of stored signatures.
+func (db *DB) Len() int { return len(db.sigs) }
+
+// Dim returns the signature dimension.
+func (db *DB) Dim() int { return db.dim }
+
+// Add stores a signature.
+func (db *DB) Add(sig Signature) error {
+	if sig.V.Dim() != db.dim {
+		return fmt.Errorf("core: signature %s has dimension %d, want %d", sig.DocID, sig.V.Dim(), db.dim)
+	}
+	db.sigs = append(db.sigs, sig)
+	return nil
+}
+
+// AddAll stores a batch of signatures.
+func (db *DB) AddAll(sigs []Signature) error {
+	for _, s := range sigs {
+		if err := db.Add(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// All returns the stored signatures. Callers must not mutate the slice.
+func (db *DB) All() []Signature { return db.sigs }
+
+// TopK returns the k stored signatures closest to query under metric,
+// best first. k larger than the database returns everything.
+func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
+	if query.Dim() != db.dim {
+		return nil, fmt.Errorf("core: query dimension %d, want %d", query.Dim(), db.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k %d must be >= 1", k)
+	}
+	if len(db.sigs) == 0 {
+		return nil, errors.New("core: empty database")
+	}
+	results := make([]SearchResult, 0, len(db.sigs))
+	for _, s := range db.sigs {
+		score, err := metric.Score(query, s.V)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, SearchResult{Signature: s, Score: score})
+	}
+	sort.SliceStable(results, func(i, j int) bool {
+		if metric.HigherIsCloser {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Score < results[j].Score
+	})
+	if k > len(results) {
+		k = len(results)
+	}
+	return results[:k], nil
+}
+
+// Classify labels a query by majority vote among its k nearest stored
+// signatures (ties broken toward the nearest). It is the similarity-based
+// retrieval use case of §2.2 in its simplest form.
+func (db *DB) Classify(query vecmath.Vector, k int, metric Metric) (string, error) {
+	hits, err := db.TopK(query, k, metric)
+	if err != nil {
+		return "", err
+	}
+	votes := make(map[string]int)
+	for _, h := range hits {
+		votes[h.Signature.Label]++
+	}
+	best, bestN := "", -1
+	for _, h := range hits { // iterate hits (nearest first) for tie-breaks
+		if n := votes[h.Signature.Label]; n > bestN {
+			best, bestN = h.Signature.Label, n
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermWeight is one term's contribution to a signature, resolved to a
+// human-readable function name when a name table is supplied.
+type TermWeight struct {
+	// Term is the function index (the dimension).
+	Term int
+	// Name is the function name, when known.
+	Name string
+	// Weight is the tf-idf weight (or weight difference, for Contrast).
+	Weight float64
+}
+
+// TopTerms returns the k largest-magnitude components of a signature,
+// descending by |weight|. names may be nil; when provided it must cover
+// the signature's dimension. This is the operator-facing "why does this
+// signature look like that" view: the kernel functions whose (idf-damped)
+// relative frequencies dominate the interval.
+func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
+	}
+	if names != nil && len(names) < sig.V.Dim() {
+		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), sig.V.Dim())
+	}
+	var terms []TermWeight
+	for i, w := range sig.V {
+		if w != 0 {
+			tw := TermWeight{Term: i, Weight: w}
+			if names != nil {
+				tw.Name = names[i]
+			}
+			terms = append(terms, tw)
+		}
+	}
+	sort.Slice(terms, func(a, b int) bool {
+		wa, wb := abs(terms[a].Weight), abs(terms[b].Weight)
+		if wa != wb {
+			return wa > wb
+		}
+		return terms[a].Term < terms[b].Term
+	})
+	if k > len(terms) {
+		k = len(terms)
+	}
+	return terms[:k], nil
+}
+
+// Contrast returns the k terms that most distinguish signature a from
+// signature b, ranked by |a_i - b_i| descending with the signed
+// difference preserved (positive = stronger in a). It is the similarity
+// search's inverse: given two behaviours, which kernel functions separate
+// them.
+func Contrast(a, b Signature, k int, names []string) ([]TermWeight, error) {
+	if a.V.Dim() != b.V.Dim() {
+		return nil, fmt.Errorf("core: contrast dimensions differ: %d vs %d", a.V.Dim(), b.V.Dim())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
+	}
+	if names != nil && len(names) < a.V.Dim() {
+		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), a.V.Dim())
+	}
+	var terms []TermWeight
+	for i := range a.V {
+		d := a.V[i] - b.V[i]
+		if d != 0 {
+			tw := TermWeight{Term: i, Weight: d}
+			if names != nil {
+				tw.Name = names[i]
+			}
+			terms = append(terms, tw)
+		}
+	}
+	sort.Slice(terms, func(x, y int) bool {
+		wx, wy := abs(terms[x].Weight), abs(terms[y].Weight)
+		if wx != wy {
+			return wx > wy
+		}
+		return terms[x].Term < terms[y].Term
+	})
+	if k > len(terms) {
+		k = len(terms)
+	}
+	return terms[:k], nil
+}
+
+// abs avoids importing math for a single operation in a hot comparator.
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the wire form of a fitted tf-idf model. The idf vector is
+// stored sparsely: terms absent from the training corpus have idf 0.
+type modelJSON struct {
+	Dim int             `json:"dim"`
+	IDF map[int]float64 `json:"idf"`
+}
+
+// WriteModel persists a fitted model as a single JSON object. Operators
+// fit the idf weighting once over a labeled history corpus and reuse it to
+// embed signatures collected later (the paper's database workflow, §2.2):
+// a classifier is only meaningful against vectors weighted by the same
+// model.
+func WriteModel(w io.Writer, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("core: nil model")
+	}
+	mj := modelJSON{Dim: m.dim, IDF: make(map[int]float64)}
+	for i, x := range m.idf {
+		if x != 0 {
+			mj.IDF[i] = x
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mj)
+}
+
+// ReadModel parses a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: reading model: %w", err)
+	}
+	if mj.Dim < 1 {
+		return nil, fmt.Errorf("core: model dimension %d invalid", mj.Dim)
+	}
+	m := &Model{dim: mj.Dim, idf: make([]float64, mj.Dim)}
+	for i, x := range mj.IDF {
+		if i < 0 || i >= mj.Dim {
+			return nil, fmt.Errorf("core: idf index %d outside dimension %d", i, mj.Dim)
+		}
+		if x < 0 {
+			return nil, fmt.Errorf("core: negative idf %v at term %d", x, i)
+		}
+		m.idf[i] = x
+	}
+	return m, nil
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// documentJSON is the wire form of a Document. Counts keys are function
+// indices; encoding/json renders integer-keyed maps with string keys.
+type documentJSON struct {
+	ID         string         `json:"id"`
+	Label      string         `json:"label,omitempty"`
+	DurationNS int64          `json:"duration_ns"`
+	Counts     map[int]uint64 `json:"counts"`
+}
+
+// WriteDocuments streams documents to w as JSON Lines, the logging
+// daemon's on-disk format.
+func WriteDocuments(w io.Writer, docs []*Document) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range docs {
+		if d == nil {
+			return fmt.Errorf("core: nil document in batch")
+		}
+		if err := enc.Encode(documentJSON{
+			ID:         d.ID,
+			Label:      d.Label,
+			DurationNS: d.Duration.Nanoseconds(),
+			Counts:     d.Counts,
+		}); err != nil {
+			return fmt.Errorf("core: encoding document %s: %w", d.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDocuments parses a JSON Lines stream produced by WriteDocuments.
+func ReadDocuments(r io.Reader) ([]*Document, error) {
+	var docs []*Document
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var dj documentJSON
+		if err := json.Unmarshal(sc.Bytes(), &dj); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		doc := &Document{
+			ID:       dj.ID,
+			Label:    dj.Label,
+			Duration: time.Duration(dj.DurationNS),
+			Counts:   dj.Counts,
+		}
+		if doc.Counts == nil {
+			doc.Counts = make(map[int]uint64)
+		}
+		docs = append(docs, doc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading documents: %w", err)
+	}
+	return docs, nil
+}
+
+// signatureJSON is the wire form of a Signature. Vectors are stored
+// sparsely: most tf-idf weights are zero.
+type signatureJSON struct {
+	DocID   string          `json:"doc_id"`
+	Label   string          `json:"label,omitempty"`
+	Dim     int             `json:"dim"`
+	Weights map[int]float64 `json:"weights"`
+}
+
+// WriteSignatures streams signatures to w as JSON Lines.
+func WriteSignatures(w io.Writer, sigs []Signature) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range sigs {
+		weights := make(map[int]float64)
+		for i, x := range s.V {
+			if x != 0 {
+				weights[i] = x
+			}
+		}
+		if err := enc.Encode(signatureJSON{
+			DocID: s.DocID, Label: s.Label, Dim: s.V.Dim(), Weights: weights,
+		}); err != nil {
+			return fmt.Errorf("core: encoding signature %s: %w", s.DocID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSignatures parses a JSON Lines stream produced by WriteSignatures.
+func ReadSignatures(r io.Reader) ([]Signature, error) {
+	var sigs []Signature
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var sj signatureJSON
+		if err := json.Unmarshal(sc.Bytes(), &sj); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		}
+		if sj.Dim < 1 {
+			return nil, fmt.Errorf("core: line %d: invalid dimension %d", line, sj.Dim)
+		}
+		v := make([]float64, sj.Dim)
+		for i, x := range sj.Weights {
+			if i < 0 || i >= sj.Dim {
+				return nil, fmt.Errorf("core: line %d: weight index %d outside dimension %d", line, i, sj.Dim)
+			}
+			v[i] = x
+		}
+		sigs = append(sigs, Signature{DocID: sj.DocID, Label: sj.Label, V: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: reading signatures: %w", err)
+	}
+	return sigs, nil
+}

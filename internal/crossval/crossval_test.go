@@ -1,0 +1,190 @@
+package crossval
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/svm"
+	"repro/internal/vecmath"
+)
+
+func idxRange(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func TestPaperKFoldValidation(t *testing.T) {
+	if _, err := PaperKFold(idxRange(0, 10), idxRange(10, 10), 2, 1); err == nil {
+		t.Error("k=2 should fail")
+	}
+	if _, err := PaperKFold(idxRange(0, 2), idxRange(10, 10), 5, 1); err == nil {
+		t.Error("too few positives should fail")
+	}
+}
+
+func TestPaperKFoldStructure(t *testing.T) {
+	pos := idxRange(0, 25)
+	neg := idxRange(100, 27)
+	const k = 10
+	folds, err := PaperKFold(pos, neg, k, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != k {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	total := len(pos) + len(neg)
+	for fi, f := range folds {
+		// Disjointness of train/val/test.
+		seen := make(map[int]int)
+		for _, i := range f.Train {
+			seen[i]++
+		}
+		for _, i := range f.Val {
+			seen[i]++
+		}
+		for _, i := range f.Test {
+			seen[i]++
+		}
+		if len(seen) != total {
+			t.Fatalf("fold %d covers %d of %d examples", fi, len(seen), total)
+		}
+		for i, n := range seen {
+			if n != 1 {
+				t.Fatalf("fold %d: example %d appears %d times", fi, i, n)
+			}
+		}
+		// Both classes in test (pos indices < 100, neg >= 100).
+		var tp, tn int
+		for _, i := range f.Test {
+			if i < 100 {
+				tp++
+			} else {
+				tn++
+			}
+		}
+		if tp == 0 || tn == 0 {
+			t.Fatalf("fold %d test missing a class: +%d -%d", fi, tp, tn)
+		}
+	}
+	// Validation fold of i is the test fold of (i+1) mod k (same member
+	// set).
+	asSet := func(xs []int) map[int]bool {
+		s := make(map[int]bool, len(xs))
+		for _, x := range xs {
+			s[x] = true
+		}
+		return s
+	}
+	for i := range folds {
+		val := asSet(folds[i].Val)
+		next := asSet(folds[(i+1)%k].Test)
+		if len(val) != len(next) {
+			t.Fatalf("fold %d val size %d != next test %d", i, len(val), len(next))
+		}
+		for x := range val {
+			if !next[x] {
+				t.Fatalf("fold %d val not equal to fold %d test", i, (i+1)%k)
+			}
+		}
+	}
+}
+
+func TestPaperKFoldDeterministic(t *testing.T) {
+	a, err := PaperKFold(idxRange(0, 20), idxRange(50, 20), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PaperKFold(idxRange(0, 20), idxRange(50, 20), 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("folds not deterministic")
+			}
+		}
+	}
+}
+
+// separableData builds two separable high-dimensional classes.
+func separableData(n int, seed int64) ([]vecmath.Vector, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < n; i++ {
+		v := vecmath.NewVector(40)
+		sign := 1.0
+		if i%2 == 0 {
+			sign = -1
+		}
+		hot := []int{1, 5, 9}
+		if sign < 0 {
+			hot = []int{20, 25, 33}
+		}
+		for _, h := range hot {
+			v[h] = 0.5 + 0.05*r.NormFloat64()
+		}
+		for j := 0; j < 5; j++ {
+			v[r.Intn(40)] += 0.02 * r.Float64()
+		}
+		x = append(x, v.Normalize())
+		y = append(y, sign)
+	}
+	return x, y
+}
+
+func TestEvaluateSVMPerfectOnSeparable(t *testing.T) {
+	x, y := separableData(120, 1)
+	var pos, neg []int
+	for i, yy := range y {
+		if yy > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	folds, err := PaperKFold(pos, neg, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateSVM(x, y, folds, nil, svm.DefaultPolynomial(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanAccuracy < 0.99 {
+		t.Errorf("accuracy on separable data = %v", res.MeanAccuracy)
+	}
+	if res.Baseline < 0.49 || res.Baseline > 0.51 {
+		t.Errorf("baseline = %v, want ~0.5", res.Baseline)
+	}
+	if len(res.Folds) != 10 {
+		t.Errorf("fold results = %d", len(res.Folds))
+	}
+	for _, f := range res.Folds {
+		if f.BestC == 0 {
+			t.Error("fold did not record tuned C")
+		}
+		if f.NumSV == 0 {
+			t.Error("fold model has no support vectors")
+		}
+	}
+}
+
+func TestEvaluateSVMValidation(t *testing.T) {
+	x, y := separableData(30, 4)
+	if _, err := EvaluateSVM(x, y[:10], nil, nil, nil, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := EvaluateSVM(x, y, nil, nil, nil, 0); err == nil {
+		t.Error("no folds should fail")
+	}
+	bad := []Fold{{Train: []int{999}, Val: []int{0}, Test: []int{1}}}
+	if _, err := EvaluateSVM(x, y, bad, nil, nil, 0); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+}

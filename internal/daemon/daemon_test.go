@@ -1,0 +1,174 @@
+package daemon
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/debugfs"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// harness wires a full monitored system: engine + fmeter backend + debugfs
+// + collector + a workload runner.
+type harness struct {
+	st  *kernel.SymbolTable
+	eng *kernel.Engine
+	fm  *trace.Fmeter
+	fs  *debugfs.FS
+	col *Collector
+	run *workload.Runner
+}
+
+func newHarness(t *testing.T, spec workload.Spec, seed int64) *harness {
+	t.Helper()
+	st := kernel.NewSymbolTable()
+	cat, err := kernel.NewCatalog(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := trace.NewFmeter(st, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kernel.NewEngine(cat, kernel.EngineConfig{
+		NumCPU: 16, Backend: fm, Seed: seed, CountJitter: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := debugfs.New()
+	if err := fm.RegisterDebugfs(fs); err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(fs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := workload.NewRunner(eng, spec, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{st: st, eng: eng, fm: fm, fs: fs, col: col, run: run}
+}
+
+func (h *harness) body(d time.Duration) error {
+	_, err := h.run.RunInterval(d)
+	return err
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	st := kernel.NewSymbolTable()
+	fs := debugfs.New()
+	if _, err := NewCollector(nil, st); err == nil {
+		t.Error("nil fs should fail")
+	}
+	if _, err := NewCollector(fs, nil); err == nil {
+		t.Error("nil table should fail")
+	}
+	if _, err := NewCollector(fs, st); err == nil {
+		t.Error("missing counters node should fail")
+	}
+}
+
+func TestCollectInterval(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 1)
+	doc, err := h.col.CollectInterval("scp-0", "scp", 10*time.Second, h.body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != "scp-0" || doc.Label != "scp" || doc.Duration != 10*time.Second {
+		t.Errorf("document metadata: %+v", doc)
+	}
+	if doc.Total() == 0 {
+		t.Fatal("interval document is empty")
+	}
+	// A second interval diffs from the new baseline, not from zero.
+	doc2, err := h.col.CollectInterval("scp-1", "scp", 10*time.Second, h.body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(doc2.Total()) / float64(doc.Total())
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Errorf("second interval total off by %vx; diff baseline broken", ratio)
+	}
+}
+
+func TestCollectIntervalValidation(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 2)
+	if _, err := h.col.CollectInterval("x", "", 0, h.body); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := h.col.CollectInterval("x", "", time.Second, nil); err == nil {
+		t.Error("nil body should fail")
+	}
+}
+
+func TestCollectSeriesLogsJSONL(t *testing.T) {
+	h := newHarness(t, workload.Dbench(16), 3)
+	var buf bytes.Buffer
+	docs, err := h.col.CollectSeries("dbench", "dbench", 5, 10*time.Second, h.body, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("collected %d docs", len(docs))
+	}
+	back, err := core.ReadDocuments(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("logged %d docs", len(back))
+	}
+	for i, d := range back {
+		if d.Label != "dbench" {
+			t.Errorf("doc %d label = %q", i, d.Label)
+		}
+		if d.Total() == 0 {
+			t.Errorf("doc %d empty", i)
+		}
+	}
+	if docs[0].ID == docs[1].ID {
+		t.Error("series documents must have distinct IDs")
+	}
+	if _, err := h.col.CollectSeries("x", "", 0, time.Second, h.body, nil); err == nil {
+		t.Error("series length 0 should fail")
+	}
+}
+
+func TestSeriesDocumentsFeedCorpus(t *testing.T) {
+	h := newHarness(t, workload.Kcompile(16), 4)
+	docs, err := h.col.CollectSeries("kc", "kcompile", 8, 10*time.Second, h.body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := core.NewCorpus(h.st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := corpus.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sigs, _, err := corpus.Signatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != 8 {
+		t.Fatalf("signatures: %d", len(sigs))
+	}
+	nonzero := 0
+	for _, s := range sigs {
+		if !s.V.IsZero() {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("all signatures are zero vectors; idf collapsed everything")
+	}
+}

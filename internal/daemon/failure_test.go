@@ -1,0 +1,130 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/debugfs"
+	"repro/internal/kernel"
+	"repro/internal/percpu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestCounterResetMidIntervalSurfacesWrap: if the counters are zeroed
+// between the daemon's two reads (someone echoed into fmeter/reset), the
+// after-snapshot is below the before-snapshot and the collector must
+// report the wrap instead of producing a bogus huge diff.
+func TestCounterResetMidIntervalSurfacesWrap(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 50)
+	// Prime some counts so before > 0.
+	if _, err := h.run.RunInterval(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	body := func(d time.Duration) error {
+		// Workload runs, then the counters get reset mid-interval.
+		if _, err := h.run.RunInterval(d); err != nil {
+			return err
+		}
+		h.fm.Reset()
+		return nil
+	}
+	_, err := h.col.CollectInterval("wrap", "scp", 10*time.Second, body)
+	if !errors.Is(err, percpu.ErrCounterWrapped) {
+		t.Fatalf("want ErrCounterWrapped, got %v", err)
+	}
+}
+
+// TestIntervalBodyErrorPropagates: a failure inside the monitored interval
+// aborts the collection with context.
+func TestIntervalBodyErrorPropagates(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 51)
+	boom := errors.New("workload crashed")
+	_, err := h.col.CollectInterval("x", "scp", time.Second, func(time.Duration) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want workload error, got %v", err)
+	}
+}
+
+// TestSeriesReturnsPartialResultsOnFailure: CollectSeries hands back the
+// documents collected before the failing interval.
+func TestSeriesReturnsPartialResultsOnFailure(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 52)
+	calls := 0
+	body := func(d time.Duration) error {
+		calls++
+		if calls == 3 {
+			return fmt.Errorf("disk full")
+		}
+		_, err := h.run.RunInterval(d)
+		return err
+	}
+	docs, err := h.col.CollectSeries("p", "scp", 5, time.Second, body, nil)
+	if err == nil {
+		t.Fatal("expected failure on interval 3")
+	}
+	if len(docs) != 2 {
+		t.Fatalf("partial docs = %d, want 2", len(docs))
+	}
+}
+
+// TestDebugfsNodeRemovedMidRun: unregistering the counters node between
+// intervals produces a clean read error, not a panic.
+func TestDebugfsNodeRemovedMidRun(t *testing.T) {
+	h := newHarness(t, workload.Scp(16), 53)
+	if _, err := h.col.CollectInterval("ok", "scp", time.Second, h.body); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.fs.Remove(trace.CountersPath); err != nil {
+		t.Fatal(err)
+	}
+	_, err := h.col.CollectInterval("gone", "scp", time.Second, h.body)
+	if !errors.Is(err, debugfs.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+// TestCorruptCountersExport: a debugfs node serving garbage is reported as
+// a parse error.
+func TestCorruptCountersExport(t *testing.T) {
+	st := kernel.NewSymbolTable()
+	fs := debugfs.New()
+	err := fs.Create(trace.CountersPath, func() ([]byte, error) {
+		return []byte("garbage not counters\n"), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(fs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.ReadCounters(); err == nil {
+		t.Fatal("corrupt export should fail to parse")
+	}
+}
+
+// TestReadHandlerErrorPropagates: a failing read handler surfaces through
+// the collector with context.
+func TestReadHandlerErrorPropagates(t *testing.T) {
+	st := kernel.NewSymbolTable()
+	fs := debugfs.New()
+	ioErr := errors.New("simulated EIO")
+	err := fs.Create(trace.CountersPath, func() ([]byte, error) {
+		return nil, ioErr
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewCollector(fs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.ReadCounters(); !errors.Is(err, ioErr) {
+		t.Fatalf("want simulated EIO, got %v", err)
+	}
+}

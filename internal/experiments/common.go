@@ -1,0 +1,281 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) against the simulated kernel substrate, plus the
+// ablations DESIGN.md calls out. Each experiment returns a structured
+// result and renders a text report in the paper's layout so runs can be
+// compared side by side with the published numbers (EXPERIMENTS.md records
+// that comparison).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/debugfs"
+	"repro/internal/driver"
+	"repro/internal/kernel"
+	"repro/internal/trace"
+	"repro/internal/vecmath"
+	"repro/internal/workload"
+)
+
+// NumCPU matches the paper's testbed: a dual-socket quad-core Nehalem
+// with hyperthreads, 16 logical processors.
+const NumCPU = 16
+
+// TracerKind selects the instrumentation configuration of a run.
+type TracerKind int
+
+// The paper's three kernel configurations.
+const (
+	Vanilla TracerKind = iota + 1
+	Ftrace
+	Fmeter
+)
+
+// String names the configuration as the paper's tables do.
+func (k TracerKind) String() string {
+	switch k {
+	case Vanilla:
+		return "vanilla"
+	case Ftrace:
+		return "ftrace"
+	case Fmeter:
+		return "fmeter"
+	default:
+		return fmt.Sprintf("tracer(%d)", int(k))
+	}
+}
+
+// System is one simulated machine: symbol table, op catalog, engine with
+// the chosen tracer, and (for Fmeter) the debugfs plumbing and collector.
+type System struct {
+	ST     *kernel.SymbolTable
+	Cat    *kernel.Catalog
+	Eng    *kernel.Engine
+	FS     *debugfs.FS
+	Tracer TracerKind
+	Fm     *trace.Fmeter // non-nil iff Tracer == Fmeter
+	Ft     *trace.Ftrace // non-nil iff Tracer == Ftrace
+	Col    *daemon.Collector
+}
+
+// NewSystem boots a simulated machine. Jitter parameters default to the
+// values used throughout the evaluation when negative.
+func NewSystem(tracer TracerKind, seed int64, countJitter, latencyJitter float64) (*System, error) {
+	if countJitter < 0 {
+		countJitter = 0.02
+	}
+	if latencyJitter < 0 {
+		latencyJitter = 0.01
+	}
+	st := kernel.NewSymbolTable()
+	cat, err := kernel.NewCatalog(st)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{ST: st, Cat: cat, FS: debugfs.New(), Tracer: tracer}
+	var backend kernel.Backend
+	switch tracer {
+	case Vanilla:
+		backend = kernel.NopBackend()
+	case Ftrace:
+		ft, err := trace.NewFtrace(st, NumCPU, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := ft.RegisterDebugfs(sys.FS); err != nil {
+			return nil, err
+		}
+		sys.Ft = ft
+		backend = ft
+	case Fmeter:
+		fm, err := trace.NewFmeter(st, NumCPU)
+		if err != nil {
+			return nil, err
+		}
+		if err := fm.RegisterDebugfs(sys.FS); err != nil {
+			return nil, err
+		}
+		sys.Fm = fm
+		backend = fm
+	default:
+		return nil, fmt.Errorf("experiments: unknown tracer %d", int(tracer))
+	}
+	eng, err := kernel.NewEngine(cat, kernel.EngineConfig{
+		NumCPU:        NumCPU,
+		Backend:       backend,
+		Seed:          seed,
+		CountJitter:   countJitter,
+		LatencyJitter: latencyJitter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Eng = eng
+	if tracer == Fmeter {
+		col, err := daemon.NewCollector(sys.FS, st)
+		if err != nil {
+			return nil, err
+		}
+		sys.Col = col
+	}
+	return sys, nil
+}
+
+// LoadDriver registers a myri10ge variant with the engine.
+func (s *System) LoadDriver(v driver.Variant) error {
+	mod, err := driver.New(s.ST, v)
+	if err != nil {
+		return err
+	}
+	return s.Eng.RegisterModule(mod)
+}
+
+// CollectSignatureCorpus boots a fresh Fmeter system per workload, runs
+// the logging daemon for n intervals of the given length, and returns the
+// labeled documents. Each workload runs "without interference from
+// each-other" (§4.2.1) — on its own system instance — exactly like the
+// paper's controlled collection.
+func CollectSignatureCorpus(specs []workload.Spec, n int, interval time.Duration, seed int64) ([]*core.Document, int, error) {
+	var docs []*core.Document
+	dim := 0
+	for wi, spec := range specs {
+		sys, err := NewSystem(Fmeter, seed+int64(wi)*1000, -1, -1)
+		if err != nil {
+			return nil, 0, err
+		}
+		dim = sys.ST.Len()
+		run, err := workload.NewRunner(sys.Eng, spec, seed+int64(wi)*1000+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		body := func(d time.Duration) error {
+			_, err := run.RunInterval(d)
+			return err
+		}
+		batch, err := sys.Col.CollectSeries(spec.Name, spec.Name, n, interval, body, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		docs = append(docs, batch...)
+	}
+	return docs, dim, nil
+}
+
+// CollectDriverCorpus is CollectSignatureCorpus for the netperf workload
+// under each myri10ge variant (Table 5's data): one fresh system per
+// variant, labels are the variant names.
+func CollectDriverCorpus(variants []driver.Variant, n int, interval time.Duration, seed int64) ([]*core.Document, int, error) {
+	var docs []*core.Document
+	dim := 0
+	for vi, v := range variants {
+		sys, err := NewSystem(Fmeter, seed+int64(vi)*1000, -1, -1)
+		if err != nil {
+			return nil, 0, err
+		}
+		dim = sys.ST.Len()
+		if err := sys.LoadDriver(v); err != nil {
+			return nil, 0, err
+		}
+		run, err := workload.NewRunner(sys.Eng, driver.NetperfRx(NumCPU), seed+int64(vi)*1000+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		body := func(d time.Duration) error {
+			_, err := run.RunInterval(d)
+			return err
+		}
+		batch, err := sys.Col.CollectSeries(v.String(), v.String(), n, interval, body, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		docs = append(docs, batch...)
+	}
+	return docs, dim, nil
+}
+
+// SignaturesFromDocs builds the tf-idf corpus over all docs, embeds them,
+// and L2-normalizes into the unit ball.
+func SignaturesFromDocs(docs []*core.Document, dim int) ([]core.Signature, error) {
+	corpus, err := core.NewCorpus(dim)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		if err := corpus.Add(d); err != nil {
+			return nil, err
+		}
+	}
+	sigs, _, err := corpus.Signatures()
+	if err != nil {
+		return nil, err
+	}
+	core.Normalize(sigs)
+	return sigs, nil
+}
+
+// CompactDims projects signatures onto the union of their non-zero
+// dimensions, dropping coordinates that are zero everywhere. Distances and
+// dot products are unchanged; clustering and kernel computations get a
+// ~5x dimensionality cut.
+func CompactDims(sigs []core.Signature) []core.Signature {
+	if len(sigs) == 0 {
+		return nil
+	}
+	dim := sigs[0].V.Dim()
+	used := make([]bool, dim)
+	for _, s := range sigs {
+		for i, x := range s.V {
+			if x != 0 {
+				used[i] = true
+			}
+		}
+	}
+	var keep []int
+	for i, u := range used {
+		if u {
+			keep = append(keep, i)
+		}
+	}
+	out := make([]core.Signature, len(sigs))
+	for si, s := range sigs {
+		v := vecmath.NewVector(len(keep))
+		for ki, i := range keep {
+			v[ki] = s.V[i]
+		}
+		out[si] = core.Signature{DocID: s.DocID, Label: s.Label, V: v}
+	}
+	return out
+}
+
+// Vectors extracts the vector slice of signatures.
+func Vectors(sigs []core.Signature) []vecmath.Vector {
+	out := make([]vecmath.Vector, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.V
+	}
+	return out
+}
+
+// LabelsOf extracts the label slice of signatures.
+func LabelsOf(sigs []core.Signature) []string {
+	out := make([]string, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// renderRow writes fixed-width columns.
+func renderRow(b *strings.Builder, widths []int, cells ...string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(fmt.Sprintf("%-*s", widths[i], c))
+	}
+	b.WriteByte('\n')
+}

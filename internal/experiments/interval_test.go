@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationIntervalSensitivity(t *testing.T) {
+	res, err := RunAblationInterval(20, 5, 1, []time.Duration{2 * time.Second, 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// §5's claim: tf normalization keeps accuracy high at every interval
+	// length the daemon supports (2-10 s).
+	for _, row := range res.Rows {
+		if row.Accuracy < 0.9 {
+			t.Errorf("interval %v: accuracy %v; signatures should be interval-insensitive", row.Interval, row.Accuracy)
+		}
+	}
+	// The strong form: a classifier trained on long intervals carries
+	// over to short ones because tf cancels run length.
+	if res.TransferAccuracy < 0.85 {
+		t.Errorf("transfer accuracy %v; tf normalization should make this work", res.TransferAccuracy)
+	}
+	if res.TransferTrain != 10*time.Second || res.TransferTest != 2*time.Second {
+		t.Errorf("transfer direction: %v -> %v", res.TransferTrain, res.TransferTest)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestAblationIntervalValidation(t *testing.T) {
+	if _, err := RunAblationInterval(3, 5, 1, nil); err == nil {
+		t.Error("perClass < folds should fail")
+	}
+}

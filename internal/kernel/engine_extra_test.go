@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInvokeRaw(t *testing.T) {
+	cat := newTestCatalog(t)
+	b := newCountingBackend(2)
+	e, err := NewEngine(cat, EngineConfig{NumCPU: 2, Backend: b, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InvokeRaw(0, 5, 10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if b.counts[5] != 10 {
+		t.Errorf("raw counts = %d", b.counts[5])
+	}
+	// Cost: 10 * (100 base + 2 overhead) = 1020ns.
+	if got := e.KernelTime(); got != 1020*time.Nanosecond {
+		t.Errorf("KernelTime = %v, want 1020ns", got)
+	}
+	if e.TotalCalls() != 10 {
+		t.Errorf("TotalCalls = %d", e.TotalCalls())
+	}
+	// n=0 is a no-op.
+	if err := e.InvokeRaw(0, 5, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if b.counts[5] != 10 {
+		t.Error("n=0 should not count")
+	}
+}
+
+func TestInvokeRawValidation(t *testing.T) {
+	cat := newTestCatalog(t)
+	e, err := NewEngine(cat, EngineConfig{NumCPU: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InvokeRaw(5, 0, 1, 1); err == nil {
+		t.Error("bad cpu should fail")
+	}
+	if err := e.InvokeRaw(0, -1, 1, 1); err == nil {
+		t.Error("bad fn should fail")
+	}
+	if err := e.InvokeRaw(0, 0, 1, -1); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestWallTime(t *testing.T) {
+	cat := newTestCatalog(t)
+	e, err := NewEngine(cat, EngineConfig{NumCPU: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RecordUser(0, 8*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.WallTime(4); got != 2*time.Second {
+		t.Errorf("WallTime(4) = %v", got)
+	}
+	if got := e.WallTime(0); got != 2*time.Second {
+		t.Errorf("WallTime(0) should default to full width: %v", got)
+	}
+	if got := e.WallTime(100); got != 2*time.Second {
+		t.Errorf("WallTime should clamp to NumCPU: %v", got)
+	}
+	if got := e.WallTime(1); got != 8*time.Second {
+		t.Errorf("WallTime(1) = %v", got)
+	}
+}
+
+func TestSubsystemStrings(t *testing.T) {
+	if SubVFS.String() != "vfs" || SubTCP.String() != "tcp" {
+		t.Error("subsystem names wrong")
+	}
+	if Subsystem(99).String() == "" {
+		t.Error("unknown subsystem should render")
+	}
+}
+
+func TestHotColdAccessors(t *testing.T) {
+	st := NewSymbolTable()
+	hot := st.Hot(SubVFS)
+	cold := st.Cold(SubVFS)
+	if len(hot) == 0 || len(cold) == 0 {
+		t.Fatal("vfs should have hot and cold functions")
+	}
+	for _, id := range hot {
+		sym, err := st.Symbol(id)
+		if err != nil || sym.Subsystem != SubVFS {
+			t.Fatalf("hot fn %d not in vfs", id)
+		}
+	}
+	names := st.Names()
+	if len(names) != st.Len() {
+		t.Fatalf("Names length %d", len(names))
+	}
+	if names[0] == "" {
+		t.Error("empty name")
+	}
+	// Names returns a copy safe to mutate.
+	names[0] = "mutated"
+	if st.Names()[0] == "mutated" {
+		t.Error("Names should return a fresh slice")
+	}
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	cat := newTestCatalog(t)
+	names := cat.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("catalog names not sorted")
+		}
+	}
+	if len(names) < 30 {
+		t.Errorf("catalog has %d ops", len(names))
+	}
+}
+
+func TestMustOpPanics(t *testing.T) {
+	cat := newTestCatalog(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOp should panic on unknown op")
+		}
+	}()
+	cat.MustOp("no_such_op")
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	st := NewSymbolTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup should panic on unknown name")
+		}
+	}()
+	st.MustLookup("no_such_function")
+}

@@ -1,0 +1,252 @@
+// Package metrics implements the evaluation measures of §4.2: binary
+// classification accuracy/precision/recall (Tables 4-5, including the
+// majority-class baseline accuracy), and the clustering quality measures —
+// purity (the paper's choice, "simple and transparent"), normalized mutual
+// information, the Rand index, and the clustering F-measure, which the
+// paper lists as alternatives.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Confusion is a binary confusion matrix over the paper's +1/-1 labeling.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies predictions against truth; labels must be ±1.
+func NewConfusion(truth, pred []float64) (Confusion, error) {
+	if len(truth) != len(pred) {
+		return Confusion{}, fmt.Errorf("metrics: %d truths vs %d predictions", len(truth), len(pred))
+	}
+	var c Confusion
+	for i := range truth {
+		t, p := truth[i], pred[i]
+		if (t != 1 && t != -1) || (p != 1 && p != -1) {
+			return Confusion{}, fmt.Errorf("metrics: labels must be ±1, got truth=%v pred=%v at %d", t, p, i)
+		}
+		switch {
+		case t == 1 && p == 1:
+			c.TP++
+		case t == -1 && p == 1:
+			c.FP++
+		case t == -1 && p == -1:
+			c.TN++
+		default:
+			c.FN++
+		}
+	}
+	return c, nil
+}
+
+// Total returns the number of tallied examples.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Precision is TP/(TP+FP); 1 when no positives were predicted (vacuous).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP/(TP+FN); 1 when no positives exist (vacuous).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// BaselineAccuracy is the accuracy of the pseudo-classifier that always
+// answers with the majority class (the paper reports it alongside every
+// grouping: "if a dataset contains 100 of class +1 and 150 of class -1,
+// the baseline accuracy is 0.6").
+func BaselineAccuracy(truth []float64) (float64, error) {
+	if len(truth) == 0 {
+		return 0, errors.New("metrics: empty truth")
+	}
+	pos := 0
+	for _, t := range truth {
+		switch t {
+		case 1:
+			pos++
+		case -1:
+		default:
+			return 0, fmt.Errorf("metrics: labels must be ±1, got %v", t)
+		}
+	}
+	maj := pos
+	if n := len(truth) - pos; n > maj {
+		maj = n
+	}
+	return float64(maj) / float64(len(truth)), nil
+}
+
+// validateClustering checks parallel assignment/label slices.
+func validateClustering(assign []int, labels []string) error {
+	if len(assign) == 0 {
+		return errors.New("metrics: empty clustering")
+	}
+	if len(assign) != len(labels) {
+		return fmt.Errorf("metrics: %d assignments vs %d labels", len(assign), len(labels))
+	}
+	for i, a := range assign {
+		if a < 0 {
+			return fmt.Errorf("metrics: negative cluster id at %d", i)
+		}
+	}
+	return nil
+}
+
+// contingency builds the cluster x class count table.
+func contingency(assign []int, labels []string) (map[int]map[string]int, map[int]int, map[string]int) {
+	table := make(map[int]map[string]int)
+	csize := make(map[int]int)
+	lsize := make(map[string]int)
+	for i, a := range assign {
+		if table[a] == nil {
+			table[a] = make(map[string]int)
+		}
+		table[a][labels[i]]++
+		csize[a]++
+		lsize[labels[i]]++
+	}
+	return table, csize, lsize
+}
+
+// Purity assigns each cluster to its most frequent class and returns the
+// fraction of correctly assigned points (§4.2.2). Purity 1.0 is trivially
+// reachable with as many clusters as points — the property Figure 6
+// exploits deliberately.
+func Purity(assign []int, labels []string) (float64, error) {
+	if err := validateClustering(assign, labels); err != nil {
+		return 0, err
+	}
+	table, _, _ := contingency(assign, labels)
+	correct := 0
+	for _, classes := range table {
+		max := 0
+		for _, n := range classes {
+			if n > max {
+				max = n
+			}
+		}
+		correct += max
+	}
+	return float64(correct) / float64(len(assign)), nil
+}
+
+// NMI returns the normalized mutual information between the clustering and
+// the class labels, NMI = 2 I(C;L) / (H(C) + H(L)), in [0, 1]. A perfect
+// clustering with K equal to the class count scores 1; it penalizes the
+// many-cluster gaming that purity permits.
+func NMI(assign []int, labels []string) (float64, error) {
+	if err := validateClustering(assign, labels); err != nil {
+		return 0, err
+	}
+	table, cs, ls := contingency(assign, labels)
+	n := float64(len(assign))
+	var mi, hc, hl float64
+	for c, classes := range table {
+		for l, nij := range classes {
+			pij := float64(nij) / n
+			pc := float64(cs[c]) / n
+			pl := float64(ls[l]) / n
+			if pij > 0 {
+				mi += pij * math.Log(pij/(pc*pl))
+			}
+		}
+	}
+	for _, cn := range cs {
+		p := float64(cn) / n
+		hc -= p * math.Log(p)
+	}
+	for _, ln := range ls {
+		p := float64(ln) / n
+		hl -= p * math.Log(p)
+	}
+	if hc+hl == 0 {
+		return 1, nil // single cluster and single class: perfect trivially
+	}
+	return 2 * mi / (hc + hl), nil
+}
+
+// RandIndex is the fraction of point pairs on which the clustering and
+// the labels agree (same/same or different/different).
+func RandIndex(assign []int, labels []string) (float64, error) {
+	if err := validateClustering(assign, labels); err != nil {
+		return 0, err
+	}
+	n := len(assign)
+	if n < 2 {
+		return 1, nil
+	}
+	agree, pairs := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameC := assign[i] == assign[j]
+			sameL := labels[i] == labels[j]
+			if sameC == sameL {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs), nil
+}
+
+// FMeasure is the pairwise F1 over co-clustered pairs: precision is the
+// fraction of same-cluster pairs that share a label, recall the fraction
+// of same-label pairs that share a cluster.
+func FMeasure(assign []int, labels []string) (float64, error) {
+	if err := validateClustering(assign, labels); err != nil {
+		return 0, err
+	}
+	n := len(assign)
+	var tp, fp, fn int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sameC := assign[i] == assign[j]
+			sameL := labels[i] == labels[j]
+			switch {
+			case sameC && sameL:
+				tp++
+			case sameC && !sameL:
+				fp++
+			case !sameC && sameL:
+				fn++
+			}
+		}
+	}
+	if tp == 0 {
+		if fp == 0 && fn == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	p := float64(tp) / float64(tp+fp)
+	r := float64(tp) / float64(tp+fn)
+	return 2 * p * r / (p + r), nil
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	truth := []float64{1, 1, 1, -1, -1, -1}
+	pred := []float64{1, 1, -1, -1, -1, 1}
+	c, err := NewConfusion(truth, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FN != 1 || c.TN != 2 || c.FP != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if got := c.Accuracy(); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Recall = %v", got)
+	}
+	if got := c.F1(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("F1 = %v", got)
+	}
+	if c.Total() != 6 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestConfusionValidation(t *testing.T) {
+	if _, err := NewConfusion([]float64{1}, []float64{1, 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewConfusion([]float64{0}, []float64{1}); err == nil {
+		t.Error("non ±1 truth should fail")
+	}
+	if _, err := NewConfusion([]float64{1}, []float64{2}); err == nil {
+		t.Error("non ±1 pred should fail")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+	if c.Precision() != 1 || c.Recall() != 1 {
+		t.Error("vacuous precision/recall should be 1")
+	}
+	all := Confusion{TN: 5}
+	if all.Precision() != 1 || all.Recall() != 1 {
+		t.Error("no positives anywhere: vacuous 1")
+	}
+}
+
+func TestBaselineAccuracy(t *testing.T) {
+	// The paper's worked example: 100 of +1, 150 of -1 -> 0.6.
+	truth := make([]float64, 0, 250)
+	for i := 0; i < 100; i++ {
+		truth = append(truth, 1)
+	}
+	for i := 0; i < 150; i++ {
+		truth = append(truth, -1)
+	}
+	got, err := BaselineAccuracy(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("baseline = %v, want 0.6", got)
+	}
+	if _, err := BaselineAccuracy(nil); err == nil {
+		t.Error("empty should fail")
+	}
+	if _, err := BaselineAccuracy([]float64{3}); err == nil {
+		t.Error("bad label should fail")
+	}
+}
+
+func perfectClustering() ([]int, []string) {
+	return []int{0, 0, 0, 1, 1, 1}, []string{"a", "a", "a", "b", "b", "b"}
+}
+
+func TestPurity(t *testing.T) {
+	assign, labels := perfectClustering()
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("perfect purity = %v", p)
+	}
+	// One mistake: a "b" lands in cluster 0 -> 6/7 correct.
+	assign = append(assign, 0)
+	labels = append(labels, "b")
+	p, err = Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-6.0/7) > 1e-12 {
+		t.Errorf("purity = %v, want 6/7", p)
+	}
+}
+
+func TestPuritySingletonGaming(t *testing.T) {
+	// Purity is trivially 1.0 with as many clusters as points — the
+	// property Figure 6 leverages.
+	assign := []int{0, 1, 2, 3}
+	labels := []string{"a", "a", "b", "b"}
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("singleton purity = %v", p)
+	}
+	// NMI does not fall for it.
+	nmi, err := NMI(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi >= 1 {
+		t.Errorf("singleton NMI = %v, should be < 1", nmi)
+	}
+}
+
+func TestNMIPerfect(t *testing.T) {
+	assign, labels := perfectClustering()
+	nmi, err := NMI(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("perfect NMI = %v", nmi)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// Clustering orthogonal to labels: each cluster has the same class
+	// mix -> MI 0.
+	assign := []int{0, 0, 1, 1}
+	labels := []string{"a", "b", "a", "b"}
+	nmi, err := NMI(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi) > 1e-12 {
+		t.Errorf("independent NMI = %v", nmi)
+	}
+}
+
+func TestNMISingleClusterSingleClass(t *testing.T) {
+	nmi, err := NMI([]int{0, 0}, []string{"a", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi != 1 {
+		t.Errorf("trivial NMI = %v", nmi)
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	assign, labels := perfectClustering()
+	ri, err := RandIndex(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("perfect Rand = %v", ri)
+	}
+	ri, err = RandIndex([]int{0}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Errorf("single-point Rand = %v", ri)
+	}
+	// Anti-clustering: same-label pairs split, different-label pairs
+	// joined.
+	ri, err = RandIndex([]int{0, 1, 0, 1}, []string{"a", "a", "b", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri > 0.5 {
+		t.Errorf("anti-clustering Rand = %v", ri)
+	}
+}
+
+func TestFMeasure(t *testing.T) {
+	assign, labels := perfectClustering()
+	f, err := FMeasure(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Errorf("perfect F = %v", f)
+	}
+	// All singletons with multi-point classes: tp=0, fn>0 -> 0.
+	f, err = FMeasure([]int{0, 1}, []string{"a", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 {
+		t.Errorf("singleton F = %v", f)
+	}
+	// Single point: vacuous perfect.
+	f, err = FMeasure([]int{0}, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 {
+		t.Errorf("single-point F = %v", f)
+	}
+}
+
+func TestClusteringValidation(t *testing.T) {
+	for _, fn := range []func([]int, []string) (float64, error){Purity, NMI, RandIndex, FMeasure} {
+		if _, err := fn(nil, nil); err == nil {
+			t.Error("empty clustering should fail")
+		}
+		if _, err := fn([]int{0}, []string{"a", "b"}); err == nil {
+			t.Error("length mismatch should fail")
+		}
+		if _, err := fn([]int{-1}, []string{"a"}); err == nil {
+			t.Error("negative cluster should fail")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package ringbuf implements the Ftrace-style trace buffers the paper
+// compares Fmeter against (§3): large fixed-size circular buffers that must
+// be accessed in an SMP-safe fashion because the kernel executes
+// concurrently on all processors.
+//
+// Two variants are provided:
+//
+//   - LockedRing: a mutex-protected ring with overwrite semantics, modeling
+//     the "somewhat lock-heavy" buffer of Linux 2.6.28's Ftrace.
+//   - CASRing: a compare-and-swap reservation ring modeling the proposed
+//     wait-free replacements (LWN: "A lockless ring-buffer", "One ring
+//     buffer to rule them all?"). It drops on full rather than overwriting,
+//     because lock-free overwrite is exactly the subtle-race territory the
+//     paper notes kept these designs out of mainline.
+//
+// Both variants record the fixed-size per-call record Ftrace's function
+// tracer emits (function address, parent address, timestamp).
+package ringbuf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Record is one function-trace entry: 24 bytes like Ftrace's function
+// tracer record (ip, parent ip, timestamp).
+type Record struct {
+	FnAddr     uint64
+	ParentAddr uint64
+	TimeNS     uint64
+}
+
+// Stats summarizes ring activity.
+type Stats struct {
+	Writes     uint64 // successfully stored records
+	Overwrites uint64 // old records destroyed to make room (LockedRing)
+	Drops      uint64 // records rejected on full (CASRing)
+	Drains     uint64 // records handed to consumers
+}
+
+// Ring is the common interface of both buffer variants.
+type Ring interface {
+	// Write stores a record, returning false if it was dropped.
+	Write(Record) bool
+	// Drain hands all currently buffered records to fn in order and
+	// removes them, returning how many were consumed.
+	Drain(fn func(Record)) int
+	// Len returns the number of buffered records.
+	Len() int
+	// Cap returns the buffer capacity in records.
+	Cap() int
+	// Stats returns activity counters.
+	Stats() Stats
+}
+
+// LockedRing is the lock-protected overwriting ring buffer. When full, the
+// oldest record is overwritten, which is Ftrace's default producer policy.
+type LockedRing struct {
+	mu    sync.Mutex
+	buf   []Record
+	head  int // next write position
+	size  int // number of valid records
+	stats Stats
+}
+
+var _ Ring = (*LockedRing)(nil)
+
+// NewLocked returns a LockedRing with the given capacity.
+func NewLocked(capacity int) (*LockedRing, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("ringbuf: capacity %d must be >= 1", capacity)
+	}
+	return &LockedRing{buf: make([]Record, capacity)}, nil
+}
+
+// Write stores r, overwriting the oldest record when full. It always
+// succeeds (overwrite mode never rejects).
+func (r *LockedRing) Write(rec Record) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % len(r.buf)
+	if r.size == len(r.buf) {
+		r.stats.Overwrites++
+	} else {
+		r.size++
+	}
+	r.stats.Writes++
+	return true
+}
+
+// Drain consumes all buffered records in FIFO order.
+func (r *LockedRing) Drain(fn func(Record)) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.size
+	start := (r.head - r.size + len(r.buf)) % len(r.buf)
+	for i := 0; i < n; i++ {
+		fn(r.buf[(start+i)%len(r.buf)])
+	}
+	r.size = 0
+	r.stats.Drains += uint64(n)
+	return n
+}
+
+// Len returns the number of buffered records.
+func (r *LockedRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size
+}
+
+// Cap returns the capacity in records.
+func (r *LockedRing) Cap() int { return len(r.buf) }
+
+// Stats returns a copy of the activity counters.
+func (r *LockedRing) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// casSlot pairs a record with a sequence number for the CAS ring's
+// slot-state protocol (a bounded MPMC queue in the style of Vyukov).
+type casSlot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// CASRing is a bounded lock-free ring using per-slot sequence numbers and
+// CAS reservations. Producers drop on full; a single consumer drains.
+type CASRing struct {
+	mask  uint64
+	slots []casSlot
+	head  atomic.Uint64 // producer reservation cursor
+	tail  atomic.Uint64 // consumer cursor
+
+	writes atomic.Uint64
+	drops  atomic.Uint64
+	drains atomic.Uint64
+}
+
+var _ Ring = (*CASRing)(nil)
+
+// NewCAS returns a CASRing whose capacity is rounded up to a power of two.
+func NewCAS(capacity int) (*CASRing, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("ringbuf: capacity %d must be >= 1", capacity)
+	}
+	capPow := 1
+	for capPow < capacity {
+		capPow <<= 1
+	}
+	r := &CASRing{mask: uint64(capPow - 1), slots: make([]casSlot, capPow)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r, nil
+}
+
+// Write reserves a slot via CAS and stores rec; it returns false (drop)
+// when the ring is full.
+func (r *CASRing) Write(rec Record) bool {
+	for {
+		head := r.head.Load()
+		slot := &r.slots[head&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == head:
+			// Slot free for this generation; try to claim it.
+			if r.head.CompareAndSwap(head, head+1) {
+				slot.rec = rec
+				slot.seq.Store(head + 1) // publish
+				r.writes.Add(1)
+				return true
+			}
+		case seq < head:
+			// Slot still holds an unconsumed record one generation back:
+			// the ring is full.
+			r.drops.Add(1)
+			return false
+		default:
+			// Another producer advanced head; retry with fresh cursor.
+		}
+	}
+}
+
+// Drain consumes all published records. It must be called from a single
+// consumer at a time (the tracing daemon), matching Ftrace's reader model.
+func (r *CASRing) Drain(fn func(Record)) int {
+	n := 0
+	for {
+		tail := r.tail.Load()
+		slot := &r.slots[tail&r.mask]
+		seq := slot.seq.Load()
+		if seq != tail+1 {
+			break // next record not yet published
+		}
+		rec := slot.rec
+		// Release the slot for the producer's next generation.
+		slot.seq.Store(tail + uint64(len(r.slots)))
+		r.tail.Store(tail + 1)
+		fn(rec)
+		n++
+	}
+	r.drains.Add(uint64(n))
+	return n
+}
+
+// Len returns the number of published-but-unconsumed records.
+func (r *CASRing) Len() int {
+	h, t := r.head.Load(), r.tail.Load()
+	if h < t {
+		return 0
+	}
+	return int(h - t)
+}
+
+// Cap returns the (power-of-two) capacity.
+func (r *CASRing) Cap() int { return len(r.slots) }
+
+// Stats returns the activity counters.
+func (r *CASRing) Stats() Stats {
+	return Stats{
+		Writes: r.writes.Load(),
+		Drops:  r.drops.Load(),
+		Drains: r.drains.Load(),
+	}
+}

@@ -1,0 +1,301 @@
+package ringbuf
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewLocked(0); err == nil {
+		t.Error("NewLocked(0) should fail")
+	}
+	if _, err := NewCAS(0); err == nil {
+		t.Error("NewCAS(0) should fail")
+	}
+}
+
+func TestLockedFIFO(t *testing.T) {
+	r, err := NewLocked(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if !r.Write(Record{FnAddr: i}) {
+			t.Fatal("Write returned false in overwrite mode")
+		}
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	var got []uint64
+	n := r.Drain(func(rec Record) { got = append(got, rec.FnAddr) })
+	if n != 5 {
+		t.Fatalf("Drain = %d, want 5", n)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len after drain = %d", r.Len())
+	}
+}
+
+func TestLockedOverwriteKeepsNewest(t *testing.T) {
+	r, err := NewLocked(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		r.Write(Record{FnAddr: i})
+	}
+	var got []uint64
+	r.Drain(func(rec Record) { got = append(got, rec.FnAddr) })
+	want := []uint64{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	st := r.Stats()
+	if st.Writes != 10 || st.Overwrites != 6 || st.Drains != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCASFIFOAndDropOnFull(t *testing.T) {
+	r, err := NewCAS(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("Cap = %d", r.Cap())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !r.Write(Record{FnAddr: i}) {
+			t.Fatalf("Write %d rejected before full", i)
+		}
+	}
+	if r.Write(Record{FnAddr: 99}) {
+		t.Error("Write on full ring should drop")
+	}
+	st := r.Stats()
+	if st.Drops != 1 || st.Writes != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	var got []uint64
+	r.Drain(func(rec Record) { got = append(got, rec.FnAddr) })
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+	// After drain the slots are reusable.
+	if !r.Write(Record{FnAddr: 100}) {
+		t.Error("Write after drain should succeed")
+	}
+}
+
+func TestCASCapacityRoundsToPowerOfTwo(t *testing.T) {
+	r, err := NewCAS(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", r.Cap())
+	}
+}
+
+func TestLockedConcurrentWriters(t *testing.T) {
+	r, err := NewLocked(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, per = 8, 2000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Write(Record{FnAddr: uint64(w)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Len(); got != writers*per {
+		t.Errorf("Len = %d, want %d", got, writers*per)
+	}
+}
+
+func TestCASConcurrentWritersNoLoss(t *testing.T) {
+	r, err := NewCAS(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const writers, per = 8, 2000
+	var accepted atomic64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if r.Write(Record{FnAddr: uint64(w*per + i)}) {
+					accepted.inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	n := r.Drain(func(rec Record) {
+		if seen[rec.FnAddr] {
+			t.Errorf("duplicate record %d", rec.FnAddr)
+		}
+		seen[rec.FnAddr] = true
+	})
+	if uint64(n) != accepted.get() {
+		t.Errorf("drained %d, accepted %d", n, accepted.get())
+	}
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (a *atomic64) inc() {
+	a.mu.Lock()
+	a.v++
+	a.mu.Unlock()
+}
+func (a *atomic64) get() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// Property: for any write/drain interleaving on a single goroutine, a
+// LockedRing drains records in write order and never exceeds capacity.
+func TestPropertyLockedOrderAndBound(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r, err := NewLocked(16)
+		if err != nil {
+			return false
+		}
+		var next, expect uint64
+		for _, op := range ops {
+			if op%4 == 0 {
+				ok := true
+				r.Drain(func(rec Record) {
+					if rec.FnAddr < expect {
+						ok = false
+					}
+					expect = rec.FnAddr + 1
+				})
+				if !ok {
+					return false
+				}
+			} else {
+				r.Write(Record{FnAddr: next})
+				next++
+			}
+			if r.Len() > r.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CASRing conserves records — writes accepted == drained when
+// fully drained, for any single-threaded interleaving.
+func TestPropertyCASConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r, err := NewCAS(8)
+		if err != nil {
+			return false
+		}
+		var written, drained int
+		for _, op := range ops {
+			if op%3 == 0 {
+				drained += r.Drain(func(Record) {})
+			} else if r.Write(Record{}) {
+				written++
+			}
+		}
+		drained += r.Drain(func(Record) {})
+		return written == drained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLockedWrite(b *testing.B) {
+	r, err := NewLocked(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Write(Record{FnAddr: uint64(i)})
+	}
+}
+
+func BenchmarkCASWrite(b *testing.B) {
+	r, err := NewCAS(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !r.Write(Record{FnAddr: uint64(i)}) {
+			r.Drain(func(Record) {})
+		}
+	}
+}
+
+func BenchmarkLockedWriteParallel(b *testing.B) {
+	r, err := NewLocked(1 << 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Write(Record{})
+		}
+	})
+}
+
+func BenchmarkCASWriteParallel(b *testing.B) {
+	r, err := NewCAS(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !r.Write(Record{}) {
+				mu.Lock()
+				r.Drain(func(Record) {})
+				mu.Unlock()
+			}
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// MultiClass is a one-vs-rest ensemble of binary SVMs: one classifier per
+// class, prediction by highest decision score. The paper's experiments are
+// binary groupings ("our classifier expects only two distinct classes");
+// this is the standard reduction for the three-workload setting the paper
+// enumerates pairwise.
+type MultiClass struct {
+	classes []string
+	models  []*Model
+}
+
+// TrainOneVsRest fits one binary SVM per distinct label (that label +1,
+// the rest -1). Labels must contain at least two distinct classes.
+func TrainOneVsRest(x []vecmath.Vector, labels []string, cfg Config) (*MultiClass, error) {
+	if len(x) != len(labels) {
+		return nil, fmt.Errorf("svm: %d examples vs %d labels", len(x), len(labels))
+	}
+	if len(x) == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	seen := make(map[string]bool)
+	var classes []string
+	for _, l := range labels {
+		if l == "" {
+			return nil, errors.New("svm: empty label in training set")
+		}
+		if !seen[l] {
+			seen[l] = true
+			classes = append(classes, l)
+		}
+	}
+	sort.Strings(classes)
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("svm: need >= 2 classes, have %d", len(classes))
+	}
+	mc := &MultiClass{classes: classes}
+	for ci, cls := range classes {
+		y := make([]float64, len(labels))
+		for i, l := range labels {
+			if l == cls {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		c := cfg
+		c.Seed = cfg.Seed + int64(ci)
+		m, err := Train(x, y, c)
+		if err != nil {
+			return nil, fmt.Errorf("svm: class %q: %w", cls, err)
+		}
+		mc.models = append(mc.models, m)
+	}
+	return mc, nil
+}
+
+// Classes returns the class labels in training order (sorted).
+func (mc *MultiClass) Classes() []string {
+	out := make([]string, len(mc.classes))
+	copy(out, mc.classes)
+	return out
+}
+
+// Decisions returns each class's decision score for x, parallel to
+// Classes().
+func (mc *MultiClass) Decisions(x vecmath.Vector) []float64 {
+	out := make([]float64, len(mc.models))
+	for i, m := range mc.models {
+		out[i] = m.Decision(x)
+	}
+	return out
+}
+
+// Predict returns the class with the highest decision score.
+func (mc *MultiClass) Predict(x vecmath.Vector) string {
+	best, bestScore := 0, mc.models[0].Decision(x)
+	for i := 1; i < len(mc.models); i++ {
+		if s := mc.models[i].Decision(x); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return mc.classes[best]
+}
+
+// Accuracy scores the ensemble on a labeled set.
+func (mc *MultiClass) Accuracy(x []vecmath.Vector, labels []string) (float64, error) {
+	if len(x) != len(labels) {
+		return 0, fmt.Errorf("svm: %d examples vs %d labels", len(x), len(labels))
+	}
+	if len(x) == 0 {
+		return 0, errors.New("svm: empty evaluation set")
+	}
+	correct := 0
+	for i := range x {
+		if mc.Predict(x[i]) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}

@@ -1,0 +1,88 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// threeClassData builds three separable clouds in 10 dims.
+func threeClassData(n int, seed int64) ([]vecmath.Vector, []string) {
+	r := rand.New(rand.NewSource(seed))
+	centers := map[string][]int{"scp": {0, 1}, "kcompile": {4, 5}, "dbench": {8, 9}}
+	var x []vecmath.Vector
+	var labels []string
+	names := []string{"scp", "kcompile", "dbench"}
+	for i := 0; i < n; i++ {
+		cls := names[i%3]
+		v := vecmath.NewVector(10)
+		for _, h := range centers[cls] {
+			v[h] = 0.7 + 0.05*r.NormFloat64()
+		}
+		v[r.Intn(10)] += 0.05 * r.Float64()
+		x = append(x, v.Normalize())
+		labels = append(labels, cls)
+	}
+	return x, labels
+}
+
+func TestOneVsRestValidation(t *testing.T) {
+	x, labels := threeClassData(9, 1)
+	if _, err := TrainOneVsRest(x, labels[:3], Config{C: 1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := TrainOneVsRest(nil, nil, Config{C: 1}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := TrainOneVsRest(x[:3], []string{"a", "a", "a"}, Config{C: 1}); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := TrainOneVsRest(x[:2], []string{"a", ""}, Config{C: 1}); err == nil {
+		t.Error("empty label should fail")
+	}
+}
+
+func TestOneVsRestSeparatesThreeClasses(t *testing.T) {
+	x, labels := threeClassData(90, 2)
+	mc, err := TrainOneVsRest(x, labels, Config{C: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mc.Accuracy(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.99 {
+		t.Errorf("training accuracy = %v", acc)
+	}
+	classes := mc.Classes()
+	if len(classes) != 3 || classes[0] != "dbench" || classes[1] != "kcompile" || classes[2] != "scp" {
+		t.Errorf("Classes = %v (want sorted)", classes)
+	}
+	if len(mc.Decisions(x[0])) != 3 {
+		t.Error("Decisions should be parallel to Classes")
+	}
+}
+
+func TestOneVsRestGeneralizes(t *testing.T) {
+	trainX, trainL := threeClassData(120, 4)
+	testX, testL := threeClassData(30, 5)
+	mc, err := TrainOneVsRest(trainX, trainL, Config{C: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mc.Accuracy(testX, testL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("held-out accuracy = %v", acc)
+	}
+	if _, err := mc.Accuracy(testX, testL[:2]); err == nil {
+		t.Error("accuracy length mismatch should fail")
+	}
+	if _, err := mc.Accuracy(nil, nil); err == nil {
+		t.Error("empty evaluation should fail")
+	}
+}

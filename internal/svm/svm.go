@@ -1,0 +1,285 @@
+// Package svm implements a soft-margin support vector machine trained with
+// sequential minimal optimization (SMO). It is the supervised learner of
+// the paper's §4.2.1 evaluation, standing in for SVM^light (Joachims):
+// Vapnik's SVM with a polynomial kernel by default and the training-error/
+// margin trade-off exposed as the C parameter, which the paper tunes on
+// the validation folds.
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/vecmath"
+)
+
+// Kernel is an SVM kernel function (not to be confused with the operating
+// system kernel whose functions Fmeter counts — the paper makes the same
+// disclaimer).
+type Kernel interface {
+	// Name identifies the kernel in reports.
+	Name() string
+	// Eval computes K(x, y).
+	Eval(x, y vecmath.Vector) float64
+}
+
+// Linear is the linear kernel K(x,y) = x·y.
+type Linear struct{}
+
+// Name implements Kernel.
+func (Linear) Name() string { return "linear" }
+
+// Eval implements Kernel.
+func (Linear) Eval(x, y vecmath.Vector) float64 { return x.MustDot(y) }
+
+// Polynomial is K(x,y) = (gamma*x·y + coef0)^degree — SVM^light's default
+// kernel family ("we simply set the SVM's kernel parameter to the default
+// polynomial function").
+type Polynomial struct {
+	Degree int
+	Gamma  float64
+	Coef0  float64
+}
+
+// DefaultPolynomial returns the degree-3 polynomial kernel with gamma=1,
+// coef0=1, mirroring SVM^light's -t 1 defaults.
+func DefaultPolynomial() Polynomial {
+	return Polynomial{Degree: 3, Gamma: 1, Coef0: 1}
+}
+
+// Name implements Kernel.
+func (p Polynomial) Name() string {
+	return fmt.Sprintf("poly(d=%d,g=%g,c=%g)", p.Degree, p.Gamma, p.Coef0)
+}
+
+// Eval implements Kernel.
+func (p Polynomial) Eval(x, y vecmath.Vector) float64 {
+	base := p.Gamma*x.MustDot(y) + p.Coef0
+	out := 1.0
+	for i := 0; i < p.Degree; i++ {
+		out *= base
+	}
+	return out
+}
+
+// RBF is the Gaussian kernel K(x,y) = exp(-gamma*||x-y||^2).
+type RBF struct {
+	Gamma float64
+}
+
+// Name implements Kernel.
+func (r RBF) Name() string { return fmt.Sprintf("rbf(g=%g)", r.Gamma) }
+
+// Eval implements Kernel.
+func (r RBF) Eval(x, y vecmath.Vector) float64 {
+	var d2 float64
+	for i := range x {
+		d := x[i] - y[i]
+		d2 += d * d
+	}
+	return math.Exp(-r.Gamma * d2)
+}
+
+// Config controls training.
+type Config struct {
+	// C is the soft-margin trade-off between training error and margin.
+	C float64
+	// Kernel defaults to DefaultPolynomial when nil.
+	Kernel Kernel
+	// Tol is the KKT violation tolerance (default 1e-3).
+	Tol float64
+	// MaxPasses is the number of consecutive full passes without an
+	// update before SMO declares convergence (default 5).
+	MaxPasses int
+	// MaxIter caps total passes as a safety valve (default 1000).
+	MaxIter int
+	// Seed drives the SMO partner-selection randomness.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Kernel == nil {
+		c.Kernel = DefaultPolynomial()
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 1000
+	}
+}
+
+// Model is a trained SVM.
+type Model struct {
+	kernel  Kernel
+	svs     []vecmath.Vector // support vectors
+	svCoef  []float64        // alpha_i * y_i for each support vector
+	b       float64
+	trained int // training set size, for reporting
+}
+
+// Train fits a binary SVM on x with labels y in {+1, -1} using SMO
+// (Platt 1998, in the simplified variant with random second-choice
+// heuristics and a full kernel cache).
+func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
+	if len(x) == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d examples but %d labels", len(x), len(y))
+	}
+	if cfg.C <= 0 {
+		return nil, fmt.Errorf("svm: C=%v must be positive", cfg.C)
+	}
+	dim := x[0].Dim()
+	var hasPos, hasNeg bool
+	for i := range x {
+		if x[i].Dim() != dim {
+			return nil, fmt.Errorf("svm: example %d has dimension %d, want %d", i, x[i].Dim(), dim)
+		}
+		switch y[i] {
+		case 1:
+			hasPos = true
+		case -1:
+			hasNeg = true
+		default:
+			return nil, fmt.Errorf("svm: label %v at %d; want +1 or -1", y[i], i)
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, errors.New("svm: training set needs both classes")
+	}
+	cfg.fillDefaults()
+
+	n := len(x)
+	// Full kernel matrix cache: the paper's corpora are a few hundred
+	// signatures, so O(n^2) memory is the right trade.
+	kmat := make([][]float64, n)
+	for i := range kmat {
+		kmat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := cfg.Kernel.Eval(x[i], x[j])
+			kmat[i][j] = v
+			kmat[j][i] = v
+		}
+	}
+
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// decision(i) - y_i using current alphas.
+	errFor := func(i int) float64 {
+		s := -b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * kmat[i][j]
+			}
+		}
+		return s - y[i]
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := errFor(i)
+			if !((y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := errFor(j)
+
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*kmat[i][j] - kmat[i][i] - kmat[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-7 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+			alpha[i], alpha[j] = aiNew, ajNew
+
+			b1 := b + ei + y[i]*(aiNew-ai)*kmat[i][i] + y[j]*(ajNew-aj)*kmat[i][j]
+			b2 := b + ej + y[i]*(aiNew-ai)*kmat[i][j] + y[j]*(ajNew-aj)*kmat[j][j]
+			switch {
+			case aiNew > 0 && aiNew < cfg.C:
+				b = b1
+			case ajNew > 0 && ajNew < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+		iter++
+	}
+
+	m := &Model{kernel: cfg.Kernel, b: b, trained: n}
+	for i := 0; i < n; i++ {
+		if alpha[i] > 1e-10 {
+			m.svs = append(m.svs, x[i])
+			m.svCoef = append(m.svCoef, alpha[i]*y[i])
+		}
+	}
+	if len(m.svs) == 0 {
+		return nil, errors.New("svm: optimization produced no support vectors")
+	}
+	return m, nil
+}
+
+// Decision returns the signed distance-like score Σ α_i y_i K(sv_i, x) - b.
+func (m *Model) Decision(x vecmath.Vector) float64 {
+	s := -m.b
+	for i, sv := range m.svs {
+		s += m.svCoef[i] * m.kernel.Eval(sv, x)
+	}
+	return s
+}
+
+// Predict returns +1 or -1 for x (0 decision scores map to +1).
+func (m *Model) Predict(x vecmath.Vector) float64 {
+	if m.Decision(x) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// NumSV returns the number of support vectors.
+func (m *Model) NumSV() int { return len(m.svs) }
+
+// TrainingSize returns the size of the training set the model was fit on.
+func (m *Model) TrainingSize() int { return m.trained }

@@ -1,0 +1,245 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestTrainValidation(t *testing.T) {
+	x := []vecmath.Vector{{0, 0}, {1, 1}}
+	y := []float64{1, -1}
+	if _, err := Train(nil, nil, Config{C: 1}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := Train(x, y[:1], Config{C: 1}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+	if _, err := Train(x, y, Config{C: 0}); err == nil {
+		t.Error("C=0 should fail")
+	}
+	if _, err := Train(x, []float64{1, 2}, Config{C: 1}); err == nil {
+		t.Error("non ±1 label should fail")
+	}
+	if _, err := Train(x, []float64{1, 1}, Config{C: 1}); err == nil {
+		t.Error("single class should fail")
+	}
+	if _, err := Train([]vecmath.Vector{{0}, {1, 1}}, y, Config{C: 1}); err == nil {
+		t.Error("inconsistent dimensions should fail")
+	}
+}
+
+func TestKernels(t *testing.T) {
+	x := vecmath.Vector{1, 2}
+	y := vecmath.Vector{3, 4}
+	if got := (Linear{}).Eval(x, y); got != 11 {
+		t.Errorf("linear = %v", got)
+	}
+	p := Polynomial{Degree: 2, Gamma: 1, Coef0: 1}
+	if got := p.Eval(x, y); got != 144 {
+		t.Errorf("poly = %v, want (11+1)^2", got)
+	}
+	r := RBF{Gamma: 0.5}
+	want := math.Exp(-0.5 * 8) // ||x-y||^2 = 8
+	if got := r.Eval(x, y); math.Abs(got-want) > 1e-12 {
+		t.Errorf("rbf = %v, want %v", got, want)
+	}
+	if (Linear{}).Name() == "" || p.Name() == "" || r.Name() == "" {
+		t.Error("kernels must have names")
+	}
+	d := DefaultPolynomial()
+	if d.Degree != 3 || d.Gamma != 1 || d.Coef0 != 1 {
+		t.Errorf("default poly = %+v", d)
+	}
+}
+
+func TestLinearlySeparable2D(t *testing.T) {
+	// Two clouds separated by x0 + x1 = 0.
+	r := rand.New(rand.NewSource(1))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 60; i++ {
+		sign := 1.0
+		if i%2 == 0 {
+			sign = -1
+		}
+		x = append(x, vecmath.Vector{sign*2 + 0.5*r.NormFloat64(), sign*2 + 0.5*r.NormFloat64()})
+		y = append(y, sign)
+	}
+	for _, k := range []Kernel{Linear{}, DefaultPolynomial(), RBF{Gamma: 1}} {
+		m, err := Train(x, y, Config{C: 10, Kernel: k, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		errs := 0
+		for i := range x {
+			if m.Predict(x[i]) != y[i] {
+				errs++
+			}
+		}
+		if errs > 1 {
+			t.Errorf("%s: %d training errors on separable data", k.Name(), errs)
+		}
+		if m.NumSV() == 0 || m.NumSV() > len(x) {
+			t.Errorf("%s: NumSV = %d", k.Name(), m.NumSV())
+		}
+		if m.TrainingSize() != len(x) {
+			t.Errorf("TrainingSize = %d", m.TrainingSize())
+		}
+	}
+}
+
+func TestXORNeedsNonlinearKernel(t *testing.T) {
+	// XOR: not linearly separable; polynomial and RBF kernels solve it.
+	x := []vecmath.Vector{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{-1, 1, 1, -1}
+	for _, k := range []Kernel{DefaultPolynomial(), RBF{Gamma: 2}} {
+		m, err := Train(x, y, Config{C: 100, Kernel: k, Seed: 3, MaxPasses: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name(), err)
+		}
+		for i := range x {
+			if m.Predict(x[i]) != y[i] {
+				t.Errorf("%s: xor(%v) misclassified", k.Name(), x[i])
+			}
+		}
+	}
+}
+
+func TestSoftMarginToleratesOutliers(t *testing.T) {
+	// Separable clouds plus one mislabeled point; small C should still
+	// produce a reasonable boundary rather than memorizing the outlier.
+	r := rand.New(rand.NewSource(5))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 40; i++ {
+		sign := 1.0
+		if i%2 == 0 {
+			sign = -1
+		}
+		x = append(x, vecmath.Vector{sign * (1 + r.Float64()), sign * (1 + r.Float64())})
+		y = append(y, sign)
+	}
+	x = append(x, vecmath.Vector{2, 2}) // deep in +1 territory
+	y = append(y, -1)                   // mislabeled
+	m, err := Train(x, y, Config{C: 0.5, Kernel: Linear{}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := 0; i < 40; i++ {
+		if m.Predict(x[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("%d errors on the clean points; outlier dominated", errs)
+	}
+}
+
+func TestDecisionConsistentWithPredict(t *testing.T) {
+	x := []vecmath.Vector{{-1, 0}, {-2, 1}, {1, 0}, {2, -1}}
+	y := []float64{-1, -1, 1, 1}
+	m, err := Train(x, y, Config{C: 1, Kernel: Linear{}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []vecmath.Vector{{3, 0}, {-3, 0}, {0.5, 0.5}} {
+		d := m.Decision(q)
+		p := m.Predict(q)
+		if (d >= 0) != (p == 1) {
+			t.Errorf("Decision %v inconsistent with Predict %v", d, p)
+		}
+	}
+}
+
+func TestHighDimensionalSparseSignatures(t *testing.T) {
+	// Signatures live in ~3800 dims with small support. Verify the SVM
+	// separates two synthetic "workloads" that differ on a few dims.
+	const dim = 500
+	r := rand.New(rand.NewSource(9))
+	mk := func(hot []int) vecmath.Vector {
+		v := vecmath.NewVector(dim)
+		for _, h := range hot {
+			v[h] = 0.5 + 0.1*r.NormFloat64()
+		}
+		for i := 0; i < 20; i++ {
+			v[r.Intn(dim)] += 0.05 * r.Float64()
+		}
+		return v.Normalize()
+	}
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x = append(x, mk([]int{3, 70, 111}))
+		y = append(y, 1)
+		x = append(x, mk([]int{9, 200, 412}))
+		y = append(y, -1)
+	}
+	m, err := Train(x, y, Config{C: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range x {
+		if m.Predict(x[i]) != y[i] {
+			errs++
+		}
+	}
+	if errs != 0 {
+		t.Errorf("%d errors on well-separated high-dim data", errs)
+	}
+}
+
+func TestTrainDeterministicGivenSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 30; i++ {
+		s := 1.0
+		if i%2 == 0 {
+			s = -1
+		}
+		x = append(x, vecmath.Vector{s + 0.3*r.NormFloat64(), s + 0.3*r.NormFloat64()})
+		y = append(y, s)
+	}
+	m1, err := Train(x, y, Config{C: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(x, y, Config{C: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vecmath.Vector{0.2, -0.1}
+	if m1.Decision(q) != m2.Decision(q) {
+		t.Error("training not deterministic for fixed seed")
+	}
+}
+
+func BenchmarkTrain200x100(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 200; i++ {
+		s := 1.0
+		if i%2 == 0 {
+			s = -1
+		}
+		v := vecmath.NewVector(100)
+		for j := range v {
+			v[j] = s*0.1 + 0.3*r.NormFloat64()
+		}
+		x = append(x, v)
+		y = append(y, s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(x, y, Config{C: 1, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

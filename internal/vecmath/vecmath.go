@@ -1,0 +1,386 @@
+// Package vecmath provides dense and sparse vector primitives used to
+// represent Fmeter signatures in the vector space model (Salton et al.).
+//
+// Signatures are points in an N-dimensional space whose orthonormal basis is
+// induced by the set of distinct core-kernel functions. The package supplies
+// the operations the paper relies on: dot products, Lp (Minkowski) norms and
+// distances, cosine similarity, and L2 normalization into the unit ball.
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrDimensionMismatch is returned when an operation is applied to two
+// vectors of different dimensionality.
+var ErrDimensionMismatch = errors.New("vecmath: dimension mismatch")
+
+// Vector is a dense vector of float64 components.
+type Vector []float64
+
+// NewVector returns a zero vector of dimension n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dim returns the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Dot returns the inner product of v and w.
+func (v Vector) Dot(w Vector) (float64, error) {
+	if len(v) != len(w) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s, nil
+}
+
+// MustDot is Dot for vectors known to share a dimension; it panics on
+// mismatch and exists for hot inner loops (SMO, K-means) where the
+// dimensions were validated at corpus construction time.
+func (v Vector) MustDot(w Vector) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vecmath: MustDot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// Norm returns the Lp norm of v. p must be >= 1; p = math.Inf(1) yields the
+// Chebyshev (max) norm.
+func (v Vector) Norm(p float64) float64 {
+	switch {
+	case math.IsInf(p, 1):
+		var m float64
+		for _, x := range v {
+			if a := math.Abs(x); a > m {
+				m = a
+			}
+		}
+		return m
+	case p == 2:
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	case p == 1:
+		var s float64
+		for _, x := range v {
+			s += math.Abs(x)
+		}
+		return s
+	default:
+		var s float64
+		for _, x := range v {
+			s += math.Pow(math.Abs(x), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// L2 returns the Euclidean norm of v.
+func (v Vector) L2() float64 { return v.Norm(2) }
+
+// Normalize scales v in place to unit L2 norm and returns v. The zero vector
+// is left unchanged (there is no direction to preserve).
+func (v Vector) Normalize() Vector {
+	n := v.L2()
+	if n == 0 {
+		return v
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return v
+}
+
+// Normalized returns a unit-L2-norm copy of v.
+func (v Vector) Normalized() Vector { return v.Clone().Normalize() }
+
+// Add accumulates w into v in place.
+func (v Vector) Add(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return nil
+}
+
+// Sub subtracts w from v in place.
+func (v Vector) Sub(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), len(w))
+	}
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return nil
+}
+
+// Scale multiplies every component of v by a in place and returns v.
+func (v Vector) Scale(a float64) Vector {
+	for i := range v {
+		v[i] *= a
+	}
+	return v
+}
+
+// Equal reports whether v and w are component-wise equal within eps.
+func (v Vector) Equal(w Vector, eps float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if math.Abs(v[i]-w[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component of v is exactly zero.
+func (v Vector) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Minkowski returns the Lp-induced distance between x and y,
+// d_p(x,y) = (sum |x_i - y_i|^p)^(1/p), as defined in §2.1 of the paper.
+func Minkowski(x, y Vector, p float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	switch {
+	case math.IsInf(p, 1):
+		var m float64
+		for i := range x {
+			if a := math.Abs(x[i] - y[i]); a > m {
+				m = a
+			}
+		}
+		return m, nil
+	case p == 2:
+		var s float64
+		for i := range x {
+			d := x[i] - y[i]
+			s += d * d
+		}
+		return math.Sqrt(s), nil
+	case p == 1:
+		var s float64
+		for i := range x {
+			s += math.Abs(x[i] - y[i])
+		}
+		return s, nil
+	case p < 1:
+		return 0, fmt.Errorf("vecmath: Minkowski order p=%v must be >= 1", p)
+	default:
+		var s float64
+		for i := range x {
+			s += math.Pow(math.Abs(x[i]-y[i]), p)
+		}
+		return math.Pow(s, 1/p), nil
+	}
+}
+
+// Euclidean returns the L2 distance between x and y. It is the default
+// metric used throughout the paper's evaluation.
+func Euclidean(x, y Vector) (float64, error) { return Minkowski(x, y, 2) }
+
+// MustEuclidean is Euclidean for pre-validated dimensions (hot loops).
+func MustEuclidean(x, y Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: MustEuclidean dimension mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredEuclidean returns the squared L2 distance, avoiding the sqrt for
+// comparisons (K-means assignment steps).
+func SquaredEuclidean(x, y Vector) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s, nil
+}
+
+// Cosine returns the cosine similarity cos(theta) = x.y / (||x|| ||y||)
+// between x and y. Identical directions yield 1, orthogonal vectors yield 0.
+// If either vector is zero the similarity is defined as 0 (no direction).
+func Cosine(x, y Vector) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(x), len(y))
+	}
+	var dot, nx, ny float64
+	for i := range x {
+		dot += x[i] * y[i]
+		nx += x[i] * x[i]
+		ny += y[i] * y[i]
+	}
+	if nx == 0 || ny == 0 {
+		return 0, nil
+	}
+	c := dot / (math.Sqrt(nx) * math.Sqrt(ny))
+	// Clamp numerical noise so downstream acos never sees |c| > 1.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c, nil
+}
+
+// CosineDistance returns 1 - Cosine(x, y), a dissimilarity in [0, 2].
+func CosineDistance(x, y Vector) (float64, error) {
+	c, err := Cosine(x, y)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - c, nil
+}
+
+// Mean returns the component-wise mean of vs. All vectors must share a
+// dimension; an empty input returns an error.
+func Mean(vs []Vector) (Vector, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("vecmath: mean of empty vector set")
+	}
+	dim := len(vs[0])
+	out := NewVector(dim)
+	for _, v := range vs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, len(v), dim)
+		}
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}
+
+// SparseVector is a map from dimension index to value, suited for raw
+// function-count documents where most of the ~3800 dimensions are zero.
+type SparseVector map[int]float64
+
+// NewSparse returns an empty sparse vector.
+func NewSparse() SparseVector { return make(SparseVector) }
+
+// Set assigns value x to dimension i, deleting the entry when x is zero so
+// the support stays minimal.
+func (s SparseVector) Set(i int, x float64) {
+	if x == 0 {
+		delete(s, i)
+		return
+	}
+	s[i] = x
+}
+
+// Get returns the value at dimension i (zero when absent).
+func (s SparseVector) Get(i int) float64 { return s[i] }
+
+// Add accumulates x into dimension i.
+func (s SparseVector) Add(i int, x float64) { s.Set(i, s[i]+x) }
+
+// NNZ returns the number of non-zero entries.
+func (s SparseVector) NNZ() int { return len(s) }
+
+// Sum returns the sum of all entries.
+func (s SparseVector) Sum() float64 {
+	var t float64
+	for _, x := range s {
+		t += x
+	}
+	return t
+}
+
+// Clone returns a deep copy of s.
+func (s SparseVector) Clone() SparseVector {
+	out := make(SparseVector, len(s))
+	for i, x := range s {
+		out[i] = x
+	}
+	return out
+}
+
+// Dot returns the inner product of two sparse vectors, iterating the
+// smaller support.
+func (s SparseVector) Dot(t SparseVector) float64 {
+	a, b := s, t
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var sum float64
+	for i, x := range a {
+		if y, ok := b[i]; ok {
+			sum += x * y
+		}
+	}
+	return sum
+}
+
+// L2 returns the Euclidean norm of s.
+func (s SparseVector) L2() float64 {
+	var sum float64
+	for _, x := range s {
+		sum += x * x
+	}
+	return math.Sqrt(sum)
+}
+
+// Dense materializes s as a dense vector of dimension dim. Entries at or
+// beyond dim are an error: the support must fit the requested space.
+func (s SparseVector) Dense(dim int) (Vector, error) {
+	out := NewVector(dim)
+	for i, x := range s {
+		if i < 0 || i >= dim {
+			return nil, fmt.Errorf("vecmath: sparse index %d outside dimension %d", i, dim)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// Support returns the sorted list of non-zero dimension indices.
+func (s SparseVector) Support() []int {
+	idx := make([]int, 0, len(s))
+	for i := range s {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}

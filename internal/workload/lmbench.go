@@ -1,0 +1,47 @@
+package workload
+
+import "repro/internal/kernel"
+
+// LmbenchTest describes one row of the paper's Table 1: an lmbench
+// micro-benchmark, the kernel operation that models it, and the paper's
+// measured latencies (µs) for reference in reports.
+type LmbenchTest struct {
+	// Display is the row label as printed in Table 1.
+	Display string
+	// Op is the catalog operation exercised in a closed loop.
+	Op string
+	// PaperBaselineUS, PaperFtraceUS, PaperFmeterUS are the paper's
+	// measured mean latencies in microseconds.
+	PaperBaselineUS float64
+	PaperFtraceUS   float64
+	PaperFmeterUS   float64
+}
+
+// LmbenchTests returns the 23 rows of Table 1 in the paper's order.
+func LmbenchTests() []LmbenchTest {
+	return []LmbenchTest{
+		{"AF_UNIX sock stream latency", kernel.OpAFUnixLatency, 4.828, 27.749, 7.393},
+		{"Fcntl lock latency", kernel.OpFcntlLock, 1.219, 6.639, 3.024},
+		{"Memory map linux.tar.bz2", kernel.OpMmapFile, 206.750, 1800.520, 317.125},
+		{"Pagefaults on linux.tar.bz2", kernel.OpPageFault, 0.677, 3.678, 0.866},
+		{"Pipe latency", kernel.OpPipeLatency, 2.492, 12.421, 3.201},
+		{"Process fork+/bin/sh -c", kernel.OpForkSh, 1446.800, 6421.000, 1831.590},
+		{"Process fork+execve", kernel.OpForkExecve, 672.266, 3094.380, 847.289},
+		{"Process fork+exit", kernel.OpForkExit, 208.914, 1116.800, 268.275},
+		{"Protection fault", kernel.OpProtFault, 0.185, 0.607, 0.286},
+		{"Select on 10 fd's", kernel.OpSelect10, 0.231, 1.410, 0.277},
+		{"Select on 10 tcp fd's", kernel.OpSelect10TCP, 0.261, 1.798, 0.326},
+		{"Select on 100 fd's", kernel.OpSelect100, 0.897, 9.809, 1.321},
+		{"Select on 100 tcp fd's", kernel.OpSelect100TCP, 2.189, 26.616, 3.308},
+		{"Semaphore latency", kernel.OpSemaphore, 2.890, 6.117, 2.084},
+		{"Signal handler installation", kernel.OpSignalInstall, 0.113, 0.280, 0.127},
+		{"Signal handler overhead", kernel.OpSignalHandle, 0.909, 3.124, 1.072},
+		{"Simple fstat", kernel.OpSimpleFstat, 0.100, 0.852, 0.145},
+		{"Simple open/close", kernel.OpSimpleOpenClose, 1.193, 11.222, 1.873},
+		{"Simple read", kernel.OpSimpleRead, 0.101, 1.196, 0.171},
+		{"Simple stat", kernel.OpSimpleStat, 0.721, 7.008, 1.067},
+		{"Simple syscall", kernel.OpSimpleSyscall, 0.041, 0.210, 0.053},
+		{"Simple write", kernel.OpSimpleWrite, 0.086, 1.012, 0.130},
+		{"UNIX connection cost", kernel.OpUnixConnect, 15.328, 81.380, 21.919},
+	}
+}
