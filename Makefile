@@ -1,0 +1,34 @@
+GO ?= go
+
+.PHONY: check build vet test race bench bench-smoke fmt
+
+## check: the tier-1 gate — what CI runs.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: short race-detector pass over the packages with parallel fan-outs.
+race:
+	$(GO) test -race -count=1 ./internal/parallel/ ./internal/svm/ \
+		./internal/crossval/ ./internal/cluster/ ./internal/core/ \
+		./internal/vecmath/
+
+## bench: the full reproduction benchmark harness.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+## bench-smoke: a quick perf-trajectory record (BENCH_baseline.json) so
+## future PRs can compare wall-clock like against like.
+bench-smoke:
+	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
+		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
+
+fmt:
+	gofmt -l -w .

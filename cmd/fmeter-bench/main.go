@@ -9,11 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,10 +39,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fmeter-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList  = fs.String("run", "all", "comma-separated experiments: "+strings.Join(experimentNames, ",")+" or all")
-		outDir   = fs.String("out", "", "also write each report to <out>/<name>.txt")
-		perClass = fs.Int("perclass", 250, "signatures per class for the learning experiments (paper: ~250)")
-		seed     = fs.Int64("seed", 1, "random seed")
+		runList   = fs.String("run", "all", "comma-separated experiments: "+strings.Join(experimentNames, ",")+" or all")
+		outDir    = fs.String("out", "", "also write each report to <out>/<name>.txt")
+		perClass  = fs.Int("perclass", 250, "signatures per class for the learning experiments (paper: ~250)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		workers   = fs.Int("workers", 0, "worker-pool bound for parallel sweeps (0 = one per CPU, <0 = sequential; results are identical at any setting)")
+		sparse    = fs.Bool("sparse", false, "use O(nnz) sparse signature math in the clustering experiments")
+		benchJSON = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	mlp := experiments.DefaultMLParams()
 	mlp.PerClass = *perClass
 	mlp.Seed = *seed
+	mlp.Workers = *workers
 
 	// The learning experiments share the workload corpus; collect lazily.
 	var data *experiments.WorkloadData
@@ -175,6 +181,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			p := experiments.DefaultFig5Params()
 			p.Seed = *seed
+			p.Workers = *workers
+			p.Sparse = *sparse
 			capSizes(&p, mlp.PerClass)
 			r, err := experiments.RunFig5(d.Set, p)
 			if err != nil {
@@ -189,6 +197,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			p := experiments.DefaultFig6Params()
 			p.Seed = *seed
+			p.Workers = *workers
+			p.Sparse = *sparse
 			capSizes(&p, mlp.PerClass)
 			r, err := experiments.RunFig6(d.Set, p)
 			if err != nil {
@@ -235,6 +245,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}},
 	}
 
+	elapsed := make(map[string]float64)
 	for _, s := range steps {
 		if !selected[s.name] {
 			continue
@@ -248,9 +259,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := emit(s.name, report); err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
-		fmt.Fprintf(stderr, "%s done in %v\n", s.name, time.Since(start).Round(time.Millisecond))
+		d := time.Since(start)
+		elapsed[s.name] = d.Seconds()
+		fmt.Fprintf(stderr, "%s done in %v\n", s.name, d.Round(time.Millisecond))
+	}
+	if *benchJSON != "" {
+		rec := benchRecord{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Workers:    *workers,
+			Sparse:     *sparse,
+			PerClass:   *perClass,
+			Seed:       *seed,
+			Seconds:    elapsed,
+		}
+		// Carry the perf-trajectory history across regenerations.
+		if old, err := os.ReadFile(*benchJSON); err == nil {
+			var prev benchRecord
+			if json.Unmarshal(old, &prev) == nil {
+				rec.History = prev.History
+			}
+		}
+		buf, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wall-clock record written to %s\n", *benchJSON)
 	}
 	return nil
+}
+
+// benchRecord is the perf-trajectory artifact emitted by -benchjson (and
+// `make bench-smoke`): per-experiment wall-clock seconds plus the knobs
+// that produced them, so future PRs can compare like against like.
+type benchRecord struct {
+	Timestamp  string             `json:"timestamp"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Sparse     bool               `json:"sparse"`
+	PerClass   int                `json:"perclass"`
+	Seed       int64              `json:"seed"`
+	Seconds    map[string]float64 `json:"seconds"`
+	// History holds hand-recorded before/after milestones (e.g. the
+	// headline benchmark of a perf PR); it is preserved verbatim when
+	// the record is regenerated.
+	History []map[string]any `json:"history,omitempty"`
 }
 
 // capSizes bounds sample sizes by the collected per-class corpus size.

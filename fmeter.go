@@ -110,6 +110,40 @@ type Config struct {
 	// disables, zero uses the evaluation defaults (0.02 / 0.01).
 	CountJitter   float64
 	LatencyJitter float64
+	// Workers bounds the host-side fan-out of the learning helpers
+	// invoked through this system's Options (0 = one worker per host
+	// CPU, <0 = sequential). Results are bit-identical at any worker
+	// count; see DESIGN-PERF.md.
+	Workers int
+	// Sparse enables O(nnz) sparse signature math in the learning
+	// helpers (K-means norm-cached distances, sparse similarity scans).
+	Sparse bool
+}
+
+// Option tunes the host-side performance of the learning helpers
+// (TrainClassifier, ClusterSignatures, MetaClusterCentroids).
+type Option func(*perfOpts)
+
+type perfOpts struct {
+	workers int
+	sparse  bool
+}
+
+// WithWorkers bounds the helper's worker-pool fan-out: 0 (the default)
+// means one worker per host CPU, negative forces sequential execution.
+// The computed result is bit-identical at any setting.
+func WithWorkers(n int) Option { return func(o *perfOpts) { o.workers = n } }
+
+// WithSparse toggles O(nnz) sparse signature math (cached-norm distances)
+// in the helper. Distances agree with the dense path to ~1e-9 relative.
+func WithSparse(on bool) Option { return func(o *perfOpts) { o.sparse = on } }
+
+func applyOpts(opts []Option) perfOpts {
+	var o perfOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // System is one simulated machine wired for signature collection.
@@ -194,6 +228,14 @@ func New(cfg Config) (*System, error) {
 		s.col = col
 	}
 	return s, nil
+}
+
+// Options returns the performance options implied by the system's Config
+// (Workers, Sparse), for passing to the learning helpers:
+//
+//	res, err := fmeter.ClusterSignatures(sigs, 3, 1, sys.Options()...)
+func (s *System) Options() []Option {
+	return []Option{WithWorkers(s.cfg.Workers), WithSparse(s.cfg.Sparse)}
 }
 
 // Dim returns the signature dimension: the number of instrumented
@@ -364,10 +406,11 @@ type Classifier struct {
 // TrainClassifier fits a soft-margin SVM (polynomial kernel, the paper's
 // default) that separates signatures labeled posLabel (+1) from all
 // others (-1).
-func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64) (*Classifier, error) {
+func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64, opts ...Option) (*Classifier, error) {
 	if len(sigs) == 0 {
 		return nil, fmt.Errorf("fmeter: no signatures")
 	}
+	o := applyOpts(opts)
 	x := make([]Vector, len(sigs))
 	y := make([]float64, len(sigs))
 	for i, s := range sigs {
@@ -378,7 +421,7 @@ func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64) (
 			y[i] = -1
 		}
 	}
-	m, err := svm.Train(x, y, svm.Config{C: c, Seed: seed})
+	m, err := svm.Train(x, y, svm.Config{C: c, Seed: seed, Workers: o.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -404,17 +447,18 @@ type ClusterResult struct {
 
 // ClusterSignatures K-means-clusters signatures into k groups and scores
 // purity against their labels.
-func ClusterSignatures(sigs []Signature, k int, seed int64) (*ClusterResult, error) {
+func ClusterSignatures(sigs []Signature, k int, seed int64, opts ...Option) (*ClusterResult, error) {
 	if len(sigs) == 0 {
 		return nil, fmt.Errorf("fmeter: no signatures")
 	}
+	o := applyOpts(opts)
 	pts := make([]Vector, len(sigs))
 	labels := make([]string, len(sigs))
 	for i, s := range sigs {
 		pts[i] = s.V
 		labels[i] = s.Label
 	}
-	res, err := cluster.KMeans(pts, cluster.KMeansConfig{K: k, Seed: seed})
+	res, err := cluster.KMeans(pts, cluster.KMeansConfig{K: k, Seed: seed, Workers: o.workers, Sparse: o.sparse})
 	if err != nil {
 		return nil, err
 	}
@@ -443,8 +487,9 @@ func HierarchicalCluster(sigs []Signature) (*Dendrogram, error) {
 
 // MetaClusterCentroids clusters cluster centroids (§2.2/§6's recursive
 // clustering for, e.g., cache-aware co-scheduling).
-func MetaClusterCentroids(centroids []Vector, k int, seed int64) ([]int, error) {
-	res, err := cluster.MetaCluster(centroids, cluster.KMeansConfig{K: k, Seed: seed})
+func MetaClusterCentroids(centroids []Vector, k int, seed int64, opts ...Option) ([]int, error) {
+	o := applyOpts(opts)
+	res, err := cluster.MetaCluster(centroids, cluster.KMeansConfig{K: k, Seed: seed, Workers: o.workers, Sparse: o.sparse})
 	if err != nil {
 		return nil, err
 	}

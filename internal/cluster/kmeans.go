@@ -10,7 +10,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -24,11 +26,24 @@ type KMeansConfig struct {
 	// Restarts runs the algorithm multiple times with fresh random
 	// initializations and keeps the lowest-inertia result (default 8).
 	Restarts int
-	// Seed drives initialization.
+	// Seed drives initialization. Each restart derives its own
+	// independent stream (parallel.SplitSeed), so the result is
+	// bit-identical whether restarts run sequentially or fanned out.
 	Seed int64
 	// Init selects the initialization strategy (default InitRandom, the
 	// era-appropriate choice; InitPlusPlus converges with fewer restarts).
 	Init InitMethod
+	// Workers bounds the fan-out across restarts (and, for a single
+	// restart, across the assignment step): 0 = one per CPU, <0 =
+	// sequential. The clustering is identical at any worker count.
+	Workers int
+	// Sparse scores point-to-centroid distances via sparse forms with
+	// cached norms (||p||² - 2p·c + ||c||²) in O(nnz) instead of O(dim).
+	// Distances agree with the dense loop to ~1e-9 relative, so cluster
+	// assignments can differ from the dense path on near-ties within
+	// that error (the run is still bit-identical across worker counts
+	// for a fixed Sparse setting).
+	Sparse bool
 }
 
 func (c *KMeansConfig) fillDefaults() {
@@ -55,8 +70,9 @@ type KMeansResult struct {
 	Iterations int
 }
 
-// KMeans clusters points with Lloyd's algorithm and random-point
-// initialization, keeping the best of cfg.Restarts runs.
+// KMeans clusters points with Lloyd's algorithm, keeping the lowest-
+// inertia result of cfg.Restarts independently-seeded runs (ties broken
+// toward the earliest restart, matching a sequential sweep).
 func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("cluster: K=%d must be >= 1", cfg.K)
@@ -71,14 +87,35 @@ func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 		}
 	}
 	cfg.fillDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	best := &KMeansResult{Inertia: math.Inf(1)}
-	for r := 0; r < cfg.Restarts; r++ {
-		res, err := kmeansOnce(points, cfg.K, cfg.MaxIter, cfg.Init, rng)
-		if err != nil {
-			return nil, err
-		}
+	// Sparse forms and cached point norms are shared read-only across
+	// restarts; compute them once.
+	var sp []*vecmath.Sparse
+	if cfg.Sparse {
+		sp = make([]*vecmath.Sparse, len(points))
+		parallel.Chunks(cfg.Workers, len(points), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sp[i] = vecmath.DenseToSparse(points[i])
+			}
+		})
+	}
+
+	// With several restarts the fan-out lives at the restart level and
+	// each run stays sequential inside; a single restart instead spreads
+	// its assignment step across the workers.
+	innerWorkers := -1
+	if cfg.Restarts == 1 {
+		innerWorkers = cfg.Workers
+	}
+	results, err := parallel.Map(cfg.Workers, cfg.Restarts, func(r int) (*KMeansResult, error) {
+		rng := rand.New(rand.NewSource(parallel.SplitSeed(cfg.Seed, int64(r))))
+		return kmeansOnce(points, sp, cfg.K, cfg.MaxIter, cfg.Init, rng, innerWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := results[0]
+	for _, res := range results[1:] {
 		if res.Inertia < best.Inertia {
 			best = res
 		}
@@ -86,8 +123,9 @@ func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 	return best, nil
 }
 
-// kmeansOnce runs one restart of Lloyd's algorithm.
-func kmeansOnce(points []vecmath.Vector, k, maxIter int, init InitMethod, rng *rand.Rand) (*KMeansResult, error) {
+// kmeansOnce runs one restart of Lloyd's algorithm. sp, when non-nil,
+// holds the sparse forms of points for norm-cached distance scoring.
+func kmeansOnce(points []vecmath.Vector, sp []*vecmath.Sparse, k, maxIter int, init InitMethod, rng *rand.Rand, workers int) (*KMeansResult, error) {
 	n := len(points)
 	dim := points[0].Dim()
 
@@ -107,34 +145,71 @@ func kmeansOnce(points []vecmath.Vector, k, maxIter int, init InitMethod, rng *r
 	for i := range assign {
 		assign[i] = -1
 	}
+	// Update-step buffers, reused across iterations instead of
+	// reallocating k dense vectors per pass.
+	counts := make([]int, k)
+	sums := make([]vecmath.Vector, k)
+	for c := range sums {
+		sums[c] = vecmath.NewVector(dim)
+	}
+	// Squared centroid norms for the sparse distance identity, refreshed
+	// whenever centroids change.
+	var cNorm2 []float64
+	if sp != nil {
+		cNorm2 = make([]float64, k)
+	}
+
 	var iter int
 	for iter = 0; iter < maxIter; iter++ {
-		changed := false
-		// Assignment step.
-		for i, p := range points {
-			bestC, bestD := 0, math.Inf(1)
+		if sp != nil {
 			for c := range centroids {
-				d, err := vecmath.SquaredEuclidean(p, centroids[c])
-				if err != nil {
-					return nil, err
-				}
-				if d < bestD {
-					bestC, bestD = c, d
-				}
-			}
-			if assign[i] != bestC {
-				assign[i] = bestC
-				changed = true
+				cNorm2[c] = vecmath.Norm2Of(centroids[c])
 			}
 		}
-		if !changed && iter > 0 {
+		// Assignment step: every point independently takes its nearest
+		// centroid, so the chunked fan-out cannot change the outcome;
+		// the changed flag is an order-independent OR.
+		var changed atomic.Bool
+		parallel.Chunks(workers, n, func(lo, hi int) {
+			chunkChanged := false
+			for i := lo; i < hi; i++ {
+				bestC, bestD := 0, math.Inf(1)
+				if sp != nil {
+					p := sp[i]
+					for c := range centroids {
+						if d := p.SquaredDistanceDense(centroids[c], cNorm2[c]); d < bestD {
+							bestC, bestD = c, d
+						}
+					}
+				} else {
+					p := points[i]
+					for c := range centroids {
+						if d := vecmath.MustSquaredEuclidean(p, centroids[c]); d < bestD {
+							bestC, bestD = c, d
+						}
+					}
+				}
+				if assign[i] != bestC {
+					assign[i] = bestC
+					chunkChanged = true
+				}
+			}
+			if chunkChanged {
+				changed.Store(true)
+			}
+		})
+		if !changed.Load() {
+			// Assignments are stable, so the centroids recomputed from
+			// them would be unchanged too: converged.
 			break
 		}
-		// Update step.
-		counts := make([]int, k)
-		sums := make([]vecmath.Vector, k)
+		// Update step (sequential: the sums must accumulate in point
+		// order for bit-stable centroid arithmetic).
 		for c := range sums {
-			sums[c] = vecmath.NewVector(dim)
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
 		}
 		for i, p := range points {
 			c := assign[i]
@@ -151,20 +226,24 @@ func kmeansOnce(points []vecmath.Vector, k, maxIter int, init InitMethod, rng *r
 				continue
 			}
 			inv := 1 / float64(counts[c])
-			for j := range sums[c] {
-				sums[c][j] *= inv
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] * inv
 			}
-			centroids[c] = sums[c]
 		}
 	}
 
 	var inertia float64
-	for i, p := range points {
-		d, err := vecmath.SquaredEuclidean(p, centroids[assign[i]])
-		if err != nil {
-			return nil, err
+	if sp != nil {
+		for c := range centroids {
+			cNorm2[c] = vecmath.Norm2Of(centroids[c])
 		}
-		inertia += d
+		for i := range points {
+			inertia += sp[i].SquaredDistanceDense(centroids[assign[i]], cNorm2[assign[i]])
+		}
+	} else {
+		for i, p := range points {
+			inertia += vecmath.MustSquaredEuclidean(p, centroids[assign[i]])
+		}
 	}
 	return &KMeansResult{Assign: assign, Centroids: centroids, Inertia: inertia, Iterations: iter}, nil
 }

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// The tentpole guarantee: K-means is bit-identical at any worker count —
+// restarts draw from independent per-restart streams and the assignment
+// fan-out is per-point. Under -race this exercises both fan-out levels.
+func TestKMeansDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	pts := append(blob(r, 60, vecmath.Vector{0, 0, 0}, 1), blob(r, 60, vecmath.Vector{5, 5, 5}, 1)...)
+	for _, sparse := range []bool{false, true} {
+		var ref *KMeansResult
+		for _, workers := range []int{-1, 1, 2, 8} {
+			res, err := KMeans(pts, KMeansConfig{K: 2, Seed: 9, Restarts: 4, Workers: workers, Sparse: sparse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Inertia != ref.Inertia || res.Iterations != ref.Iterations {
+				t.Fatalf("sparse=%v workers=%d: inertia %v/%d iters, want %v/%d",
+					sparse, workers, res.Inertia, res.Iterations, ref.Inertia, ref.Iterations)
+			}
+			for i := range res.Assign {
+				if res.Assign[i] != ref.Assign[i] {
+					t.Fatalf("sparse=%v workers=%d: assignment %d differs", sparse, workers, i)
+				}
+			}
+			for c := range res.Centroids {
+				if !res.Centroids[c].Equal(ref.Centroids[c], 0) {
+					t.Fatalf("sparse=%v workers=%d: centroid %d differs", sparse, workers, c)
+				}
+			}
+		}
+	}
+}
+
+// Restarts with a single worker also ensure the single-restart path (where
+// the assignment step itself fans out) matches the multi-restart path's
+// first stream.
+func TestKMeansSingleRestartParallelAssignment(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	pts := append(blob(r, 200, vecmath.Vector{0, 0}, 0.5), blob(r, 200, vecmath.Vector{8, 8}, 0.5)...)
+	a, err := KMeans(pts, KMeansConfig{K: 2, Seed: 3, Restarts: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, KMeansConfig{K: 2, Seed: 3, Restarts: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inertia != b.Inertia {
+		t.Fatalf("single-restart inertia differs: %v vs %v", a.Inertia, b.Inertia)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("assignment %d differs across worker counts", i)
+		}
+	}
+}
+
+// Sparse norm-cached distances must agree with the dense path closely
+// enough that well-separated clusterings coincide.
+func TestKMeansSparseMatchesDenseOnSeparatedBlobs(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	dim := 50
+	mkCenter := func(val float64) vecmath.Vector {
+		v := vecmath.NewVector(dim)
+		for j := 0; j < 5; j++ {
+			v[r.Intn(dim)] = val
+		}
+		return v
+	}
+	var pts []vecmath.Vector
+	for c := 0; c < 3; c++ {
+		pts = append(pts, blob(r, 30, mkCenter(5+float64(c)), 0.1)...)
+	}
+	dense, err := KMeans(pts, KMeansConfig{K: 3, Seed: 11, Restarts: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := KMeans(pts, KMeansConfig{K: 3, Seed: 11, Restarts: 6, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dense.Inertia-sparse.Inertia) > 1e-6*(1+dense.Inertia) {
+		t.Fatalf("inertia diverged: dense %v sparse %v", dense.Inertia, sparse.Inertia)
+	}
+	for i := range dense.Assign {
+		if dense.Assign[i] != sparse.Assign[i] {
+			t.Fatalf("assignment %d differs between dense and sparse", i)
+		}
+	}
+}
+
+// BenchmarkKMeansSparse250x3815 mirrors BenchmarkKMeans250x3815 but with
+// signature-like sparse points (~150 of 3815 dims active) and the Sparse
+// knob on, measuring the O(nnz) assignment-step win.
+func BenchmarkKMeansSparse250x3815(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var pts []vecmath.Vector
+	for c := 0; c < 3; c++ {
+		support := make([]int, 150)
+		for j := range support {
+			support[j] = r.Intn(3815)
+		}
+		for p := 0; p < 83; p++ {
+			v := vecmath.NewVector(3815)
+			for _, idx := range support {
+				v[idx] = r.Float64() + 0.01*r.NormFloat64()
+			}
+			pts = append(pts, v)
+		}
+	}
+	for _, sparse := range []bool{false, true} {
+		name := "dense"
+		if sparse {
+			name = "sparse"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := KMeans(pts, KMeansConfig{K: 3, Seed: int64(i), Restarts: 2, Sparse: sparse}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -14,30 +14,54 @@ type Metric struct {
 	Name string
 	// Score computes the metric value for two vectors of equal dimension.
 	Score func(x, y vecmath.Vector) (float64, error)
+	// SparseScore, when non-nil, computes the same metric from the sparse
+	// forms in O(nnz) instead of O(dim). DB.TopK uses it for every stored
+	// signature once UseSparse is enabled.
+	SparseScore func(x, y *vecmath.Sparse) float64
 	// HigherIsCloser is true for similarities (cosine) and false for
 	// distances (Euclidean, Minkowski).
 	HigherIsCloser bool
 }
 
-// CosineMetric is the cosine similarity of §2.1.
+// CosineMetric is the cosine similarity of §2.1. Its sparse path is
+// bit-identical to the dense one (both accumulate in index order).
 func CosineMetric() Metric {
-	return Metric{Name: "cosine", Score: vecmath.Cosine, HigherIsCloser: true}
-}
-
-// EuclideanMetric is the L2-induced distance, the paper's default.
-func EuclideanMetric() Metric {
-	return Metric{Name: "euclidean", Score: vecmath.Euclidean, HigherIsCloser: false}
-}
-
-// MinkowskiMetric is the Lp-induced distance for p >= 1.
-func MinkowskiMetric(p float64) Metric {
 	return Metric{
+		Name:           "cosine",
+		Score:          vecmath.Cosine,
+		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Cosine(y) },
+		HigherIsCloser: true,
+	}
+}
+
+// EuclideanMetric is the L2-induced distance, the paper's default. The
+// sparse path uses the cached-norm identity ||x||²-2x·y+||y||², which
+// agrees with the dense loop to ~1e-9 relative but is not bit-identical.
+func EuclideanMetric() Metric {
+	return Metric{
+		Name:           "euclidean",
+		Score:          vecmath.Euclidean,
+		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Euclidean(y) },
+		HigherIsCloser: false,
+	}
+}
+
+// MinkowskiMetric is the Lp-induced distance for p >= 1. Only p=2 has a
+// sparse fast path (the general form needs |x_i - y_i|^p over the support
+// union, which the dense loop already does at the same asymptotic cost
+// once vectors are compacted).
+func MinkowskiMetric(p float64) Metric {
+	m := Metric{
 		Name: fmt.Sprintf("minkowski(p=%g)", p),
 		Score: func(x, y vecmath.Vector) (float64, error) {
 			return vecmath.Minkowski(x, y, p)
 		},
 		HigherIsCloser: false,
 	}
+	if p == 2 {
+		m.SparseScore = func(x, y *vecmath.Sparse) float64 { return x.Euclidean(y) }
+	}
+	return m
 }
 
 // SearchResult is one hit of a similarity query.
@@ -51,8 +75,10 @@ type SearchResult struct {
 // maintaining (§2.2): signatures of forensically identified behaviours,
 // stored for later retrieval, comparison, and classifier training.
 type DB struct {
-	dim  int
-	sigs []Signature
+	dim       int
+	sigs      []Signature
+	sparse    []*vecmath.Sparse // parallel to sigs; populated iff useSparse
+	useSparse bool
 }
 
 // NewDB creates an empty database for signatures of the given dimension.
@@ -61,6 +87,25 @@ func NewDB(dim int) (*DB, error) {
 		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
 	}
 	return &DB{dim: dim}, nil
+}
+
+// UseSparse toggles the sparse index: stored signatures keep a sorted
+// index/value form with cached norms, and TopK scans score in O(nnz) for
+// metrics that provide a SparseScore. Enabling it on a populated database
+// indexes the existing signatures.
+func (db *DB) UseSparse(on bool) {
+	if on == db.useSparse {
+		return
+	}
+	db.useSparse = on
+	if !on {
+		db.sparse = nil
+		return
+	}
+	db.sparse = make([]*vecmath.Sparse, len(db.sigs))
+	for i, s := range db.sigs {
+		db.sparse[i] = vecmath.DenseToSparse(s.V)
+	}
 }
 
 // Len returns the number of stored signatures.
@@ -75,6 +120,9 @@ func (db *DB) Add(sig Signature) error {
 		return fmt.Errorf("core: signature %s has dimension %d, want %d", sig.DocID, sig.V.Dim(), db.dim)
 	}
 	db.sigs = append(db.sigs, sig)
+	if db.useSparse {
+		db.sparse = append(db.sparse, vecmath.DenseToSparse(sig.V))
+	}
 	return nil
 }
 
@@ -91,8 +139,93 @@ func (db *DB) AddAll(sigs []Signature) error {
 // All returns the stored signatures. Callers must not mutate the slice.
 func (db *DB) All() []Signature { return db.sigs }
 
+// topkHeap is a bounded binary heap holding the k best candidates seen so
+// far, worst at the root. "Worse" means farther under the metric, ties
+// broken toward the larger insertion index, which reproduces the ordering
+// of a stable sort over the full result set.
+type topkHeap struct {
+	idx    []int
+	score  []float64
+	higher bool // metric.HigherIsCloser
+}
+
+// worse reports whether candidate a (index ia, score sa) ranks strictly
+// worse than candidate b.
+func (h *topkHeap) worseAt(a, b int) bool {
+	if h.score[a] != h.score[b] {
+		if h.higher {
+			return h.score[a] < h.score[b]
+		}
+		return h.score[a] > h.score[b]
+	}
+	return h.idx[a] > h.idx[b]
+}
+
+func (h *topkHeap) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.score[a], h.score[b] = h.score[b], h.score[a]
+}
+
+func (h *topkHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.worseAt(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *topkHeap) down(i int) {
+	n := len(h.idx)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.worseAt(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.worseAt(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.swap(i, worst)
+		i = worst
+	}
+}
+
+// offer considers candidate (i, score); it displaces the root only when
+// strictly better than the current worst. Equal scores never displace —
+// the earlier index was seen first, matching stable-sort semantics.
+func (h *topkHeap) offer(k int, i int, score float64) {
+	if len(h.idx) < k {
+		h.idx = append(h.idx, i)
+		h.score = append(h.score, score)
+		h.up(len(h.idx) - 1)
+		return
+	}
+	// The new candidate is better than the root iff the root is worse
+	// than it; emulate by comparing against a virtual entry.
+	rootWorse := false
+	if h.score[0] != score {
+		if h.higher {
+			rootWorse = h.score[0] < score
+		} else {
+			rootWorse = h.score[0] > score
+		}
+	} // equal scores: root has the smaller index, so it is not worse
+	if !rootWorse {
+		return
+	}
+	h.idx[0], h.score[0] = i, score
+	h.down(0)
+}
+
 // TopK returns the k stored signatures closest to query under metric,
-// best first. k larger than the database returns everything.
+// best first. k larger than the database returns everything. The scan
+// keeps a bounded heap, so the cost is O(n log k) rather than the
+// O(n log n) of sorting every candidate.
 func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
 	if query.Dim() != db.dim {
 		return nil, fmt.Errorf("core: query dimension %d, want %d", query.Dim(), db.dim)
@@ -103,24 +236,36 @@ func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, 
 	if len(db.sigs) == 0 {
 		return nil, errors.New("core: empty database")
 	}
-	results := make([]SearchResult, 0, len(db.sigs))
-	for _, s := range db.sigs {
-		score, err := metric.Score(query, s.V)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, SearchResult{Signature: s, Score: score})
+	if k > len(db.sigs) {
+		k = len(db.sigs)
 	}
-	sort.SliceStable(results, func(i, j int) bool {
-		if metric.HigherIsCloser {
-			return results[i].Score > results[j].Score
+	h := &topkHeap{idx: make([]int, 0, k), score: make([]float64, 0, k), higher: metric.HigherIsCloser}
+	if db.useSparse && metric.SparseScore != nil {
+		sq := vecmath.DenseToSparse(query)
+		for i, sp := range db.sparse {
+			h.offer(k, i, metric.SparseScore(sq, sp))
 		}
-		return results[i].Score < results[j].Score
-	})
-	if k > len(results) {
-		k = len(results)
+	} else {
+		for i, s := range db.sigs {
+			score, err := metric.Score(query, s.V)
+			if err != nil {
+				return nil, err
+			}
+			h.offer(k, i, score)
+		}
 	}
-	return results[:k], nil
+	// Order the surviving k candidates best first; worseAt already
+	// encodes the metric direction and the insertion-index tie-break.
+	order := make([]int, len(h.idx))
+	for j := range order {
+		order[j] = j
+	}
+	sort.Slice(order, func(a, b int) bool { return h.worseAt(order[b], order[a]) })
+	out := make([]SearchResult, len(order))
+	for j, o := range order {
+		out[j] = SearchResult{Signature: db.sigs[h.idx[o]], Score: h.score[o]}
+	}
+	return out, nil
 }
 
 // Classify labels a query by majority vote among its k nearest stored

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/svm"
 	"repro/internal/vecmath"
@@ -104,8 +105,29 @@ type Result struct {
 // EvaluateSVM runs the full protocol: per fold, grid-search C on the
 // validation split, then score the selected model once on the test split.
 // Labels must be ±1. Vectors should already be scaled into the unit ball
-// (core.Normalize), per the paper's practice.
+// (core.Normalize), per the paper's practice. It fans the fold × C grid
+// out over one worker per CPU; use EvaluateSVMWorkers to bound or disable
+// the fan-out — the result is bit-identical at any worker count.
 func EvaluateSVM(x []vecmath.Vector, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64) (*Result, error) {
+	return EvaluateSVMWorkers(x, y, folds, grid, kernel, seed, 0)
+}
+
+// gridEval is the outcome of training one (fold, C) grid point.
+type gridEval struct {
+	model  *svm.Model
+	valAcc float64
+}
+
+// EvaluateSVMWorkers is EvaluateSVM with an explicit worker bound
+// (parallel.Workers semantics: 0 = one per CPU, <0 = sequential).
+//
+// Every (fold, C) grid point is an independent training task — the SMO
+// seed depends only on the fold index, exactly as in the sequential
+// protocol — so the tasks fan out freely. The per-fold reduction then
+// walks the grid in declaration order and keeps the first C whose
+// validation accuracy strictly exceeds the best so far, which reproduces
+// the sequential tie-break bit for bit.
+func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64, workers int) (*Result, error) {
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("crossval: %d examples vs %d labels", len(x), len(y))
 	}
@@ -132,61 +154,88 @@ func EvaluateSVM(x []vecmath.Vector, y []float64, folds []Fold, grid []float64, 
 		return xs, ys, nil
 	}
 
-	res := &Result{}
-	var accs, precs, recs []float64
+	type foldData struct {
+		trX, vaX, teX []vecmath.Vector
+		trY, vaY, teY []float64
+	}
+	fds := make([]foldData, len(folds))
 	for fi, fold := range folds {
-		trX, trY, err := gather(fold.Train)
-		if err != nil {
+		var fd foldData
+		if fd.trX, fd.trY, err = gather(fold.Train); err != nil {
 			return nil, err
 		}
-		vaX, vaY, err := gather(fold.Val)
-		if err != nil {
+		if fd.vaX, fd.vaY, err = gather(fold.Val); err != nil {
 			return nil, err
 		}
-		teX, teY, err := gather(fold.Test)
-		if err != nil {
+		if fd.teX, fd.teY, err = gather(fold.Test); err != nil {
 			return nil, err
 		}
+		fds[fi] = fd
+	}
 
+	// Flatten folds × grid into one task list so a slow fold cannot
+	// serialize the sweep. The gram build inside each task stays
+	// sequential: the outer fan-out already covers the cores.
+	nTasks := len(folds) * len(grid)
+	evals, err := parallel.Map(workers, nTasks, func(t int) (gridEval, error) {
+		fi, gi := t/len(grid), t%len(grid)
+		fd := &fds[fi]
+		m, err := svm.Train(fd.trX, fd.trY, svm.Config{
+			C: grid[gi], Kernel: kernel, Seed: seed + int64(fi), Workers: -1,
+		})
+		if err != nil {
+			return gridEval{}, fmt.Errorf("crossval: fold %d C=%v: %w", fi, grid[gi], err)
+		}
+		acc, err := scoreAccuracy(m, fd.vaX, fd.vaY)
+		if err != nil {
+			return gridEval{}, err
+		}
+		return gridEval{model: m, valAcc: acc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-fold model selection and test scoring, folds fanned out (each
+	// fold writes its own slot), reduced in fold order below.
+	frs, err := parallel.Map(workers, len(folds), func(fi int) (FoldResult, error) {
+		fd := &fds[fi]
 		var bestModel *svm.Model
 		bestC, bestVal := 0.0, -1.0
-		for _, c := range grid {
-			m, err := svm.Train(trX, trY, svm.Config{C: c, Kernel: kernel, Seed: seed + int64(fi)})
-			if err != nil {
-				return nil, fmt.Errorf("crossval: fold %d C=%v: %w", fi, c, err)
-			}
-			acc, err := scoreAccuracy(m, vaX, vaY)
-			if err != nil {
-				return nil, err
-			}
-			if acc > bestVal {
-				bestVal, bestC, bestModel = acc, c, m
+		for gi, c := range grid {
+			e := evals[fi*len(grid)+gi]
+			if e.valAcc > bestVal {
+				bestVal, bestC, bestModel = e.valAcc, c, e.model
 			}
 		}
-
-		pred := make([]float64, len(teX))
-		for i, xv := range teX {
+		pred := make([]float64, len(fd.teX))
+		for i, xv := range fd.teX {
 			pred[i] = bestModel.Predict(xv)
 		}
-		conf, err := metrics.NewConfusion(teY, pred)
+		conf, err := metrics.NewConfusion(fd.teY, pred)
 		if err != nil {
-			return nil, err
+			return FoldResult{}, err
 		}
-		fr := FoldResult{
+		return FoldResult{
 			BestC:     bestC,
 			ValAcc:    bestVal,
 			Accuracy:  conf.Accuracy(),
 			Precision: conf.Precision(),
 			Recall:    conf.Recall(),
 			NumSV:     bestModel.NumSV(),
-		}
-		res.Folds = append(res.Folds, fr)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Folds: frs, Baseline: baseline}
+	var accs, precs, recs []float64
+	for _, fr := range frs {
 		accs = append(accs, fr.Accuracy)
 		precs = append(precs, fr.Precision)
 		recs = append(recs, fr.Recall)
 	}
-
-	res.Baseline = baseline
 	res.MeanAccuracy, res.StdAccuracy = stats.Mean(accs), stats.StdDev(accs)
 	res.MeanPrec, res.StdPrec = stats.Mean(precs), stats.StdDev(precs)
 	res.MeanRecall, res.StdRecall = stats.Mean(recs), stats.StdDev(recs)

@@ -1,0 +1,47 @@
+package crossval
+
+import (
+	"testing"
+
+	"repro/internal/svm"
+)
+
+// The tentpole guarantee at the protocol layer: the full K-fold × C-grid
+// evaluation is bit-identical at any worker count. Under -race this also
+// exercises the fold/grid fan-out for data races.
+func TestEvaluateSVMDeterministicAcrossWorkers(t *testing.T) {
+	x, y := separableData(80, 11)
+	var pos, neg []int
+	for i, yy := range y {
+		if yy > 0 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	folds, err := PaperKFold(pos, neg, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{0.1, 1, 10}
+	var ref *Result
+	for _, workers := range []int{-1, 1, 2, 8} {
+		res, err := EvaluateSVMWorkers(x, y, folds, grid, svm.DefaultPolynomial(), 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.MeanAccuracy != ref.MeanAccuracy || res.StdAccuracy != ref.StdAccuracy ||
+			res.MeanPrec != ref.MeanPrec || res.MeanRecall != ref.MeanRecall {
+			t.Fatalf("workers=%d: aggregate metrics differ from sequential", workers)
+		}
+		for fi := range res.Folds {
+			if res.Folds[fi] != ref.Folds[fi] {
+				t.Fatalf("workers=%d: fold %d = %+v, want %+v", workers, fi, res.Folds[fi], ref.Folds[fi])
+			}
+		}
+	}
+}

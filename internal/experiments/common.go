@@ -16,6 +16,7 @@ import (
 	"repro/internal/debugfs"
 	"repro/internal/driver"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/vecmath"
 	"repro/internal/workload"
@@ -138,29 +139,50 @@ func (s *System) LoadDriver(v driver.Variant) error {
 // the logging daemon for n intervals of the given length, and returns the
 // labeled documents. Each workload runs "without interference from
 // each-other" (§4.2.1) — on its own system instance — exactly like the
-// paper's controlled collection.
+// paper's controlled collection. One worker per CPU; see
+// CollectSignatureCorpusWorkers.
 func CollectSignatureCorpus(specs []workload.Spec, n int, interval time.Duration, seed int64) ([]*core.Document, int, error) {
-	var docs []*core.Document
-	dim := 0
-	for wi, spec := range specs {
+	return CollectSignatureCorpusWorkers(specs, n, interval, seed, 0)
+}
+
+// CollectSignatureCorpusWorkers is CollectSignatureCorpus with an explicit
+// worker bound. Every workload runs on its own simulated machine with a
+// seed derived only from its position, so the collections fan out freely;
+// batches are concatenated in spec order, making the corpus bit-identical
+// at any worker count.
+func CollectSignatureCorpusWorkers(specs []workload.Spec, n int, interval time.Duration, seed int64, workers int) ([]*core.Document, int, error) {
+	type batch struct {
+		docs []*core.Document
+		dim  int
+	}
+	batches, err := parallel.Map(workers, len(specs), func(wi int) (batch, error) {
+		spec := specs[wi]
 		sys, err := NewSystem(Fmeter, seed+int64(wi)*1000, -1, -1)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
-		dim = sys.ST.Len()
 		run, err := workload.NewRunner(sys.Eng, spec, seed+int64(wi)*1000+1)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
 		body := func(d time.Duration) error {
 			_, err := run.RunInterval(d)
 			return err
 		}
-		batch, err := sys.Col.CollectSeries(spec.Name, spec.Name, n, interval, body, nil)
+		docs, err := sys.Col.CollectSeries(spec.Name, spec.Name, n, interval, body, nil)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
-		docs = append(docs, batch...)
+		return batch{docs: docs, dim: sys.ST.Len()}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var docs []*core.Document
+	dim := 0
+	for _, b := range batches {
+		docs = append(docs, b.docs...)
+		dim = b.dim
 	}
 	return docs, dim, nil
 }
@@ -169,30 +191,48 @@ func CollectSignatureCorpus(specs []workload.Spec, n int, interval time.Duration
 // under each myri10ge variant (Table 5's data): one fresh system per
 // variant, labels are the variant names.
 func CollectDriverCorpus(variants []driver.Variant, n int, interval time.Duration, seed int64) ([]*core.Document, int, error) {
-	var docs []*core.Document
-	dim := 0
-	for vi, v := range variants {
+	return CollectDriverCorpusWorkers(variants, n, interval, seed, 0)
+}
+
+// CollectDriverCorpusWorkers is CollectDriverCorpus with an explicit
+// worker bound, parallel and deterministic exactly like
+// CollectSignatureCorpusWorkers.
+func CollectDriverCorpusWorkers(variants []driver.Variant, n int, interval time.Duration, seed int64, workers int) ([]*core.Document, int, error) {
+	type batch struct {
+		docs []*core.Document
+		dim  int
+	}
+	batches, err := parallel.Map(workers, len(variants), func(vi int) (batch, error) {
+		v := variants[vi]
 		sys, err := NewSystem(Fmeter, seed+int64(vi)*1000, -1, -1)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
-		dim = sys.ST.Len()
 		if err := sys.LoadDriver(v); err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
 		run, err := workload.NewRunner(sys.Eng, driver.NetperfRx(NumCPU), seed+int64(vi)*1000+1)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
 		body := func(d time.Duration) error {
 			_, err := run.RunInterval(d)
 			return err
 		}
-		batch, err := sys.Col.CollectSeries(v.String(), v.String(), n, interval, body, nil)
+		docs, err := sys.Col.CollectSeries(v.String(), v.String(), n, interval, body, nil)
 		if err != nil {
-			return nil, 0, err
+			return batch{}, err
 		}
-		docs = append(docs, batch...)
+		return batch{docs: docs, dim: sys.ST.Len()}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var docs []*core.Document
+	dim := 0
+	for _, b := range batches {
+		docs = append(docs, b.docs...)
+		dim = b.dim
 	}
 	return docs, dim, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/vecmath"
 )
@@ -129,6 +130,13 @@ type ClusterParams struct {
 	Restarts int
 	MaxIter  int
 	Seed     int64
+	// Workers bounds the fan-out across the resampled repetitions (0 =
+	// one per CPU, <0 = sequential). Each (series, sample-size, run)
+	// cell derives its own seed, so the figures are bit-identical at any
+	// worker count.
+	Workers int
+	// Sparse enables the O(nnz) norm-cached K-means assignment step.
+	Sparse bool
 }
 
 // DefaultFig5Params matches the paper's Figure 5 axes.
@@ -189,8 +197,11 @@ type Fig5Result struct {
 }
 
 // purityOfSample draws n signatures per class, clusters with K-means into
-// k clusters, and returns the purity.
-func purityOfSample(set *SignatureSet, classes []string, n, k int, cfg ClusterParams, rng *rand.Rand) (float64, error) {
+// k clusters, and returns the purity. The seed fully determines the draw
+// and the clustering, so one repetition is a pure function of its cell
+// coordinates — the property the parallel sweeps rely on.
+func purityOfSample(set *SignatureSet, classes []string, n, k int, cfg ClusterParams, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
 	var sigs []core.Signature
 	for _, cls := range classes {
 		pool := set.ByLabel[cls]
@@ -208,6 +219,7 @@ func purityOfSample(set *SignatureSet, classes []string, n, k int, cfg ClusterPa
 	compact := CompactDims(sigs)
 	res, err := cluster.KMeans(Vectors(compact), cluster.KMeansConfig{
 		K: k, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, Seed: rng.Int63(),
+		Workers: -1, Sparse: cfg.Sparse,
 	})
 	if err != nil {
 		return 0, err
@@ -217,7 +229,10 @@ func purityOfSample(set *SignatureSet, classes []string, n, k int, cfg ClusterPa
 
 // RunFig5 regenerates Figure 5: K-means purity as a function of the
 // number of sampled vectors per class, for all four permutations of the
-// three workloads (K set to the true class count).
+// three workloads (K set to the true class count). Every (permutation,
+// sample-size, run) cell derives its own seed from its coordinates, so
+// the full sweep flattens into one deterministic fan-out; means and SEMs
+// reduce over runs in run order.
 func RunFig5(set *SignatureSet, p ClusterParams) (*Fig5Result, error) {
 	perms := [][]string{
 		{"scp", "kcompile", "dbench"},
@@ -225,19 +240,24 @@ func RunFig5(set *SignatureSet, p ClusterParams) (*Fig5Result, error) {
 		{"scp", "dbench"},
 		{"kcompile", "dbench"},
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	cells := len(perms) * len(p.SampleSizes) * p.Runs
+	purities, err := parallel.Map(p.Workers, cells, func(t int) (float64, error) {
+		run := t % p.Runs
+		ni := (t / p.Runs) % len(p.SampleSizes)
+		si := t / (p.Runs * len(p.SampleSizes))
+		classes := perms[si]
+		seed := parallel.SplitSeed(p.Seed, 5, int64(si), int64(ni), int64(run))
+		return purityOfSample(set, classes, p.SampleSizes[ni], len(classes), p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig5Result{}
-	for _, classes := range perms {
+	for si, classes := range perms {
 		series := Fig5Series{Classes: classes, K: len(classes)}
-		for _, n := range p.SampleSizes {
-			var ps []float64
-			for run := 0; run < p.Runs; run++ {
-				purity, err := purityOfSample(set, classes, n, len(classes), p, rng)
-				if err != nil {
-					return nil, err
-				}
-				ps = append(ps, purity)
-			}
+		for ni, n := range p.SampleSizes {
+			lo := (si*len(p.SampleSizes) + ni) * p.Runs
+			ps := purities[lo : lo+p.Runs]
 			series.Points = append(series.Points, PurityPoint{
 				X: n, Purity: stats.Mean(ps), SEM: stats.SEM(ps),
 			})
@@ -280,19 +300,23 @@ func RunFig6(set *SignatureSet, p ClusterParams) (*Fig6Result, error) {
 	if len(p.Ks) == 0 {
 		return nil, fmt.Errorf("experiments: Fig 6 needs a K sweep")
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	cells := len(p.SampleSizes) * len(p.Ks) * p.Runs
+	purities, err := parallel.Map(p.Workers, cells, func(t int) (float64, error) {
+		run := t % p.Runs
+		ki := (t / p.Runs) % len(p.Ks)
+		ni := t / (p.Runs * len(p.Ks))
+		seed := parallel.SplitSeed(p.Seed, 6, int64(ni), int64(ki), int64(run))
+		return purityOfSample(set, classes, p.SampleSizes[ni], p.Ks[ki], p, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{}
-	for _, n := range p.SampleSizes {
+	for ni, n := range p.SampleSizes {
 		series := Fig6Series{SampleSize: n}
-		for _, k := range p.Ks {
-			var ps []float64
-			for run := 0; run < p.Runs; run++ {
-				purity, err := purityOfSample(set, classes, n, k, p, rng)
-				if err != nil {
-					return nil, err
-				}
-				ps = append(ps, purity)
-			}
+		for ki, k := range p.Ks {
+			lo := (ni*len(p.Ks) + ki) * p.Runs
+			ps := purities[lo : lo+p.Runs]
 			series.Points = append(series.Points, PurityPoint{
 				X: k, Purity: stats.Mean(ps), SEM: stats.SEM(ps),
 			})

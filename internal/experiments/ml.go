@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crossval"
 	"repro/internal/driver"
+	"repro/internal/parallel"
 	"repro/internal/svm"
 	"repro/internal/workload"
 )
@@ -22,6 +23,10 @@ type MLParams struct {
 	Folds    int
 	Seed     int64
 	CGrid    []float64
+	// Workers bounds the host-side fan-out of corpus collection, the
+	// grouping sweep, and cross validation (0 = one per CPU, <0 =
+	// sequential). Table results are bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultMLParams returns the paper-scale parameters.
@@ -63,15 +68,21 @@ type WorkloadData struct {
 	Set  *SignatureSet
 }
 
-// CollectWorkloadData collects the three-workload corpus of §4.2 (scp,
-// kcompile, dbench), keeping both raw documents and embedded signatures.
-func CollectWorkloadData(p MLParams) (*WorkloadData, error) {
-	specs := []workload.Spec{
+// CollectWorkloadSpecs returns the three-workload specs of §4.2 (scp,
+// kcompile, dbench) at the paper's testbed width.
+func CollectWorkloadSpecs() []workload.Spec {
+	return []workload.Spec{
 		workload.Scp(NumCPU),
 		workload.Kcompile(NumCPU),
 		workload.Dbench(NumCPU),
 	}
-	docs, dim, err := CollectSignatureCorpus(specs, p.PerClass, p.Interval, p.Seed)
+}
+
+// CollectWorkloadData collects the three-workload corpus of §4.2 (scp,
+// kcompile, dbench), keeping both raw documents and embedded signatures.
+func CollectWorkloadData(p MLParams) (*WorkloadData, error) {
+	specs := CollectWorkloadSpecs()
+	docs, dim, err := CollectSignatureCorpusWorkers(specs, p.PerClass, p.Interval, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +106,7 @@ func CollectWorkloadSignatures(p MLParams) (*SignatureSet, error) {
 // CollectDriverSignatures collects the Table 5 corpus: netperf receive
 // under the three myri10ge variants.
 func CollectDriverSignatures(p MLParams) (*SignatureSet, error) {
-	docs, dim, err := CollectDriverCorpus(driver.Variants(), p.PerClass, p.Interval, p.Seed)
+	docs, dim, err := CollectDriverCorpusWorkers(driver.Variants(), p.PerClass, p.Interval, p.Seed, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -151,16 +162,26 @@ type MLTableResult struct {
 }
 
 // EvaluateGroupings runs the paper's protocol for each grouping over the
-// signature set.
+// signature set. Groupings are independent tasks — fold splits and SMO
+// seeds depend only on the grouping index — so the sweep fans out over
+// p.Workers with rows collected in table order; the result is
+// bit-identical at any worker count.
 func EvaluateGroupings(title string, set *SignatureSet, groupings []Grouping, p MLParams) (*MLTableResult, error) {
-	res := &MLTableResult{Title: title, Folds: p.Folds}
-	for gi, g := range groupings {
+	// Fan out at one level only: across groupings when there are several,
+	// inside the cross validation otherwise — nesting both would put
+	// groupings × folds × grid CPU-bound goroutines on the cores at once.
+	innerWorkers := -1
+	if len(groupings) == 1 {
+		innerWorkers = p.Workers
+	}
+	rows, err := parallel.Map(p.Workers, len(groupings), func(gi int) (GroupingResult, error) {
+		g := groupings[gi]
 		var sigs []core.Signature
 		var y []float64
 		for _, l := range g.Pos {
 			cls := set.ByLabel[l]
 			if len(cls) == 0 {
-				return nil, fmt.Errorf("experiments: no signatures labeled %q", l)
+				return GroupingResult{}, fmt.Errorf("experiments: no signatures labeled %q", l)
 			}
 			for _, s := range cls {
 				sigs = append(sigs, s)
@@ -170,7 +191,7 @@ func EvaluateGroupings(title string, set *SignatureSet, groupings []Grouping, p 
 		for _, l := range g.Neg {
 			cls := set.ByLabel[l]
 			if len(cls) == 0 {
-				return nil, fmt.Errorf("experiments: no signatures labeled %q", l)
+				return GroupingResult{}, fmt.Errorf("experiments: no signatures labeled %q", l)
 			}
 			for _, s := range cls {
 				sigs = append(sigs, s)
@@ -191,15 +212,18 @@ func EvaluateGroupings(title string, set *SignatureSet, groupings []Grouping, p 
 		}
 		folds, err := crossval.PaperKFold(pos, neg, p.Folds, p.Seed+int64(gi))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: grouping %s: %w", g.Name, err)
+			return GroupingResult{}, fmt.Errorf("experiments: grouping %s: %w", g.Name, err)
 		}
-		cv, err := crossval.EvaluateSVM(x, y, folds, p.CGrid, svm.DefaultPolynomial(), p.Seed+int64(gi)*17)
+		cv, err := crossval.EvaluateSVMWorkers(x, y, folds, p.CGrid, svm.DefaultPolynomial(), p.Seed+int64(gi)*17, innerWorkers)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: grouping %s: %w", g.Name, err)
+			return GroupingResult{}, fmt.Errorf("experiments: grouping %s: %w", g.Name, err)
 		}
-		res.Rows = append(res.Rows, GroupingResult{Grouping: g, CV: cv})
+		return GroupingResult{Grouping: g, CV: cv}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &MLTableResult{Title: title, Folds: p.Folds, Rows: rows}, nil
 }
 
 // RunTable4 regenerates Table 4: SVM performance distinguishing the scp /

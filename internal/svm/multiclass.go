@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -42,8 +43,13 @@ func TrainOneVsRest(x []vecmath.Vector, labels []string, cfg Config) (*MultiClas
 	if len(classes) < 2 {
 		return nil, fmt.Errorf("svm: need >= 2 classes, have %d", len(classes))
 	}
-	mc := &MultiClass{classes: classes}
-	for ci, cls := range classes {
+	// One independent binary problem per class: each carries its own seed
+	// (cfg.Seed + class index), so the ensemble is identical whether the
+	// per-class trainings run sequentially or fanned out. The fan-out
+	// lives at the class level; each training's gram build stays
+	// sequential so the goroutine count is bounded by the class count.
+	models, err := parallel.Map(cfg.Workers, len(classes), func(ci int) (*Model, error) {
+		cls := classes[ci]
 		y := make([]float64, len(labels))
 		for i, l := range labels {
 			if l == cls {
@@ -54,13 +60,17 @@ func TrainOneVsRest(x []vecmath.Vector, labels []string, cfg Config) (*MultiClas
 		}
 		c := cfg
 		c.Seed = cfg.Seed + int64(ci)
+		c.Workers = -1
 		m, err := Train(x, y, c)
 		if err != nil {
 			return nil, fmt.Errorf("svm: class %q: %w", cls, err)
 		}
-		mc.models = append(mc.models, m)
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return mc, nil
+	return &MultiClass{classes: classes, models: models}, nil
 }
 
 // Classes returns the class labels in training order (sorted).

@@ -1,0 +1,113 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// twoClassData builds a linearly-separable-ish sparse dataset.
+func twoClassData(n, dim int, seed int64) ([]vecmath.Vector, []float64, []string) {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]vecmath.Vector, n)
+	y := make([]float64, n)
+	labels := make([]string, n)
+	for i := range x {
+		v := vecmath.NewVector(dim)
+		base := 0
+		if i%2 == 0 {
+			base = dim / 2
+		}
+		for j := 0; j < 12; j++ {
+			v[base+r.Intn(dim/2)] = 0.3 + 0.1*r.Float64()
+		}
+		x[i] = v.Normalize()
+		if i%2 == 0 {
+			y[i], labels[i] = -1, "neg"
+		} else {
+			y[i], labels[i] = 1, "pos"
+		}
+	}
+	return x, y, labels
+}
+
+// The tentpole determinism guarantee at the SVM layer: training is
+// bit-identical at any worker count, for both the binary SMO (parallel
+// sparse gram build) and the one-vs-rest ensemble (parallel per-class
+// training). Run under -race this also proves the fan-out is data-race
+// free.
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	x, y, _ := twoClassData(80, 60, 1)
+	test, _, _ := twoClassData(40, 60, 2)
+	var ref []float64
+	for _, workers := range []int{-1, 1, 2, 8} {
+		m, err := Train(x, y, Config{C: 10, Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := make([]float64, len(test))
+		for i, tv := range test {
+			scores[i] = m.Decision(tv)
+		}
+		if ref == nil {
+			ref = scores
+			continue
+		}
+		for i := range scores {
+			if scores[i] != ref[i] {
+				t.Fatalf("workers=%d: decision[%d] = %v, want %v (bit-identical)", workers, i, scores[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestOneVsRestDeterministicAcrossWorkers(t *testing.T) {
+	x, _, labels := twoClassData(60, 40, 4)
+	test, _, _ := twoClassData(30, 40, 5)
+	var ref [][]float64
+	for _, workers := range []int{1, 4} {
+		mc, err := TrainOneVsRest(x, labels, Config{C: 5, Seed: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([][]float64, len(test))
+		for i, tv := range test {
+			all[i] = mc.Decisions(tv)
+		}
+		if ref == nil {
+			ref = all
+			continue
+		}
+		for i := range all {
+			for j := range all[i] {
+				if all[i][j] != ref[i][j] {
+					t.Fatalf("workers=%d: decisions[%d][%d] differ", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// The sparse gram build must agree bit for bit with a dense Eval build for
+// dot-product kernels; RBF takes the dense path untouched.
+func TestSparseGramMatchesDenseEval(t *testing.T) {
+	x, y, _ := twoClassData(50, 80, 7)
+	poly := DefaultPolynomial()
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			sx, sy := vecmath.DenseToSparse(x[i]), vecmath.DenseToSparse(x[j])
+			if got, want := poly.EvalDot(sx.Dot(sy)), poly.Eval(x[i], x[j]); got != want {
+				t.Fatalf("gram[%d][%d]: sparse %v != dense %v", i, j, got, want)
+			}
+		}
+	}
+	// RBF kernels still train (no DotKernel fast path).
+	m, err := Train(x, y, Config{C: 10, Kernel: RBF{Gamma: 1}, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSV() == 0 {
+		t.Fatal("rbf model has no support vectors")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -25,6 +26,18 @@ type Kernel interface {
 	Eval(x, y vecmath.Vector) float64
 }
 
+// DotKernel is a kernel that is a pure function of the inner product
+// x·y. Training and prediction exploit this: the dot product is computed
+// from the sparse signature forms in O(nnz), and EvalDot is bit-identical
+// to Eval because the sparse dot accumulates in the same index order as
+// the dense loop. Linear and Polynomial implement it; RBF does not (it
+// depends on the distance, whose sparse form is not bit-exact).
+type DotKernel interface {
+	Kernel
+	// EvalDot computes K(x, y) given dot = x·y.
+	EvalDot(dot float64) float64
+}
+
 // Linear is the linear kernel K(x,y) = x·y.
 type Linear struct{}
 
@@ -33,6 +46,9 @@ func (Linear) Name() string { return "linear" }
 
 // Eval implements Kernel.
 func (Linear) Eval(x, y vecmath.Vector) float64 { return x.MustDot(y) }
+
+// EvalDot implements DotKernel.
+func (Linear) EvalDot(dot float64) float64 { return dot }
 
 // Polynomial is K(x,y) = (gamma*x·y + coef0)^degree — SVM^light's default
 // kernel family ("we simply set the SVM's kernel parameter to the default
@@ -56,7 +72,12 @@ func (p Polynomial) Name() string {
 
 // Eval implements Kernel.
 func (p Polynomial) Eval(x, y vecmath.Vector) float64 {
-	base := p.Gamma*x.MustDot(y) + p.Coef0
+	return p.EvalDot(x.MustDot(y))
+}
+
+// EvalDot implements DotKernel.
+func (p Polynomial) EvalDot(dot float64) float64 {
+	base := p.Gamma*dot + p.Coef0
 	out := 1.0
 	for i := 0; i < p.Degree; i++ {
 		out *= base
@@ -97,6 +118,10 @@ type Config struct {
 	MaxIter int
 	// Seed drives the SMO partner-selection randomness.
 	Seed int64
+	// Workers bounds the fan-out of the kernel-matrix build (0 = one per
+	// CPU, <0 = sequential). The gram matrix is identical at any worker
+	// count: each row is an independent pure computation.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -116,11 +141,13 @@ func (c *Config) fillDefaults() {
 
 // Model is a trained SVM.
 type Model struct {
-	kernel  Kernel
-	svs     []vecmath.Vector // support vectors
-	svCoef  []float64        // alpha_i * y_i for each support vector
-	b       float64
-	trained int // training set size, for reporting
+	kernel   Kernel
+	dotK     DotKernel         // non-nil iff kernel is dot-product based
+	svs      []vecmath.Vector  // support vectors
+	svSparse []*vecmath.Sparse // sparse forms, kept when dotK != nil
+	svCoef   []float64         // alpha_i * y_i for each support vector
+	b        float64
+	trained  int // training set size, for reporting
 }
 
 // Train fits a binary SVM on x with labels y in {+1, -1} using SMO
@@ -158,16 +185,39 @@ func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
 
 	n := len(x)
 	// Full kernel matrix cache: the paper's corpora are a few hundred
-	// signatures, so O(n^2) memory is the right trade.
+	// signatures, so O(n^2) memory is the right trade. Rows are filled in
+	// parallel (each goroutine writes only its own rows) and, for
+	// dot-product kernels, entries come from sparse dots — both identical
+	// to the sequential dense build bit for bit.
+	dotK, _ := cfg.Kernel.(DotKernel)
+	var sx []*vecmath.Sparse
+	if dotK != nil {
+		sx = make([]*vecmath.Sparse, n)
+		parallel.Chunks(cfg.Workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sx[i] = vecmath.DenseToSparse(x[i])
+			}
+		})
+	}
 	kmat := make([][]float64, n)
 	for i := range kmat {
 		kmat[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := cfg.Kernel.Eval(x[i], x[j])
-			kmat[i][j] = v
-			kmat[j][i] = v
+	_ = parallel.For(cfg.Workers, n, func(i int) error {
+		if dotK != nil {
+			for j := i; j < n; j++ {
+				kmat[i][j] = dotK.EvalDot(sx[i].Dot(sx[j]))
+			}
+		} else {
+			for j := i; j < n; j++ {
+				kmat[i][j] = cfg.Kernel.Eval(x[i], x[j])
+			}
+		}
+		return nil
+	})
+	for i := 1; i < n; i++ {
+		for j := 0; j < i; j++ {
+			kmat[i][j] = kmat[j][i]
 		}
 	}
 
@@ -248,11 +298,14 @@ func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
 		iter++
 	}
 
-	m := &Model{kernel: cfg.Kernel, b: b, trained: n}
+	m := &Model{kernel: cfg.Kernel, dotK: dotK, b: b, trained: n}
 	for i := 0; i < n; i++ {
 		if alpha[i] > 1e-10 {
 			m.svs = append(m.svs, x[i])
 			m.svCoef = append(m.svCoef, alpha[i]*y[i])
+			if dotK != nil {
+				m.svSparse = append(m.svSparse, sx[i])
+			}
 		}
 	}
 	if len(m.svs) == 0 {
@@ -262,8 +315,18 @@ func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
 }
 
 // Decision returns the signed distance-like score Σ α_i y_i K(sv_i, x) - b.
+// For dot-product kernels the query is sparsified once and scored against
+// the cached sparse support vectors in O(dim + Σ nnz) instead of
+// O(|SV| × dim); the sparse dots are bit-identical to the dense ones.
 func (m *Model) Decision(x vecmath.Vector) float64 {
 	s := -m.b
+	if m.dotK != nil && len(m.svSparse) == len(m.svs) {
+		sq := vecmath.DenseToSparse(x)
+		for i, sv := range m.svSparse {
+			s += m.svCoef[i] * m.dotK.EvalDot(sv.Dot(sq))
+		}
+		return s
+	}
 	for i, sv := range m.svs {
 		s += m.svCoef[i] * m.kernel.Eval(sv, x)
 	}

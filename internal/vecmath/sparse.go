@@ -1,0 +1,183 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a read-only sparse signature: parallel sorted index/value
+// arrays plus a cached squared L2 norm. It is the hot-loop companion to
+// the map-based SparseVector — Fmeter signatures live in a ~3815-dim space
+// but any one monitoring interval touches only a few hundred kernel
+// functions, so kernel evaluations, similarity scans, and K-means
+// assignment steps cost O(nnz) instead of O(dim) in this form.
+//
+// The accumulation order of Dot and DotDense is ascending index order —
+// exactly the order the dense loops visit the same non-zero terms — so
+// sparse dot products are bit-identical to their dense counterparts
+// (skipped terms contribute an exact +0 to the sum).
+type Sparse struct {
+	dim   int
+	idx   []int32
+	val   []float64
+	norm2 float64
+}
+
+// DenseToSparse extracts the non-zero entries of v. The cached squared
+// norm is accumulated in index order, matching the dense Norm(2) loop.
+func DenseToSparse(v Vector) *Sparse {
+	nnz := 0
+	for _, x := range v {
+		if x != 0 {
+			nnz++
+		}
+	}
+	s := &Sparse{dim: len(v), idx: make([]int32, 0, nnz), val: make([]float64, 0, nnz)}
+	for i, x := range v {
+		if x != 0 {
+			s.idx = append(s.idx, int32(i))
+			s.val = append(s.val, x)
+			s.norm2 += x * x
+		}
+	}
+	return s
+}
+
+// MapToSparse converts a map-based SparseVector into the array form.
+func MapToSparse(m SparseVector, dim int) (*Sparse, error) {
+	support := m.Support()
+	s := &Sparse{dim: dim, idx: make([]int32, 0, len(support)), val: make([]float64, 0, len(support))}
+	for _, i := range support {
+		if i < 0 || i >= dim {
+			return nil, fmt.Errorf("vecmath: sparse index %d outside dimension %d", i, dim)
+		}
+		x := m[i]
+		s.idx = append(s.idx, int32(i))
+		s.val = append(s.val, x)
+		s.norm2 += x * x
+	}
+	return s, nil
+}
+
+// Dim returns the ambient dimension.
+func (s *Sparse) Dim() int { return s.dim }
+
+// NNZ returns the number of stored non-zeros.
+func (s *Sparse) NNZ() int { return len(s.idx) }
+
+// Norm2 returns the cached squared Euclidean norm.
+func (s *Sparse) Norm2() float64 { return s.norm2 }
+
+// L2 returns the Euclidean norm.
+func (s *Sparse) L2() float64 { return math.Sqrt(s.norm2) }
+
+// Dense materializes s as a dense vector.
+func (s *Sparse) Dense() Vector {
+	out := NewVector(s.dim)
+	for k, i := range s.idx {
+		out[i] = s.val[k]
+	}
+	return out
+}
+
+// Get returns the value at dimension i (zero when absent), by binary
+// search over the sorted support.
+func (s *Sparse) Get(i int) float64 {
+	k := sort.Search(len(s.idx), func(k int) bool { return s.idx[k] >= int32(i) })
+	if k < len(s.idx) && s.idx[k] == int32(i) {
+		return s.val[k]
+	}
+	return 0
+}
+
+// Dot returns s·t by a two-pointer merge over the sorted supports,
+// accumulating in ascending index order. The result is bit-identical to
+// the dense MustDot of the same vectors.
+func (s *Sparse) Dot(t *Sparse) float64 {
+	if s.dim != t.dim {
+		panic(fmt.Sprintf("vecmath: sparse Dot dimension mismatch %d vs %d", s.dim, t.dim))
+	}
+	var sum float64
+	a, b := 0, len(s.idx)
+	c, d := 0, len(t.idx)
+	for a < b && c < d {
+		ia, ic := s.idx[a], t.idx[c]
+		switch {
+		case ia == ic:
+			sum += s.val[a] * t.val[c]
+			a++
+			c++
+		case ia < ic:
+			a++
+		default:
+			c++
+		}
+	}
+	return sum
+}
+
+// DotDense returns s·v by gathering v at s's support, accumulating in
+// ascending index order; bit-identical to the dense dot.
+func (s *Sparse) DotDense(v Vector) float64 {
+	if s.dim != len(v) {
+		panic(fmt.Sprintf("vecmath: sparse DotDense dimension mismatch %d vs %d", s.dim, len(v)))
+	}
+	var sum float64
+	for k, i := range s.idx {
+		sum += s.val[k] * v[i]
+	}
+	return sum
+}
+
+// SquaredDistance returns ||s - t||^2 via the cached norms:
+// ||s||^2 - 2 s·t + ||t||^2, clamped at zero against cancellation noise.
+// This costs O(nnz) but is NOT bit-identical to the dense subtract-square
+// loop; callers that need exact dense agreement must use the dense path.
+func (s *Sparse) SquaredDistance(t *Sparse) float64 {
+	d2 := s.norm2 - 2*s.Dot(t) + t.norm2
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// SquaredDistanceDense returns ||s - v||^2 where v's squared norm vNorm2
+// was precomputed by the caller (K-means recomputes centroid norms once
+// per Lloyd iteration, then scores every point against them in O(nnz)).
+func (s *Sparse) SquaredDistanceDense(v Vector, vNorm2 float64) float64 {
+	d2 := s.norm2 - 2*s.DotDense(v) + vNorm2
+	if d2 < 0 {
+		return 0
+	}
+	return d2
+}
+
+// Euclidean returns the L2 distance to t (via the norm identity).
+func (s *Sparse) Euclidean(t *Sparse) float64 { return math.Sqrt(s.SquaredDistance(t)) }
+
+// Cosine returns the cosine similarity with t, clamped into [-1, 1]. Both
+// the dot product and the cached norms accumulate in ascending index
+// order, so the result is bit-identical to the dense Cosine.
+func (s *Sparse) Cosine(t *Sparse) float64 {
+	if s.norm2 == 0 || t.norm2 == 0 {
+		return 0
+	}
+	c := s.Dot(t) / (math.Sqrt(s.norm2) * math.Sqrt(t.norm2))
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// Norm2Of returns the squared L2 norm of a dense vector, accumulated in
+// index order (the shared helper for norm-cached distance computations).
+func Norm2Of(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}

@@ -1,0 +1,175 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSparseDense builds a dense vector of dimension dim with ~nnz
+// non-zeros at random positions.
+func randSparseDense(r *rand.Rand, dim, nnz int) Vector {
+	v := NewVector(dim)
+	for j := 0; j < nnz; j++ {
+		v[r.Intn(dim)] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestDenseToSparseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	v := randSparseDense(r, 500, 40)
+	s := DenseToSparse(v)
+	if s.Dim() != 500 {
+		t.Fatalf("dim = %d", s.Dim())
+	}
+	back := s.Dense()
+	if !v.Equal(back, 0) {
+		t.Fatal("round trip changed the vector")
+	}
+	nnz := 0
+	for i, x := range v {
+		if x != 0 {
+			nnz++
+		}
+		if s.Get(i) != x {
+			t.Fatalf("Get(%d) = %v, want %v", i, s.Get(i), x)
+		}
+	}
+	if s.NNZ() != nnz {
+		t.Fatalf("NNZ = %d, want %d", s.NNZ(), nnz)
+	}
+}
+
+func TestMapToSparse(t *testing.T) {
+	m := NewSparse()
+	m.Set(3, 1.5)
+	m.Set(7, -2)
+	s, err := MapToSparse(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 2 || s.Get(3) != 1.5 || s.Get(7) != -2 {
+		t.Fatalf("MapToSparse wrong: %+v", s)
+	}
+	m.Set(99, 1)
+	if _, err := MapToSparse(m, 10); err == nil {
+		t.Error("out-of-range support should fail")
+	}
+}
+
+// The bit-identity contract the SVM gram build and DB cosine path rely on.
+func TestSparseDotBitIdenticalToDense(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		x := randSparseDense(r, 700, 60)
+		y := randSparseDense(r, 700, 60)
+		sx, sy := DenseToSparse(x), DenseToSparse(y)
+		if got, want := sx.Dot(sy), x.MustDot(y); got != want {
+			t.Fatalf("trial %d: sparse dot %v != dense dot %v", trial, got, want)
+		}
+		if got, want := sx.DotDense(y), x.MustDot(y); got != want {
+			t.Fatalf("trial %d: DotDense %v != dense dot %v", trial, got, want)
+		}
+		wantCos, err := Cosine(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sx.Cosine(sy); got != wantCos {
+			t.Fatalf("trial %d: sparse cosine %v != dense %v", trial, got, wantCos)
+		}
+		if got, want := sx.Norm2(), Norm2Of(x); got != want {
+			t.Fatalf("trial %d: cached norm2 %v != %v", trial, got, want)
+		}
+	}
+}
+
+func TestSparseSquaredDistanceApproximatesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		x := randSparseDense(r, 400, 30)
+		y := randSparseDense(r, 400, 30)
+		sx, sy := DenseToSparse(x), DenseToSparse(y)
+		want, err := SquaredEuclidean(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sx.SquaredDistance(sy); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: sparse d2 %v vs dense %v", trial, got, want)
+		}
+		if got := sx.SquaredDistanceDense(y, Norm2Of(y)); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: sparse-dense d2 %v vs dense %v", trial, got, want)
+		}
+		if got, want := sx.Euclidean(sy), MustEuclidean(x, y); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: sparse euclid %v vs dense %v", trial, got, want)
+		}
+	}
+	// Identical vectors: clamped exactly to zero.
+	v := randSparseDense(r, 100, 10)
+	if d := DenseToSparse(v).SquaredDistance(DenseToSparse(v)); d != 0 {
+		t.Errorf("self distance = %v, want 0", d)
+	}
+}
+
+func TestSparseZeroVector(t *testing.T) {
+	z := DenseToSparse(NewVector(10))
+	if z.NNZ() != 0 || z.Norm2() != 0 || z.L2() != 0 {
+		t.Error("zero vector sparse form wrong")
+	}
+	v := DenseToSparse(Vector{1, 0, 2, 0, 0, 0, 0, 0, 0, 0})
+	if z.Dot(v) != 0 || z.Cosine(v) != 0 {
+		t.Error("zero-vector products should be 0")
+	}
+}
+
+func TestSparseDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot dimension mismatch should panic")
+		}
+	}()
+	DenseToSparse(Vector{1}).Dot(DenseToSparse(Vector{1, 2}))
+}
+
+// BenchmarkVecmathSparseVsDense measures the O(nnz) vs O(dim) gap at the
+// paper's scale: 3815-dim signatures with ~150 active kernel functions.
+func BenchmarkVecmathSparseVsDense(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dim, nnz = 3815, 150
+	x := randSparseDense(r, dim, nnz)
+	y := randSparseDense(r, dim, nnz)
+	sx, sy := DenseToSparse(x), DenseToSparse(y)
+	b.Run("dense-dot", func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += x.MustDot(y)
+		}
+		_ = s
+	})
+	b.Run("sparse-dot", func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += sx.Dot(sy)
+		}
+		_ = s
+	})
+	b.Run("dense-sqeuclidean", func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			d, _ := SquaredEuclidean(x, y)
+			s += d
+		}
+		_ = s
+	})
+	b.Run("sparse-sqeuclidean", func(b *testing.B) {
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += sx.SquaredDistance(sy)
+		}
+		_ = s
+	})
+}

@@ -221,6 +221,20 @@ func MustEuclidean(x, y Vector) float64 {
 	return math.Sqrt(s)
 }
 
+// MustSquaredEuclidean is SquaredEuclidean for pre-validated dimensions
+// (K-means assignment steps).
+func MustSquaredEuclidean(x, y Vector) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("vecmath: MustSquaredEuclidean dimension mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return s
+}
+
 // SquaredEuclidean returns the squared L2 distance, avoiding the sqrt for
 // comparisons (K-means assignment steps).
 func SquaredEuclidean(x, y Vector) (float64, error) {
