@@ -18,17 +18,20 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/parallel/ ./internal/svm/ \
 		./internal/crossval/ ./internal/cluster/ ./internal/core/ \
-		./internal/vecmath/
+		./internal/vecmath/ ./internal/experiments/
 
 ## bench: the full reproduction benchmark harness.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
-## bench-smoke: a quick perf-trajectory record (BENCH_baseline.json) so
-## future PRs can compare wall-clock like against like.
+## bench-smoke: a quick perf-trajectory record (BENCH_baseline.json for
+## wall-clock, BENCH_sparse_first.json for the sparse-first
+## micro-benchmarks: Transform sparse vs dense view, sharded DB TopK) so
+## future PRs can compare like against like.
 bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
 		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
+	$(GO) run ./cmd/fmeter-bench -microjson BENCH_sparse_first.json
 
 fmt:
 	gofmt -l -w .

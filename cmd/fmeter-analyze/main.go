@@ -111,7 +111,7 @@ func classify(w io.Writer, sigs []fmeter.Signature, k, dim int) error {
 	fmt.Fprintf(w, "classifying %d unlabeled signatures against %d labeled (k=%d):\n",
 		len(unlabeled), db.Len(), k)
 	for _, s := range unlabeled {
-		label, err := db.Classify(s.V, k, fmeter.EuclideanMetric())
+		label, err := db.ClassifySparse(s.W, k, fmeter.EuclideanMetric())
 		if err != nil {
 			return err
 		}
@@ -158,18 +158,16 @@ func contrast(w io.Writer, sigs []fmeter.Signature, labelA, labelB string, topN 
 				continue
 			}
 			if acc == nil {
-				acc = make(fmeter.Vector, s.V.Dim())
+				acc = make(fmeter.Vector, s.Dim())
 			}
-			for i, x := range s.V {
-				acc[i] += x
-			}
+			s.W.Axpy(1, acc)
 			n++
 		}
 		if n == 0 {
 			return fmeter.Signature{}, fmt.Errorf("no documents labeled %q", label)
 		}
 		acc.Scale(1 / float64(n))
-		return fmeter.Signature{DocID: label, Label: label, V: acc}, nil
+		return fmeter.SignatureFromDense(label, label, acc), nil
 	}
 	a, err := mean(labelA)
 	if err != nil {
@@ -184,7 +182,7 @@ func contrast(w io.Writer, sigs []fmeter.Signature, labelA, labelB string, topN 
 		return err
 	}
 	names := sys.FunctionNames()
-	if len(names) < a.V.Dim() {
+	if len(names) < a.Dim() {
 		names = nil // foreign dimension; print indices only
 	}
 	terms, err := fmeter.Contrast(a, b, topN, names)

@@ -44,11 +44,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		perClass  = fs.Int("perclass", 250, "signatures per class for the learning experiments (paper: ~250)")
 		seed      = fs.Int64("seed", 1, "random seed")
 		workers   = fs.Int("workers", 0, "worker-pool bound for parallel sweeps (0 = one per CPU, <0 = sequential; results are identical at any setting)")
-		sparse    = fs.Bool("sparse", false, "use O(nnz) sparse signature math in the clustering experiments")
+		sparse    = fs.Bool("sparse", false, "use the O(nnz) norm-cached K-means assignment step in the clustering experiments")
 		benchJSON = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
+		microJSON = fs.String("microjson", "", "run the sparse-first micro-benchmarks (Transform, sharded TopK) and write them to this JSON file, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *microJSON != "" {
+		return runMicroBench(*microJSON, stderr)
 	}
 
 	selected := make(map[string]bool)

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// microRecord is the BENCH_sparse_first.json artifact: the sparse-first
+// micro-benchmarks (tf-idf embedding and sharded-DB TopK) measured via
+// testing.Benchmark, so the perf trajectory of the sparse-first
+// representation is recorded next to the wall-clock table records.
+type microRecord struct {
+	Timestamp  string                `json:"timestamp"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Benchmarks map[string]microBench `json:"benchmarks"`
+}
+
+// microBench is one benchmark's headline numbers.
+type microBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// toMicroBench converts a testing.BenchmarkResult.
+func toMicroBench(r testing.BenchmarkResult) microBench {
+	return microBench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// microCorpus builds the benchmark corpus: ~250 nnz documents in the
+// paper's 3815-dim space.
+func microCorpus(docs, nnz int) (*core.Corpus, error) {
+	const dim = 3815
+	r := rand.New(rand.NewSource(1))
+	c, err := core.NewCorpus(dim)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < docs; i++ {
+		counts := make(map[int]uint64)
+		for j := 0; j < nnz; j++ {
+			counts[r.Intn(dim)] = uint64(1 + r.Intn(100000))
+		}
+		doc := &core.Document{ID: fmt.Sprintf("d%d", i), Label: fmt.Sprintf("l%d", i%3), Duration: 10 * time.Second, Counts: counts}
+		if err := c.Add(doc); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// runMicroBench measures the sparse-first micro-benchmarks and writes
+// the JSON record. The benchmark set mirrors the go-test benchmarks of
+// the same names (internal/core): BenchmarkTransform3815 sparse vs the
+// dense view, and BenchmarkDBTopKSharded at 1 and 4 shards.
+func runMicroBench(path string, stderr io.Writer) error {
+	c, err := microCorpus(100, 250)
+	if err != nil {
+		return err
+	}
+	m, err := c.Fit()
+	if err != nil {
+		return err
+	}
+	target := c.Docs()[0]
+
+	rec := microRecord{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]microBench),
+	}
+	bench := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		rec.Benchmarks[name] = toMicroBench(res)
+		fmt.Fprintf(stderr, "%-40s %12.0f ns/op %8d B/op %6d allocs/op\n",
+			name, rec.Benchmarks[name].NsPerOp, rec.Benchmarks[name].BytesPerOp, rec.Benchmarks[name].AllocsPerOp)
+	}
+
+	bench("BenchmarkTransform3815/sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Transform(target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bench("BenchmarkTransform3815/dense-view", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sig, err := m.Transform(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sig.Dense()
+		}
+	})
+
+	sigs, _, err := c.Signatures()
+	if err != nil {
+		return err
+	}
+	query := sigs[0].W
+	for _, shards := range []int{1, 4} {
+		db, err := core.NewShardedDB(sigs[0].Dim(), shards)
+		if err != nil {
+			return err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
+			name := fmt.Sprintf("BenchmarkDBTopKSharded/shards=%d/%s", shards, metric.Name)
+			bench(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.TopKSparse(query, 10, metric); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Pin the kernel the scans ride on (sparse dot at ~250 nnz).
+	x, y := sigs[0].W, sigs[1].W
+	bench("BenchmarkSparseDot250", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Dot(y)
+		}
+	})
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "micro-benchmark record written to %s\n", path)
+	return nil
+}

@@ -103,7 +103,7 @@ func run() error {
 		}
 	}
 	for _, probe := range []fmeter.Signature{incidents[0], incidents[len(incidents)-1]} {
-		label, err := db.Classify(probe.V, 7, fmeter.EuclideanMetric())
+		label, err := db.ClassifySparse(probe.W, 7, fmeter.EuclideanMetric())
 		if err != nil {
 			return err
 		}

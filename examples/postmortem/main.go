@@ -89,7 +89,7 @@ func run() error {
 	fmt.Println("\ndiagnosis of the last 5 intervals before the crash:")
 	last := crashSigs[len(crashSigs)-5:]
 	for _, s := range last {
-		label, err := db.Classify(s.V, 7, fmeter.EuclideanMetric())
+		label, err := db.ClassifySparse(s.W, 7, fmeter.EuclideanMetric())
 		if err != nil {
 			return err
 		}

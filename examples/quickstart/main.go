@@ -4,6 +4,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"time"
@@ -45,20 +46,20 @@ func run() error {
 	}
 	fmt.Printf("tf-idf model fitted over %d documents (dim %d)\n", len(sigs), model.Dim())
 
-	// Index all but one signature in a labeled database, then retrieve
-	// the held-out one by similarity.
-	db, err := fmeter.NewDB(sys.Dim())
+	// Index all but one signature in a labeled database — sharded four
+	// ways, as an operator's long-lived store would be — then retrieve
+	// the held-out one by similarity. Queries use the signatures'
+	// canonical sparse form and cost O(nnz) per stored signature.
+	db, err := fmeter.NewDB(sys.Dim(), fmeter.WithShards(4))
 	if err != nil {
 		return err
 	}
 	query, rest := sigs[0], sigs[1:]
-	for _, s := range rest {
-		if err := db.Add(s); err != nil {
-			return err
-		}
+	if err := db.AddAll(rest); err != nil {
+		return err
 	}
 	for _, metric := range []fmeter.Metric{fmeter.CosineMetric(), fmeter.EuclideanMetric()} {
-		hits, err := db.TopK(query.V, 3, metric)
+		hits, err := db.TopKSparse(query.W, 3, metric)
 		if err != nil {
 			return err
 		}
@@ -69,10 +70,26 @@ func run() error {
 	}
 
 	// Majority-vote retrieval classification (§2.2's similarity search).
-	label, err := db.Classify(query.V, 5, fmeter.EuclideanMetric())
+	label, err := db.ClassifySparse(query.W, 5, fmeter.EuclideanMetric())
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\n5-NN classification of %s: %s (truth: %s)\n", query.DocID, label, query.Label)
+
+	// The database survives restarts: snapshot, reload (re-sharding is
+	// free — results are identical at any shard count), and re-query.
+	var snap bytes.Buffer
+	if err := fmeter.WriteDBSnapshot(&snap, db); err != nil {
+		return err
+	}
+	restored, err := fmeter.ReadDBSnapshot(&snap, 2)
+	if err != nil {
+		return err
+	}
+	label2, err := restored.ClassifySparse(query.W, 5, fmeter.EuclideanMetric())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("after snapshot/reload (%d -> %d shards): %s\n", db.Shards(), restored.Shards(), label2)
 	return nil
 }

@@ -152,3 +152,117 @@ func TestMinkowskiMetricFacade(t *testing.T) {
 		t.Errorf("minkowski metric misconfigured: %v %v", d, m.HigherIsCloser)
 	}
 }
+
+// TestShardedDBFacade drives the sharded store through the facade:
+// WithShards/WithWorkers construction, identical TopK across shard
+// counts, and a snapshot round trip with re-sharding.
+func TestShardedDBFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 5, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 12, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := sys.Collect(DbenchWorkload(), 12, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(append(docs, more...), sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, rest := sigs[0], sigs[1:]
+
+	single, err := NewDB(sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Shards() != 1 {
+		t.Fatalf("default shards = %d", single.Shards())
+	}
+	if err := single.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	want, err := single.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded, err := NewDB(sys.Dim(), WithShards(4), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards() != 4 {
+		t.Fatalf("shards = %d", sharded.Shards())
+	}
+	if err := sharded.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharded.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
+			t.Fatalf("hit %d differs across shard counts: (%s, %v) vs (%s, %v)",
+				i, got[i].Signature.DocID, got[i].Score, want[i].Signature.DocID, want[i].Score)
+		}
+	}
+
+	var snap bytes.Buffer
+	if err := WriteDBSnapshot(&snap, sharded); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadDBSnapshot(&snap, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Shards() != 2 || restored.Len() != sharded.Len() {
+		t.Fatalf("restored shards/len = %d/%d", restored.Shards(), restored.Len())
+	}
+	back, err := restored.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if back[i].Signature.DocID != want[i].Signature.DocID || back[i].Score != want[i].Score {
+			t.Fatalf("hit %d differs after snapshot reload", i)
+		}
+	}
+}
+
+// TestScoreBatchMatchesMatches: the facade's batched scorer equals
+// per-signature Matches at any worker count.
+func TestScoreBatchMatchesMatches(t *testing.T) {
+	sys, err := New(Config{Seed: 6, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 10, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := sys.Collect(KcompileWorkload(), 10, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(append(docs, more...), sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := TrainClassifier(sigs, "scp", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0, 3} {
+		scores := clf.ScoreBatch(sigs, WithWorkers(workers))
+		for i, s := range sigs {
+			_, want := clf.Matches(s)
+			if scores[i] != want {
+				t.Fatalf("workers=%d: score %d = %v, want %v", workers, i, scores[i], want)
+			}
+		}
+	}
+}

@@ -18,9 +18,27 @@
 //
 // # Quick start
 //
+// Signatures are sparse-first: Signature.W holds the canonical sorted
+// sparse form, and every pipeline stage — embedding, the sharded
+// database, batched classification — runs in O(nnz) per signature.
+//
 //	sys, _ := fmeter.New(fmeter.Config{Tracer: fmeter.TracerFmeter, Seed: 1})
-//	docs, _ := sys.Collect(fmeter.ScpWorkload(), 50, 10*time.Second, nil)
-//	sigs, model, _ := fmeter.BuildSignatures(docs, sys.Dim())
+//	scp, _ := sys.Collect(fmeter.ScpWorkload(), 50, 10*time.Second, nil)
+//	dbench, _ := sys.Collect(fmeter.DbenchWorkload(), 50, 10*time.Second, nil)
+//	sigs, model, _ := fmeter.BuildSignatures(append(scp, dbench...), sys.Dim())
+//
+//	// Sharded similarity database; snapshots survive restarts.
+//	db, _ := fmeter.NewDB(sys.Dim(), fmeter.WithShards(4))
+//	_ = db.AddAll(sigs[1:])
+//	hits, _ := db.TopKSparse(sigs[0].W, 3, fmeter.EuclideanMetric())
+//
+//	// Batched classification amortizes the per-query kernel work (the
+//	// corpus holds both classes, as a binary SVM requires).
+//	clf, _ := fmeter.TrainClassifier(sigs, "scp", 10, 1)
+//	scores := clf.ScoreBatch(sigs)
+//
+//	_ = hits
+//	_ = scores
 //
 // See examples/ for complete programs.
 package fmeter
@@ -59,8 +77,12 @@ type (
 	Metric = core.Metric
 	// SearchResult is one similarity-query hit.
 	SearchResult = core.SearchResult
+	// DimensionError is the typed error for mis-sized DB inputs.
+	DimensionError = core.DimensionError
 	// Vector is a dense signature vector.
 	Vector = vecmath.Vector
+	// Sparse is the canonical sparse signature vector (Signature.W).
+	Sparse = vecmath.Sparse
 	// WorkloadSpec declares a workload's kernel-operation mix.
 	WorkloadSpec = workload.Spec
 	// DriverVariant selects a myri10ge driver scenario (Table 5).
@@ -115,9 +137,14 @@ type Config struct {
 	// CPU, <0 = sequential). Results are bit-identical at any worker
 	// count; see DESIGN-PERF.md.
 	Workers int
-	// Sparse enables O(nnz) sparse signature math in the learning
-	// helpers (K-means norm-cached distances, sparse similarity scans).
+	// Sparse enables the O(nnz) norm-cached K-means assignment step in
+	// the clustering helpers (signature math itself is sparse-first
+	// everywhere).
 	Sparse bool
+	// Shards is the signature-database shard count used by NewDB through
+	// Options (0 = single shard). TopK results are identical at any
+	// shard count; shards bound the scan fan-out.
+	Shards int
 }
 
 // Option tunes the host-side performance of the learning helpers
@@ -127,6 +154,7 @@ type Option func(*perfOpts)
 type perfOpts struct {
 	workers int
 	sparse  bool
+	shards  int
 }
 
 // WithWorkers bounds the helper's worker-pool fan-out: 0 (the default)
@@ -134,9 +162,15 @@ type perfOpts struct {
 // The computed result is bit-identical at any setting.
 func WithWorkers(n int) Option { return func(o *perfOpts) { o.workers = n } }
 
-// WithSparse toggles O(nnz) sparse signature math (cached-norm distances)
-// in the helper. Distances agree with the dense path to ~1e-9 relative.
+// WithSparse toggles the O(nnz) norm-cached K-means assignment step in
+// the clustering helpers. Distances agree with the dense path to ~1e-9
+// relative.
 func WithSparse(on bool) Option { return func(o *perfOpts) { o.sparse = on } }
+
+// WithShards sets the shard count for NewDB (n < 1 means one shard).
+// Queries return identical results at any shard count; shards bound the
+// TopK scan fan-out across the worker pool.
+func WithShards(n int) Option { return func(o *perfOpts) { o.shards = n } }
 
 func applyOpts(opts []Option) perfOpts {
 	var o perfOpts
@@ -235,7 +269,7 @@ func New(cfg Config) (*System, error) {
 //
 //	res, err := fmeter.ClusterSignatures(sigs, 3, 1, sys.Options()...)
 func (s *System) Options() []Option {
-	return []Option{WithWorkers(s.cfg.Workers), WithSparse(s.cfg.Sparse)}
+	return []Option{WithWorkers(s.cfg.Workers), WithSparse(s.cfg.Sparse), WithShards(s.cfg.Shards)}
 }
 
 // Dim returns the signature dimension: the number of instrumented
@@ -347,8 +381,37 @@ func BuildSignatures(docs []*Document, dim int) ([]Signature, *Model, error) {
 	return sigs, model, nil
 }
 
-// NewDB creates an empty labeled signature database.
-func NewDB(dim int) (*DB, error) { return core.NewDB(dim) }
+// NewDB creates an empty labeled signature database. Pass WithShards to
+// split the store over N shards (bounding TopK's scan fan-out) and
+// WithWorkers to bound the scan worker pool; query results are identical
+// at any setting.
+func NewDB(dim int, opts ...Option) (*DB, error) {
+	o := applyOpts(opts)
+	shards := o.shards
+	if shards < 1 {
+		shards = 1
+	}
+	db, err := core.NewShardedDB(dim, shards)
+	if err != nil {
+		return nil, err
+	}
+	db.SetWorkers(o.workers)
+	return db, nil
+}
+
+// SignatureFromDense wraps a dense weight vector as a signature.
+func SignatureFromDense(docID, label string, v Vector) Signature {
+	return core.SignatureFromDense(docID, label, v)
+}
+
+// WriteDBSnapshot / ReadDBSnapshot persist a signature database in the
+// versioned binary snapshot format, so an operator's labeled DB survives
+// restarts. shards == 0 reloads with the writer's shard layout; any
+// other count re-shards without changing query results.
+func WriteDBSnapshot(w io.Writer, db *DB) error { return db.WriteSnapshot(w) }
+
+// ReadDBSnapshot parses a snapshot written by WriteDBSnapshot.
+func ReadDBSnapshot(r io.Reader, shards int) (*DB, error) { return core.ReadSnapshot(r, shards) }
 
 // CosineMetric is the cosine similarity of §2.1.
 func CosineMetric() Metric { return core.CosineMetric() }
@@ -378,6 +441,13 @@ func WriteModel(w io.Writer, m *Model) error { return core.WriteModel(w, m) }
 
 // ReadModel parses a model written by WriteModel.
 func ReadModel(r io.Reader) (*Model, error) { return core.ReadModel(r) }
+
+// WriteModelSnapshot / ReadModelSnapshot are the binary companions of
+// WriteModel/ReadModel, pairing with the DB snapshot format.
+func WriteModelSnapshot(w io.Writer, m *Model) error { return core.WriteModelSnapshot(w, m) }
+
+// ReadModelSnapshot parses a model snapshot written by WriteModelSnapshot.
+func ReadModelSnapshot(r io.Reader) (*Model, error) { return core.ReadModelSnapshot(r) }
 
 // TermWeight is one kernel function's contribution to a signature.
 type TermWeight = core.TermWeight
@@ -411,17 +481,17 @@ func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64, o
 		return nil, fmt.Errorf("fmeter: no signatures")
 	}
 	o := applyOpts(opts)
-	x := make([]Vector, len(sigs))
+	x := make([]*Sparse, len(sigs))
 	y := make([]float64, len(sigs))
 	for i, s := range sigs {
-		x[i] = s.V
+		x[i] = s.W
 		if s.Label == posLabel {
 			y[i] = 1
 		} else {
 			y[i] = -1
 		}
 	}
-	m, err := svm.Train(x, y, svm.Config{C: c, Seed: seed, Workers: o.workers})
+	m, err := svm.TrainSparse(x, y, svm.Config{C: c, Seed: seed, Workers: o.workers})
 	if err != nil {
 		return nil, err
 	}
@@ -431,8 +501,21 @@ func TrainClassifier(sigs []Signature, posLabel string, c float64, seed int64, o
 // Matches reports whether the signature is classified as PosLabel, along
 // with the decision score.
 func (c *Classifier) Matches(sig Signature) (bool, float64) {
-	score := c.model.Decision(sig.V)
+	score := c.model.DecisionSparse(sig.W)
 	return score >= 0, score
+}
+
+// ScoreBatch returns the decision score of every signature in one
+// batched pass, fanning the kernel-row computations out over the worker
+// pool (WithWorkers). Scores are bit-identical to calling Matches per
+// signature, at any worker count.
+func (c *Classifier) ScoreBatch(sigs []Signature, opts ...Option) []float64 {
+	o := applyOpts(opts)
+	qs := make([]*Sparse, len(sigs))
+	for i, s := range sigs {
+		qs[i] = s.W
+	}
+	return c.model.DecisionBatch(qs, o.workers)
 }
 
 // ClusterResult is a K-means clustering of signatures.
@@ -452,13 +535,26 @@ func ClusterSignatures(sigs []Signature, k int, seed int64, opts ...Option) (*Cl
 		return nil, fmt.Errorf("fmeter: no signatures")
 	}
 	o := applyOpts(opts)
-	pts := make([]Vector, len(sigs))
 	labels := make([]string, len(sigs))
 	for i, s := range sigs {
-		pts[i] = s.V
 		labels[i] = s.Label
 	}
-	res, err := cluster.KMeans(pts, cluster.KMeansConfig{K: k, Seed: seed, Workers: o.workers, Sparse: o.sparse})
+	kcfg := cluster.KMeansConfig{K: k, Seed: seed, Workers: o.workers}
+	var res *cluster.KMeansResult
+	var err error
+	if o.sparse {
+		qs := make([]*Sparse, len(sigs))
+		for i, s := range sigs {
+			qs[i] = s.W
+		}
+		res, err = cluster.KMeansSparse(qs, kcfg)
+	} else {
+		pts := make([]Vector, len(sigs))
+		for i, s := range sigs {
+			pts[i] = s.Dense()
+		}
+		res, err = cluster.KMeans(pts, kcfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -480,7 +576,7 @@ func HierarchicalCluster(sigs []Signature) (*Dendrogram, error) {
 	}
 	pts := make([]Vector, len(sigs))
 	for i, s := range sigs {
-		pts[i] = s.V
+		pts[i] = s.Dense()
 	}
 	return cluster.Hierarchical(pts, cluster.SingleLinkage)
 }

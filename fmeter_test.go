@@ -56,7 +56,7 @@ func TestCollectAndBuildSignatures(t *testing.T) {
 		if s.Label != "scp" {
 			t.Errorf("label = %q", s.Label)
 		}
-		l2 := s.V.L2()
+		l2 := s.W.L2()
 		if l2 != 0 && (l2 < 0.999 || l2 > 1.001) {
 			t.Errorf("signature not unit-ball scaled: %v", l2)
 		}
@@ -225,7 +225,7 @@ func TestSignatureDBSearch(t *testing.T) {
 		}
 	}
 	for _, metric := range []Metric{CosineMetric(), EuclideanMetric(), MinkowskiMetric(1)} {
-		hits, err := db.TopK(sigs[0].V, 3, metric)
+		hits, err := db.TopKSparse(sigs[0].W, 3, metric)
 		if err != nil {
 			t.Fatalf("%s: %v", metric.Name, err)
 		}

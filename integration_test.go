@@ -82,8 +82,8 @@ func TestDatabaseWorkflowAcrossMachines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sig.V.Normalize()
-		label, err := db.Classify(sig.V, 5, EuclideanMetric())
+		sig.W.Normalize()
+		label, err := db.ClassifySparse(sig.W, 5, EuclideanMetric())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestModelTransformMatchesCorpusEmbedding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !sigs[2].V.Equal(again.V, 1e-12) {
+	if !sigs[2].Dense().Equal(again.Dense(), 1e-12) {
 		t.Error("model.Transform differs from corpus embedding")
 	}
 }

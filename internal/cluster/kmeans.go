@@ -74,20 +74,9 @@ type KMeansResult struct {
 // inertia result of cfg.Restarts independently-seeded runs (ties broken
 // toward the earliest restart, matching a sequential sweep).
 func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("cluster: K=%d must be >= 1", cfg.K)
+	if err := validatePoints(len(points), cfg.K, func(i int) int { return points[i].Dim() }); err != nil {
+		return nil, err
 	}
-	if len(points) < cfg.K {
-		return nil, fmt.Errorf("cluster: %d points for K=%d", len(points), cfg.K)
-	}
-	dim := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != dim {
-			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, p.Dim(), dim)
-		}
-	}
-	cfg.fillDefaults()
-
 	// Sparse forms and cached point norms are shared read-only across
 	// restarts; compute them once.
 	var sp []*vecmath.Sparse
@@ -99,7 +88,52 @@ func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 			}
 		})
 	}
+	return kmeansRestarts(points, sp, cfg)
+}
 
+// KMeansSparse clusters points given in canonical sparse form — the
+// native entry point for sparse-first signatures. The assignment step
+// scores through the norm-cached sparse identity (cfg.Sparse is implied)
+// and the update step accumulates through Sparse.Axpy, so a Lloyd
+// iteration costs O(Σnnz), not O(n·dim); dense views are materialized
+// only for the few points chosen as initial or reseeded centroids
+// (centroid arithmetic stays dense — means are dense, and accumulation
+// in point order is the bit-stability contract). Results are identical
+// to KMeans(dense views, cfg with Sparse=true).
+func KMeansSparse(points []*vecmath.Sparse, cfg KMeansConfig) (*KMeansResult, error) {
+	for i, p := range points {
+		if p == nil {
+			return nil, fmt.Errorf("cluster: point %d is nil", i)
+		}
+	}
+	if err := validatePoints(len(points), cfg.K, func(i int) int { return points[i].Dim() }); err != nil {
+		return nil, err
+	}
+	return kmeansRestarts(nil, points, cfg)
+}
+
+// validatePoints checks the K/point-count contract and dimension
+// agreement.
+func validatePoints(n, k int, dimAt func(int) int) error {
+	if k < 1 {
+		return fmt.Errorf("cluster: K=%d must be >= 1", k)
+	}
+	if n < k {
+		return fmt.Errorf("cluster: %d points for K=%d", n, k)
+	}
+	dim := dimAt(0)
+	for i := 1; i < n; i++ {
+		if d := dimAt(i); d != dim {
+			return fmt.Errorf("cluster: point %d has dimension %d, want %d", i, d, dim)
+		}
+	}
+	return nil
+}
+
+// kmeansRestarts fans the independently-seeded restarts out over the
+// worker pool. sp is nil for the dense assignment path.
+func kmeansRestarts(points []vecmath.Vector, sp []*vecmath.Sparse, cfg KMeansConfig) (*KMeansResult, error) {
+	cfg.fillDefaults()
 	// With several restarts the fan-out lives at the restart level and
 	// each run stays sequential inside; a single restart instead spreads
 	// its assignment step across the workers.
@@ -124,20 +158,47 @@ func KMeans(points []vecmath.Vector, cfg KMeansConfig) (*KMeansResult, error) {
 }
 
 // kmeansOnce runs one restart of Lloyd's algorithm. sp, when non-nil,
-// holds the sparse forms of points for norm-cached distance scoring.
+// holds the sparse forms for norm-cached distance scoring and Axpy
+// accumulation; points may then be nil (the sparse-native path), in
+// which case dense views are materialized only where a centroid is
+// seeded from a point.
 func kmeansOnce(points []vecmath.Vector, sp []*vecmath.Sparse, k, maxIter int, init InitMethod, rng *rand.Rand, workers int) (*KMeansResult, error) {
 	n := len(points)
-	dim := points[0].Dim()
+	if points == nil {
+		n = len(sp)
+	}
+	// densePoint materializes (or copies) the dense view of point i for
+	// centroid seeding; identical values either way.
+	densePoint := func(i int) vecmath.Vector {
+		if points != nil {
+			return points[i].Clone()
+		}
+		return sp[i].Dense()
+	}
+	dim := 0
+	if points != nil {
+		dim = points[0].Dim()
+	} else {
+		dim = sp[0].Dim()
+	}
 
 	var centroids []vecmath.Vector
 	if init == InitPlusPlus {
+		if points == nil {
+			// The ++ seeding walks pairwise point distances densely;
+			// materialize once for this rarely-combined configuration.
+			points = make([]vecmath.Vector, n)
+			for i := range points {
+				points[i] = sp[i].Dense()
+			}
+		}
 		centroids = plusPlusInit(points, k, rng)
 	} else {
 		// Initialize centroids from k distinct random points.
 		perm := rng.Perm(n)
 		centroids = make([]vecmath.Vector, k)
 		for i := 0; i < k; i++ {
-			centroids[i] = points[perm[i]].Clone()
+			centroids[i] = densePoint(perm[i])
 		}
 	}
 
@@ -204,25 +265,36 @@ func kmeansOnce(points []vecmath.Vector, sp []*vecmath.Sparse, k, maxIter int, i
 			break
 		}
 		// Update step (sequential: the sums must accumulate in point
-		// order for bit-stable centroid arithmetic).
+		// order for bit-stable centroid arithmetic). The sparse Axpy
+		// accumulate is bit-identical to the dense loop — skipped zero
+		// components contribute an exact +0 — so both paths feed the
+		// same centroids.
 		for c := range sums {
 			counts[c] = 0
 			for j := range sums[c] {
 				sums[c][j] = 0
 			}
 		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for j, x := range p {
-				sums[c][j] += x
+		if sp != nil {
+			for i, p := range sp {
+				c := assign[i]
+				counts[c]++
+				p.Axpy(1, sums[c])
+			}
+		} else {
+			for i, p := range points {
+				c := assign[i]
+				counts[c]++
+				for j, x := range p {
+					sums[c][j] += x
+				}
 			}
 		}
 		for c := range centroids {
 			if counts[c] == 0 {
 				// Empty cluster: reseed from a random point, the standard
 				// Lloyd repair.
-				centroids[c] = points[rng.Intn(n)].Clone()
+				centroids[c] = densePoint(rng.Intn(n))
 				continue
 			}
 			inv := 1 / float64(counts[c])
@@ -237,7 +309,7 @@ func kmeansOnce(points []vecmath.Vector, sp []*vecmath.Sparse, k, maxIter int, i
 		for c := range centroids {
 			cNorm2[c] = vecmath.Norm2Of(centroids[c])
 		}
-		for i := range points {
+		for i := range sp {
 			inertia += sp[i].SquaredDistanceDense(centroids[assign[i]], cNorm2[assign[i]])
 		}
 	} else {

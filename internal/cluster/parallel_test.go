@@ -135,3 +135,58 @@ func BenchmarkKMeansSparse250x3815(b *testing.B) {
 		})
 	}
 }
+
+// TestKMeansSparseNativeMatchesSparseFlag: the sparse-first entry point
+// (canonical sparse points in, no dense input) must reproduce
+// KMeans(dense, Sparse: true) exactly — same assignments, same inertia,
+// at any worker count.
+func TestKMeansSparseNativeMatchesSparseFlag(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	dim := 60
+	var pts []vecmath.Vector
+	for c := 0; c < 3; c++ {
+		center := vecmath.NewVector(dim)
+		for j := 0; j < 5; j++ {
+			center[r.Intn(dim)] = 4 + float64(c)
+		}
+		pts = append(pts, blob(r, 25, center, 0.1)...)
+	}
+	sp := make([]*vecmath.Sparse, len(pts))
+	for i := range pts {
+		sp[i] = vecmath.DenseToSparse(pts[i])
+	}
+	want, err := KMeans(pts, KMeansConfig{K: 3, Seed: 13, Restarts: 4, Sparse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 2, 0} {
+		got, err := KMeansSparse(sp, KMeansConfig{K: 3, Seed: 13, Restarts: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Inertia != want.Inertia || got.Iterations != want.Iterations {
+			t.Fatalf("workers=%d: inertia/iters (%v, %d) vs (%v, %d)",
+				workers, got.Inertia, got.Iterations, want.Inertia, want.Iterations)
+		}
+		for i := range want.Assign {
+			if got.Assign[i] != want.Assign[i] {
+				t.Fatalf("workers=%d: assignment %d differs", workers, i)
+			}
+		}
+		for c := range want.Centroids {
+			if !got.Centroids[c].Equal(want.Centroids[c], 0) {
+				t.Fatalf("workers=%d: centroid %d differs", workers, c)
+			}
+		}
+	}
+	if _, err := KMeansSparse(sp[:2], KMeansConfig{K: 3}); err == nil {
+		t.Error("too few points should fail")
+	}
+}
+
+func TestKMeansSparseNilPoint(t *testing.T) {
+	s := vecmath.DenseToSparse(vecmath.Vector{1, 0})
+	if _, err := KMeansSparse([]*vecmath.Sparse{s, nil}, KMeansConfig{K: 1}); err == nil {
+		t.Error("nil point should return an error, not panic")
+	}
+}

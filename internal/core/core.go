@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"repro/internal/vecmath"
@@ -87,12 +88,33 @@ func (d *Document) TF() vecmath.SparseVector {
 }
 
 // Signature is a document embedded into the vector space: a tf-idf weight
-// vector plus provenance.
+// vector plus provenance. The canonical representation is sparse — a
+// monitoring interval touches a few hundred of the ~3815 kernel
+// functions, so W stores sorted (index, weight) pairs with a cached norm
+// and every signature-sized computation (similarity scans, kernel
+// evaluations, persistence) runs in O(nnz). Dense is the derived view for
+// the few consumers that need per-component arithmetic.
 type Signature struct {
 	DocID string
 	Label string
-	V     vecmath.Vector
+	// W is the sparse tf-idf weight vector. It is never nil for
+	// signatures produced by this package (Transform, ReadSignatures,
+	// snapshot loading); hand-built signatures must populate it, e.g. via
+	// SignatureFromDense.
+	W *vecmath.Sparse
 }
+
+// SignatureFromDense wraps a dense weight vector as a signature,
+// extracting the sparse canonical form.
+func SignatureFromDense(docID, label string, v vecmath.Vector) Signature {
+	return Signature{DocID: docID, Label: label, W: vecmath.DenseToSparse(v)}
+}
+
+// Dim returns the signature's ambient dimension.
+func (s Signature) Dim() int { return s.W.Dim() }
+
+// Dense materializes the signature's weight vector.
+func (s Signature) Dense() vecmath.Vector { return s.W.Dense() }
 
 // Corpus is a collection of documents over a fixed term space of dimension
 // Dim (the size of the core-kernel symbol table).
@@ -211,24 +233,42 @@ func (m *Model) IDF() []float64 {
 }
 
 // Transform embeds one document into the vector space: w_i = tf_i × idf_i.
-// The returned signature is NOT length-normalized; use Normalize (or the
-// vecmath helpers) when a method requires unit vectors, as the paper does
-// for SVM classification ("scaled into the unit-ball using the L2 norm").
+// The signature is built sparse-first — the document's support is sorted
+// and weighted in O(nnz log nnz), with no dense intermediate, so
+// embedding cost scales with the interval's footprint rather than the
+// symbol table. Weights that come out exactly zero (idf-damped ubiquitous
+// terms) are dropped from the support, matching what extracting the
+// dense form would store. The returned signature is NOT
+// length-normalized; use Normalize when a method requires unit vectors,
+// as the paper does for SVM classification ("scaled into the unit-ball
+// using the L2 norm").
 func (m *Model) Transform(doc *Document) (Signature, error) {
 	if doc == nil {
 		return Signature{}, errors.New("core: nil document")
 	}
-	v := vecmath.NewVector(m.dim)
-	total := float64(doc.Total())
-	if total > 0 {
-		for i, c := range doc.Counts {
-			if i < 0 || i >= m.dim {
-				return Signature{}, fmt.Errorf("core: document %s term %d outside dimension %d", doc.ID, i, m.dim)
+	idx := make([]int32, 0, len(doc.Counts))
+	for i := range doc.Counts {
+		if i < 0 || i >= m.dim {
+			return Signature{}, fmt.Errorf("core: document %s term %d outside dimension %d", doc.ID, i, m.dim)
+		}
+		idx = append(idx, int32(i))
+	}
+	slices.Sort(idx)
+	val := make([]float64, 0, len(idx))
+	nz := idx[:0]
+	if total := float64(doc.Total()); total > 0 {
+		for _, i := range idx {
+			if w := float64(doc.Counts[int(i)]) / total * m.idf[i]; w != 0 {
+				nz = append(nz, i)
+				val = append(val, w)
 			}
-			v[i] = float64(c) / total * m.idf[i]
 		}
 	}
-	return Signature{DocID: doc.ID, Label: doc.Label, V: v}, nil
+	w, err := vecmath.SparseFromSorted(m.dim, nz, val)
+	if err != nil {
+		return Signature{}, fmt.Errorf("core: document %s: %w", doc.ID, err)
+	}
+	return Signature{DocID: doc.ID, Label: doc.Label, W: w}, nil
 }
 
 // TransformAll embeds a slice of documents.
@@ -261,8 +301,12 @@ func (c *Corpus) Signatures() ([]Signature, *Model, error) {
 }
 
 // Normalize L2-normalizes the signatures in place (unit-ball scaling).
+// Signatures with no weight vector are skipped, matching the old dense
+// representation's tolerance of zero-value signatures.
 func Normalize(sigs []Signature) {
 	for i := range sigs {
-		sigs[i].V.Normalize()
+		if sigs[i].W != nil {
+			sigs[i].W.Normalize()
+		}
 	}
 }

@@ -109,11 +109,15 @@ func TestTransformComputesTFIDF(t *testing.T) {
 	}
 	// idf: term0 in both docs -> log(2/2)=0; term1 in one -> log 2.
 	want1 := vecmath.Vector{0, 0.25 * math.Log(2)}
-	if !sigs[0].V.Equal(want1, 1e-12) {
-		t.Errorf("sig d1 = %v, want %v", sigs[0].V, want1)
+	if !sigs[0].Dense().Equal(want1, 1e-12) {
+		t.Errorf("sig d1 = %v, want %v", sigs[0].Dense(), want1)
 	}
-	if !sigs[1].V.Equal(vecmath.Vector{0, 0}, 1e-12) {
-		t.Errorf("sig d2 = %v, want zero", sigs[1].V)
+	if sigs[1].W.NNZ() != 0 || sigs[1].Dim() != 2 {
+		t.Errorf("sig d2 = %v, want empty support over dim 2", sigs[1].Dense())
+	}
+	// The zero-idf term is dropped from the sparse support entirely.
+	if sigs[0].W.NNZ() != 1 {
+		t.Errorf("sig d1 support = %d, want 1 (zero weights dropped)", sigs[0].W.NNZ())
 	}
 	if sigs[0].Label != "a" || sigs[0].DocID != "d1" {
 		t.Error("signature provenance lost")
@@ -151,8 +155,8 @@ func TestUbiquitousTermVanishes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range sigs {
-		if s.V[0] != 0 {
-			t.Fatalf("ubiquitous term has weight %v, want 0", s.V[0])
+		if s.W.Get(0) != 0 {
+			t.Fatalf("ubiquitous term has weight %v, want 0", s.W.Get(0))
 		}
 	}
 }
@@ -184,14 +188,14 @@ func TestLabelsAndByLabel(t *testing.T) {
 
 func TestNormalize(t *testing.T) {
 	sigs := []Signature{
-		{DocID: "a", V: vecmath.Vector{3, 4}},
-		{DocID: "b", V: vecmath.Vector{0, 0}},
+		SignatureFromDense("a", "", vecmath.Vector{3, 4}),
+		SignatureFromDense("b", "", vecmath.Vector{0, 0}),
 	}
 	Normalize(sigs)
-	if math.Abs(sigs[0].V.L2()-1) > 1e-12 {
-		t.Errorf("normalized L2 = %v", sigs[0].V.L2())
+	if math.Abs(sigs[0].W.L2()-1) > 1e-12 {
+		t.Errorf("normalized L2 = %v", sigs[0].W.L2())
 	}
-	if !sigs[1].V.IsZero() {
+	if sigs[1].W.NNZ() != 0 {
 		t.Error("zero signature should stay zero")
 	}
 }
@@ -205,15 +209,15 @@ func TestDBTopKAndClassify(t *testing.T) {
 		t.Error("dim 0 should fail")
 	}
 	train := []Signature{
-		{DocID: "s1", Label: "scp", V: vecmath.Vector{1, 0}},
-		{DocID: "s2", Label: "scp", V: vecmath.Vector{0.9, 0.1}},
-		{DocID: "k1", Label: "kcompile", V: vecmath.Vector{0, 1}},
-		{DocID: "k2", Label: "kcompile", V: vecmath.Vector{0.1, 0.9}},
+		SignatureFromDense("s1", "scp", vecmath.Vector{1, 0}),
+		SignatureFromDense("s2", "scp", vecmath.Vector{0.9, 0.1}),
+		SignatureFromDense("k1", "kcompile", vecmath.Vector{0, 1}),
+		SignatureFromDense("k2", "kcompile", vecmath.Vector{0.1, 0.9}),
 	}
 	if err := db.AddAll(train); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Add(Signature{DocID: "bad", V: vecmath.Vector{1}}); err == nil {
+	if err := db.Add(SignatureFromDense("bad", "", vecmath.Vector{1})); err == nil {
 		t.Error("wrong-dimension signature should fail")
 	}
 
@@ -296,8 +300,8 @@ func TestReadDocumentsErrors(t *testing.T) {
 
 func TestSignaturesRoundTrip(t *testing.T) {
 	sigs := []Signature{
-		{DocID: "a", Label: "x", V: vecmath.Vector{0, 1.5, 0, -2}},
-		{DocID: "b", V: vecmath.Vector{0, 0, 0, 0}},
+		SignatureFromDense("a", "x", vecmath.Vector{0, 1.5, 0, -2}),
+		SignatureFromDense("b", "", vecmath.Vector{0, 0, 0, 0}),
 	}
 	var buf bytes.Buffer
 	if err := WriteSignatures(&buf, sigs); err != nil {
@@ -310,11 +314,11 @@ func TestSignaturesRoundTrip(t *testing.T) {
 	if len(back) != 2 {
 		t.Fatalf("read %d signatures", len(back))
 	}
-	if !back[0].V.Equal(sigs[0].V, 0) || back[0].Label != "x" {
+	if !back[0].Dense().Equal(sigs[0].Dense(), 0) || back[0].Label != "x" {
 		t.Errorf("signature a mangled: %+v", back[0])
 	}
-	if back[1].V.Dim() != 4 {
-		t.Errorf("zero signature dim = %d", back[1].V.Dim())
+	if back[1].Dim() != 4 || back[1].W.NNZ() != 0 {
+		t.Errorf("zero signature dim = %d nnz = %d", back[1].Dim(), back[1].W.NNZ())
 	}
 }
 
@@ -383,7 +387,7 @@ func TestPropertySignatureScaleInvariant(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		a, b := sigs[len(sigs)-2].V, sigs[len(sigs)-1].V
+		a, b := sigs[len(sigs)-2].Dense(), sigs[len(sigs)-1].Dense()
 		return a.Equal(b, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -448,11 +452,46 @@ func BenchmarkTransform3815(b *testing.B) {
 		b.Fatal(err)
 	}
 	target := c.Docs()[0]
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.Transform(target); err != nil {
-			b.Fatal(err)
+	// The sparse sub-benchmark is the production path: O(nnz) work and
+	// allocation. The dense-view sub-benchmark adds the O(dim)
+	// materialization the old representation paid on every embedding.
+	b.Run("sparse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Transform(target); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	b.Run("dense-view", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sig, err := m.Transform(target)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = sig.Dense()
+		}
+	})
+}
+
+// TestNilWeightSignatureHandling: exported entry points treat a
+// zero-value Signature (nil W) consistently — skipped or a typed error,
+// never a panic.
+func TestNilWeightSignatureHandling(t *testing.T) {
+	nilSig := Signature{DocID: "empty"}
+	Normalize([]Signature{nilSig}) // must not panic
+	if err := WriteSignatures(&bytes.Buffer{}, []Signature{nilSig}); err == nil {
+		t.Error("WriteSignatures with nil W should fail")
+	}
+	if _, err := TopTerms(nilSig, 1, nil); err == nil {
+		t.Error("TopTerms with nil W should fail")
+	}
+	ok := SignatureFromDense("ok", "", vecmath.Vector{1})
+	if _, err := Contrast(nilSig, ok, 1, nil); err == nil {
+		t.Error("Contrast with nil W should fail")
+	}
+	if _, err := Contrast(ok, nilSig, 1, nil); err == nil {
+		t.Error("Contrast with nil W (right side) should fail")
 	}
 }

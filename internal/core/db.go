@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -12,11 +14,15 @@ import (
 type Metric struct {
 	// Name identifies the metric in reports.
 	Name string
-	// Score computes the metric value for two vectors of equal dimension.
+	// Score computes the metric value for two dense vectors of equal
+	// dimension. It is the fallback path: DB scans use SparseScore when
+	// available; for metrics without one every stored signature is
+	// materialized dense per query — an O(n·dim) cost custom metrics
+	// should avoid by providing SparseScore.
 	Score func(x, y vecmath.Vector) (float64, error)
-	// SparseScore, when non-nil, computes the same metric from the sparse
-	// forms in O(nnz) instead of O(dim). DB.TopK uses it for every stored
-	// signature once UseSparse is enabled.
+	// SparseScore, when non-nil, computes the same metric from the
+	// canonical sparse forms in O(nnz) instead of O(dim). All three paper
+	// metrics provide it.
 	SparseScore func(x, y *vecmath.Sparse) float64
 	// HigherIsCloser is true for similarities (cosine) and false for
 	// distances (Euclidean, Minkowski).
@@ -46,10 +52,10 @@ func EuclideanMetric() Metric {
 	}
 }
 
-// MinkowskiMetric is the Lp-induced distance for p >= 1. Only p=2 has a
-// sparse fast path (the general form needs |x_i - y_i|^p over the support
-// union, which the dense loop already does at the same asymptotic cost
-// once vectors are compacted).
+// MinkowskiMetric is the Lp-induced distance for p >= 1. The sparse path
+// merges the support union in ascending index order, so it scores in
+// O(nnz) and is bit-identical to the dense loop for every p. Orders
+// below 1 get no sparse path so the dense validation reports the error.
 func MinkowskiMetric(p float64) Metric {
 	m := Metric{
 		Name: fmt.Sprintf("minkowski(p=%g)", p),
@@ -58,11 +64,41 @@ func MinkowskiMetric(p float64) Metric {
 		},
 		HigherIsCloser: false,
 	}
-	if p == 2 {
-		m.SparseScore = func(x, y *vecmath.Sparse) float64 { return x.Euclidean(y) }
+	if p >= 1 || math.IsInf(p, 1) {
+		m.SparseScore = func(x, y *vecmath.Sparse) float64 {
+			d, err := x.Minkowski(y, p)
+			if err != nil {
+				// p was validated at construction, so only a dimension
+				// mismatch reaches here; panic like the other
+				// pre-validated sparse hot-loop ops (Dot, DotDense)
+				// rather than silently scoring a mis-sized vector as
+				// distance 0.
+				panic(err)
+			}
+			return d
+		}
 	}
 	return m
 }
+
+// DimensionError reports a signature or query whose dimension does not
+// match the database's term space. It is a typed error so callers can
+// distinguish a mis-sized input from scan-time failures.
+type DimensionError struct {
+	// What identifies the offending input ("query", "signature <id>").
+	What string
+	// Got and Want are the mismatched dimensions.
+	Got, Want int
+}
+
+// Error implements error.
+func (e *DimensionError) Error() string {
+	return fmt.Sprintf("core: %s has dimension %d, want %d", e.What, e.Got, e.Want)
+}
+
+// ErrEmptyDB is returned by similarity queries against a database with no
+// stored signatures.
+var ErrEmptyDB = errors.New("core: empty database")
 
 // SearchResult is one hit of a similarity query.
 type SearchResult struct {
@@ -74,59 +110,77 @@ type SearchResult struct {
 // DB is the labeled signature database the paper envisions operators
 // maintaining (§2.2): signatures of forensically identified behaviours,
 // stored for later retrieval, comparison, and classifier training.
+//
+// Storage is sparse-first and sharded: signatures are distributed
+// round-robin over N shards by insertion order, each shard is scanned
+// with its own bounded top-k heap, and the per-shard survivors merge
+// through a global heap keyed on (score, insertion index). Because that
+// key is a total order independent of scan order, TopK returns identical
+// results at every shard and worker count. A DB is not safe for
+// concurrent mutation; concurrent TopK queries against a quiescent DB
+// are safe.
 type DB struct {
-	dim       int
-	sigs      []Signature
-	sparse    []*vecmath.Sparse // parallel to sigs; populated iff useSparse
-	useSparse bool
+	dim     int
+	workers int
+	total   int
+	shards  []dbShard
 }
 
-// NewDB creates an empty database for signatures of the given dimension.
-func NewDB(dim int) (*DB, error) {
+// dbShard holds the signatures routed to one shard alongside their
+// global insertion indices (the TopK tie-break key).
+type dbShard struct {
+	gids []int
+	sigs []Signature
+}
+
+// NewDB creates an empty single-shard database for signatures of the
+// given dimension.
+func NewDB(dim int) (*DB, error) { return NewShardedDB(dim, 1) }
+
+// NewShardedDB creates an empty database with the given shard count.
+// Shards bound the fan-out of TopK scans; the query results are
+// identical at any shard count.
+func NewShardedDB(dim, shards int) (*DB, error) {
 	if dim < 1 {
 		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
 	}
-	return &DB{dim: dim}, nil
+	if shards < 1 {
+		return nil, fmt.Errorf("core: shard count %d must be >= 1", shards)
+	}
+	return &DB{dim: dim, shards: make([]dbShard, shards)}, nil
 }
 
-// UseSparse toggles the sparse index: stored signatures keep a sorted
-// index/value form with cached norms, and TopK scans score in O(nnz) for
-// metrics that provide a SparseScore. Enabling it on a populated database
-// indexes the existing signatures.
-func (db *DB) UseSparse(on bool) {
-	if on == db.useSparse {
-		return
-	}
-	db.useSparse = on
-	if !on {
-		db.sparse = nil
-		return
-	}
-	db.sparse = make([]*vecmath.Sparse, len(db.sigs))
-	for i, s := range db.sigs {
-		db.sparse[i] = vecmath.DenseToSparse(s.V)
-	}
-}
+// SetWorkers bounds the worker-pool fan-out of TopK scans across shards
+// (parallel.Workers semantics: 0 = one per CPU, <0 = sequential). The
+// effective parallelism is min(workers, shards).
+func (db *DB) SetWorkers(n int) { db.workers = n }
+
+// Shards returns the shard count.
+func (db *DB) Shards() int { return len(db.shards) }
 
 // Len returns the number of stored signatures.
-func (db *DB) Len() int { return len(db.sigs) }
+func (db *DB) Len() int { return db.total }
 
 // Dim returns the signature dimension.
 func (db *DB) Dim() int { return db.dim }
 
-// Add stores a signature.
+// Add stores a signature, routing it to the next shard round-robin.
 func (db *DB) Add(sig Signature) error {
-	if sig.V.Dim() != db.dim {
-		return fmt.Errorf("core: signature %s has dimension %d, want %d", sig.DocID, sig.V.Dim(), db.dim)
+	if sig.W == nil {
+		return fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
 	}
-	db.sigs = append(db.sigs, sig)
-	if db.useSparse {
-		db.sparse = append(db.sparse, vecmath.DenseToSparse(sig.V))
+	if sig.Dim() != db.dim {
+		return &DimensionError{What: fmt.Sprintf("signature %s", sig.DocID), Got: sig.Dim(), Want: db.dim}
 	}
+	sh := &db.shards[db.total%len(db.shards)]
+	sh.gids = append(sh.gids, db.total)
+	sh.sigs = append(sh.sigs, sig)
+	db.total++
 	return nil
 }
 
-// AddAll stores a batch of signatures.
+// AddAll stores a batch of signatures, validating each. On error the
+// database retains the signatures added before the offending one.
 func (db *DB) AddAll(sigs []Signature) error {
 	for _, s := range sigs {
 		if err := db.Add(s); err != nil {
@@ -136,21 +190,38 @@ func (db *DB) AddAll(sigs []Signature) error {
 	return nil
 }
 
-// All returns the stored signatures. Callers must not mutate the slice.
-func (db *DB) All() []Signature { return db.sigs }
+// All returns the stored signatures in insertion order. The slice is
+// freshly assembled from the shards; the signatures share storage with
+// the database and must not be mutated.
+func (db *DB) All() []Signature {
+	out := make([]Signature, db.total)
+	for si := range db.shards {
+		sh := &db.shards[si]
+		for j, gid := range sh.gids {
+			out[gid] = sh.sigs[j]
+		}
+	}
+	return out
+}
+
+// at returns the signature with the given global insertion index.
+func (db *DB) at(gid int) Signature {
+	return db.shards[gid%len(db.shards)].sigs[gid/len(db.shards)]
+}
 
 // topkHeap is a bounded binary heap holding the k best candidates seen so
 // far, worst at the root. "Worse" means farther under the metric, ties
-// broken toward the larger insertion index, which reproduces the ordering
-// of a stable sort over the full result set.
+// broken toward the larger insertion index — (score, index) is a total
+// order, which is what makes the result independent of scan and merge
+// order and hence of the shard and worker counts.
 type topkHeap struct {
 	idx    []int
 	score  []float64
 	higher bool // metric.HigherIsCloser
 }
 
-// worse reports whether candidate a (index ia, score sa) ranks strictly
-// worse than candidate b.
+// worseAt reports whether the candidate at position a ranks strictly
+// worse than the one at position b.
 func (h *topkHeap) worseAt(a, b int) bool {
 	if h.score[a] != h.score[b] {
 		if h.higher {
@@ -195,9 +266,10 @@ func (h *topkHeap) down(i int) {
 	}
 }
 
-// offer considers candidate (i, score); it displaces the root only when
-// strictly better than the current worst. Equal scores never displace —
-// the earlier index was seen first, matching stable-sort semantics.
+// offer considers candidate (i, score); once the heap holds k entries it
+// displaces the root only when the root ranks strictly worse under the
+// (score, index) total order. Candidates may arrive in any order — the
+// kept set is always the k best overall.
 func (h *topkHeap) offer(k int, i int, score float64) {
 	if len(h.idx) < k {
 		h.idx = append(h.idx, i)
@@ -205,8 +277,6 @@ func (h *topkHeap) offer(k int, i int, score float64) {
 		h.up(len(h.idx) - 1)
 		return
 	}
-	// The new candidate is better than the root iff the root is worse
-	// than it; emulate by comparing against a virtual entry.
 	rootWorse := false
 	if h.score[0] != score {
 		if h.higher {
@@ -214,7 +284,9 @@ func (h *topkHeap) offer(k int, i int, score float64) {
 		} else {
 			rootWorse = h.score[0] > score
 		}
-	} // equal scores: root has the smaller index, so it is not worse
+	} else {
+		rootWorse = h.idx[0] > i
+	}
 	if !rootWorse {
 		return
 	}
@@ -222,48 +294,99 @@ func (h *topkHeap) offer(k int, i int, score float64) {
 	h.down(0)
 }
 
-// TopK returns the k stored signatures closest to query under metric,
-// best first. k larger than the database returns everything. The scan
-// keeps a bounded heap, so the cost is O(n log k) rather than the
-// O(n log n) of sorting every candidate.
-func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
-	if query.Dim() != db.dim {
-		return nil, fmt.Errorf("core: query dimension %d, want %d", query.Dim(), db.dim)
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("core: k %d must be >= 1", k)
-	}
-	if len(db.sigs) == 0 {
-		return nil, errors.New("core: empty database")
-	}
-	if k > len(db.sigs) {
-		k = len(db.sigs)
-	}
-	h := &topkHeap{idx: make([]int, 0, k), score: make([]float64, 0, k), higher: metric.HigherIsCloser}
-	if db.useSparse && metric.SparseScore != nil {
-		sq := vecmath.DenseToSparse(query)
-		for i, sp := range db.sparse {
-			h.offer(k, i, metric.SparseScore(sq, sp))
-		}
-	} else {
-		for i, s := range db.sigs {
-			score, err := metric.Score(query, s.V)
-			if err != nil {
-				return nil, err
-			}
-			h.offer(k, i, score)
-		}
-	}
-	// Order the surviving k candidates best first; worseAt already
-	// encodes the metric direction and the insertion-index tie-break.
+// sorted returns the heap's candidates best first.
+func (h *topkHeap) sorted() (idx []int, score []float64) {
 	order := make([]int, len(h.idx))
 	for j := range order {
 		order[j] = j
 	}
 	sort.Slice(order, func(a, b int) bool { return h.worseAt(order[b], order[a]) })
-	out := make([]SearchResult, len(order))
+	idx = make([]int, len(order))
+	score = make([]float64, len(order))
 	for j, o := range order {
-		out[j] = SearchResult{Signature: db.sigs[h.idx[o]], Score: h.score[o]}
+		idx[j], score[j] = h.idx[o], h.score[o]
+	}
+	return idx, score
+}
+
+// TopK returns the k stored signatures closest to query under metric,
+// best first. k larger than the database returns everything. The query
+// is sparsified once; see TopKSparse for the allocation-free path when
+// the caller already holds the sparse form.
+func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
+	if query.Dim() != db.dim {
+		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
+	}
+	return db.topk(vecmath.DenseToSparse(query), query, k, metric)
+}
+
+// TopKSparse is TopK for a query already in canonical sparse form — the
+// native path for signatures produced by Model.Transform.
+func (db *DB) TopKSparse(query *vecmath.Sparse, k int, metric Metric) ([]SearchResult, error) {
+	if query.Dim() != db.dim {
+		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
+	}
+	return db.topk(query, nil, k, metric)
+}
+
+// topk fans per-shard bounded-heap scans out over the worker pool and
+// merges the per-shard survivors into the global top k. denseQuery may be
+// nil; it is materialized only when the metric lacks a sparse path.
+func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k %d must be >= 1", k)
+	}
+	if db.total == 0 {
+		return nil, ErrEmptyDB
+	}
+	if k > db.total {
+		k = db.total
+	}
+	if metric.SparseScore == nil && denseQuery == nil {
+		denseQuery = query.Dense()
+	}
+	heaps, err := parallel.Map(db.workers, len(db.shards), func(si int) (*topkHeap, error) {
+		sh := &db.shards[si]
+		hcap := k
+		if len(sh.sigs) < hcap {
+			hcap = len(sh.sigs)
+		}
+		h := &topkHeap{idx: make([]int, 0, hcap), score: make([]float64, 0, hcap), higher: metric.HigherIsCloser}
+		if metric.SparseScore != nil {
+			for j, s := range sh.sigs {
+				h.offer(k, sh.gids[j], metric.SparseScore(query, s.W))
+			}
+		} else {
+			// One scratch buffer per shard keeps the dense-fallback scan
+			// at O(1) allocation instead of one materialization per
+			// stored signature.
+			scratch := vecmath.NewVector(db.dim)
+			for j, s := range sh.sigs {
+				score, err := metric.Score(denseQuery, s.W.DenseInto(scratch))
+				if err != nil {
+					return nil, err
+				}
+				h.offer(k, sh.gids[j], score)
+			}
+		}
+		return h, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := heaps[0]
+	if len(heaps) > 1 {
+		merged = &topkHeap{idx: make([]int, 0, k), score: make([]float64, 0, k), higher: metric.HigherIsCloser}
+		for _, h := range heaps {
+			for j := range h.idx {
+				merged.offer(k, h.idx[j], h.score[j])
+			}
+		}
+	}
+	gids, scores := merged.sorted()
+	out := make([]SearchResult, len(gids))
+	for j := range gids {
+		out[j] = SearchResult{Signature: db.at(gids[j]), Score: scores[j]}
 	}
 	return out, nil
 }
@@ -276,6 +399,20 @@ func (db *DB) Classify(query vecmath.Vector, k int, metric Metric) (string, erro
 	if err != nil {
 		return "", err
 	}
+	return voteLabel(hits), nil
+}
+
+// ClassifySparse is Classify for a query already in sparse form.
+func (db *DB) ClassifySparse(query *vecmath.Sparse, k int, metric Metric) (string, error) {
+	hits, err := db.TopKSparse(query, k, metric)
+	if err != nil {
+		return "", err
+	}
+	return voteLabel(hits), nil
+}
+
+// voteLabel majority-votes over hits, nearest-first tie-break.
+func voteLabel(hits []SearchResult) string {
 	votes := make(map[string]int)
 	for _, h := range hits {
 		votes[h.Signature.Label]++
@@ -286,5 +423,5 @@ func (db *DB) Classify(query vecmath.Vector, k int, metric Metric) (string, erro
 			best, bestN = h.Signature.Label, n
 		}
 	}
-	return best, nil
+	return best
 }

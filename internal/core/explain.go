@@ -20,31 +20,27 @@ type TermWeight struct {
 // descending by |weight|. names may be nil; when provided it must cover
 // the signature's dimension. This is the operator-facing "why does this
 // signature look like that" view: the kernel functions whose (idf-damped)
-// relative frequencies dominate the interval.
+// relative frequencies dominate the interval. The walk covers only the
+// sparse support — zero components can never rank.
 func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
 	}
-	if names != nil && len(names) < sig.V.Dim() {
-		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), sig.V.Dim())
+	if sig.W == nil {
+		return nil, fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
 	}
-	var terms []TermWeight
-	for i, w := range sig.V {
-		if w != 0 {
-			tw := TermWeight{Term: i, Weight: w}
-			if names != nil {
-				tw.Name = names[i]
-			}
-			terms = append(terms, tw)
-		}
+	if names != nil && len(names) < sig.Dim() {
+		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), sig.Dim())
 	}
-	sort.Slice(terms, func(a, b int) bool {
-		wa, wb := abs(terms[a].Weight), abs(terms[b].Weight)
-		if wa != wb {
-			return wa > wb
+	terms := make([]TermWeight, 0, sig.W.NNZ())
+	sig.W.ForEach(func(i int, w float64) {
+		tw := TermWeight{Term: i, Weight: w}
+		if names != nil {
+			tw.Name = names[i]
 		}
-		return terms[a].Term < terms[b].Term
+		terms = append(terms, tw)
 	})
+	sortTerms(terms)
 	if k > len(terms) {
 		k = len(terms)
 	}
@@ -55,39 +51,51 @@ func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
 // signature b, ranked by |a_i - b_i| descending with the signed
 // difference preserved (positive = stronger in a). It is the similarity
 // search's inverse: given two behaviours, which kernel functions separate
-// them.
+// them. Only the union of the two supports can differ, so the walk is
+// O(nnz_a + nnz_b).
 func Contrast(a, b Signature, k int, names []string) ([]TermWeight, error) {
-	if a.V.Dim() != b.V.Dim() {
-		return nil, fmt.Errorf("core: contrast dimensions differ: %d vs %d", a.V.Dim(), b.V.Dim())
+	if a.W == nil || b.W == nil {
+		return nil, fmt.Errorf("core: contrast signature has no weight vector")
+	}
+	if a.Dim() != b.Dim() {
+		return nil, fmt.Errorf("core: contrast dimensions differ: %d vs %d", a.Dim(), b.Dim())
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
 	}
-	if names != nil && len(names) < a.V.Dim() {
-		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), a.V.Dim())
+	if names != nil && len(names) < a.Dim() {
+		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), a.Dim())
 	}
-	var terms []TermWeight
-	for i := range a.V {
-		d := a.V[i] - b.V[i]
-		if d != 0 {
-			tw := TermWeight{Term: i, Weight: d}
-			if names != nil {
-				tw.Name = names[i]
-			}
-			terms = append(terms, tw)
+	terms := make([]TermWeight, 0, a.W.NNZ()+b.W.NNZ())
+	a.W.ForEachUnion(b.W, func(i int, wa, wb float64) {
+		d := wa - wb
+		if d == 0 {
+			return
 		}
-	}
-	sort.Slice(terms, func(x, y int) bool {
-		wx, wy := abs(terms[x].Weight), abs(terms[y].Weight)
-		if wx != wy {
-			return wx > wy
+		tw := TermWeight{Term: i, Weight: d}
+		if names != nil {
+			tw.Name = names[i]
 		}
-		return terms[x].Term < terms[y].Term
+		terms = append(terms, tw)
 	})
+	sortTerms(terms)
 	if k > len(terms) {
 		k = len(terms)
 	}
 	return terms[:k], nil
+}
+
+// sortTerms orders by |weight| descending, then term index ascending — a
+// total order, so the result is deterministic regardless of how the
+// candidates were gathered.
+func sortTerms(terms []TermWeight) {
+	sort.Slice(terms, func(a, b int) bool {
+		wa, wb := abs(terms[a].Weight), abs(terms[b].Weight)
+		if wa != wb {
+			return wa > wb
+		}
+		return terms[a].Term < terms[b].Term
+	})
 }
 
 // abs avoids importing math for a single operation in a hot comparator.

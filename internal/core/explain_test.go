@@ -7,7 +7,7 @@ import (
 )
 
 func TestTopTerms(t *testing.T) {
-	sig := Signature{DocID: "x", V: vecmath.Vector{0, 0.5, -0.9, 0.1}}
+	sig := SignatureFromDense("x", "", vecmath.Vector{0, 0.5, -0.9, 0.1})
 	names := []string{"a", "b", "c", "d"}
 	top, err := TopTerms(sig, 2, names)
 	if err != nil {
@@ -36,7 +36,7 @@ func TestTopTerms(t *testing.T) {
 }
 
 func TestTopTermsValidation(t *testing.T) {
-	sig := Signature{V: vecmath.Vector{1, 2}}
+	sig := SignatureFromDense("", "", vecmath.Vector{1, 2})
 	if _, err := TopTerms(sig, 0, nil); err == nil {
 		t.Error("k=0 should fail")
 	}
@@ -46,7 +46,7 @@ func TestTopTermsValidation(t *testing.T) {
 }
 
 func TestTopTermsDeterministicTieBreak(t *testing.T) {
-	sig := Signature{V: vecmath.Vector{0.5, 0.5, 0.5}}
+	sig := SignatureFromDense("", "", vecmath.Vector{0.5, 0.5, 0.5})
 	top, err := TopTerms(sig, 3, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -59,8 +59,8 @@ func TestTopTermsDeterministicTieBreak(t *testing.T) {
 }
 
 func TestContrast(t *testing.T) {
-	a := Signature{V: vecmath.Vector{0.9, 0.1, 0.0}}
-	b := Signature{V: vecmath.Vector{0.1, 0.1, 0.7}}
+	a := SignatureFromDense("", "", vecmath.Vector{0.9, 0.1, 0.0})
+	b := SignatureFromDense("", "", vecmath.Vector{0.1, 0.1, 0.7})
 	names := []string{"crypto_aes", "vfs_read", "journal_commit"}
 	diff, err := Contrast(a, b, 2, names)
 	if err != nil {
@@ -75,12 +75,12 @@ func TestContrast(t *testing.T) {
 }
 
 func TestContrastValidation(t *testing.T) {
-	a := Signature{V: vecmath.Vector{1}}
-	b := Signature{V: vecmath.Vector{1, 2}}
+	a := SignatureFromDense("", "", vecmath.Vector{1})
+	b := SignatureFromDense("", "", vecmath.Vector{1, 2})
 	if _, err := Contrast(a, b, 1, nil); err == nil {
 		t.Error("dimension mismatch should fail")
 	}
-	c := Signature{V: vecmath.Vector{1}}
+	c := SignatureFromDense("", "", vecmath.Vector{1})
 	if _, err := Contrast(a, c, 0, nil); err == nil {
 		t.Error("k=0 should fail")
 	}

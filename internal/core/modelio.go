@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 )
 
 // modelJSON is the wire form of a fitted tf-idf model. The idf vector is
@@ -50,6 +53,114 @@ func ReadModel(r io.Reader) (*Model, error) {
 		if x < 0 {
 			return nil, fmt.Errorf("core: negative idf %v at term %d", x, i)
 		}
+		m.idf[i] = x
+	}
+	return m, nil
+}
+
+// Model snapshot format: the binary companion of the DB snapshot, so a
+// restart restores the exact vector space alongside the signature
+// database. Layout (little-endian):
+//
+//	magic   "FMMD" (4 bytes)
+//	version uint16 (currently 1)
+//	dim     uint32
+//	nnz     uint32
+//	nnz × (idx int32, idf float64) — strictly ascending idx, idf > 0
+const (
+	modelMagic   = "FMMD"
+	modelVersion = 1
+)
+
+// WriteModelSnapshot serializes a fitted model in the versioned binary
+// snapshot format.
+func WriteModelSnapshot(w io.Writer, m *Model) error {
+	if m == nil {
+		return fmt.Errorf("core: nil model")
+	}
+	if m.dim > maxSnapshotDim {
+		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", m.dim, maxSnapshotDim)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return fmt.Errorf("core: writing model snapshot: %w", err)
+	}
+	le := binary.LittleEndian
+	nnz := 0
+	for _, x := range m.idf {
+		if x != 0 {
+			nnz++
+		}
+	}
+	for _, v := range []any{uint16(modelVersion), uint32(m.dim), uint32(nnz)} {
+		if err := binary.Write(bw, le, v); err != nil {
+			return fmt.Errorf("core: writing model snapshot: %w", err)
+		}
+	}
+	var rec [12]byte
+	for i, x := range m.idf {
+		if x == 0 {
+			continue
+		}
+		le.PutUint32(rec[:4], uint32(i))
+		le.PutUint64(rec[4:12], math.Float64bits(x))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("core: writing model snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: writing model snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadModelSnapshot parses a model snapshot written by WriteModelSnapshot.
+func ReadModelSnapshot(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading model snapshot magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("core: bad model snapshot magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version uint16
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model snapshot version %d (have %d)", version, modelVersion)
+	}
+	var dim32, nnz uint32
+	if err := binary.Read(br, le, &dim32); err != nil {
+		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+	}
+	if err := binary.Read(br, le, &nnz); err != nil {
+		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+	}
+	if dim32 < 1 || dim32 > maxSnapshotDim {
+		return nil, fmt.Errorf("core: model snapshot dimension %d outside [1, %d]", dim32, maxSnapshotDim)
+	}
+	if nnz > dim32 {
+		return nil, fmt.Errorf("core: model snapshot nnz %d exceeds dimension %d", nnz, dim32)
+	}
+	m := &Model{dim: int(dim32), idf: make([]float64, dim32)}
+	rec := make([]byte, 12)
+	prev := int32(-1)
+	for k := uint32(0); k < nnz; k++ {
+		if _, err := io.ReadFull(br, rec); err != nil {
+			return nil, fmt.Errorf("core: model snapshot entry %d: %w", k, noEOF(err))
+		}
+		i := int32(le.Uint32(rec[:4]))
+		x := math.Float64frombits(le.Uint64(rec[4:12]))
+		if i <= prev || int(i) >= m.dim {
+			return nil, fmt.Errorf("core: model snapshot entry %d: index %d not strictly ascending in [0, %d)", k, i, m.dim)
+		}
+		if x <= 0 {
+			return nil, fmt.Errorf("core: model snapshot entry %d: idf %v must be positive", k, x)
+		}
+		prev = i
 		m.idf[i] = x
 	}
 	return m, nil

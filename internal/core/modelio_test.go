@@ -54,7 +54,7 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !s1.V.Equal(s2.V, 0) {
+	if !s1.Dense().Equal(s2.Dense(), 0) {
 		t.Error("restored model transforms differently")
 	}
 }

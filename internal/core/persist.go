@@ -2,10 +2,14 @@ package core
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
+
+	"repro/internal/vecmath"
 )
 
 // documentJSON is the wire form of a Document. Counts keys are function
@@ -79,19 +83,19 @@ type signatureJSON struct {
 	Weights map[int]float64 `json:"weights"`
 }
 
-// WriteSignatures streams signatures to w as JSON Lines.
+// WriteSignatures streams signatures to w as JSON Lines. The weights map
+// is the sparse support verbatim — no dense materialization.
 func WriteSignatures(w io.Writer, sigs []Signature) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, s := range sigs {
-		weights := make(map[int]float64)
-		for i, x := range s.V {
-			if x != 0 {
-				weights[i] = x
-			}
+		if s.W == nil {
+			return fmt.Errorf("core: signature %s has no weight vector", s.DocID)
 		}
+		weights := make(map[int]float64, s.W.NNZ())
+		s.W.ForEach(func(i int, x float64) { weights[i] = x })
 		if err := enc.Encode(signatureJSON{
-			DocID: s.DocID, Label: s.Label, Dim: s.V.Dim(), Weights: weights,
+			DocID: s.DocID, Label: s.Label, Dim: s.Dim(), Weights: weights,
 		}); err != nil {
 			return fmt.Errorf("core: encoding signature %s: %w", s.DocID, err)
 		}
@@ -117,17 +121,237 @@ func ReadSignatures(r io.Reader) ([]Signature, error) {
 		if sj.Dim < 1 {
 			return nil, fmt.Errorf("core: line %d: invalid dimension %d", line, sj.Dim)
 		}
-		v := make([]float64, sj.Dim)
-		for i, x := range sj.Weights {
-			if i < 0 || i >= sj.Dim {
-				return nil, fmt.Errorf("core: line %d: weight index %d outside dimension %d", line, i, sj.Dim)
-			}
-			v[i] = x
+		w, err := sparseFromWeights(sj.Dim, sj.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", line, err)
 		}
-		sigs = append(sigs, Signature{DocID: sj.DocID, Label: sj.Label, V: v})
+		sigs = append(sigs, Signature{DocID: sj.DocID, Label: sj.Label, W: w})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("core: reading signatures: %w", err)
 	}
 	return sigs, nil
+}
+
+// sparseFromWeights builds the canonical sparse form from a weights map,
+// validating index range and dropping explicit zeros.
+func sparseFromWeights(dim int, weights map[int]float64) (*vecmath.Sparse, error) {
+	return vecmath.MapToSparse(vecmath.SparseVector(weights), dim)
+}
+
+// Snapshot format: the versioned binary on-disk form of a signature DB,
+// so an operator's labeled database survives restarts without re-parsing
+// JSON. Layout (all integers little-endian):
+//
+//	magic   "FMDB"                        (4 bytes)
+//	version uint16                        (currently 1)
+//	dim     uint32
+//	shards  uint32                        (writer's layout, advisory)
+//	count   uint64
+//	count × signature records, in global insertion order:
+//	  docID  uvarint length + bytes
+//	  label  uvarint length + bytes
+//	  nnz    uint32
+//	  nnz × (idx int32, weight float64)   — strictly ascending idx
+//
+// Records are written in insertion order, so a snapshot reloaded at ANY
+// shard count assigns the same global indices and returns identical TopK
+// results.
+const (
+	snapshotMagic   = "FMDB"
+	snapshotVersion = 1
+	// maxSnapshotString bounds docID/label lengths when reading, so a
+	// corrupt length prefix cannot trigger a giant allocation.
+	maxSnapshotString = 1 << 20
+	// maxSnapshotDim bounds the header dimension for the same reason:
+	// per-record buffers scale with dim (and the model snapshot
+	// allocates a dense idf vector), so a corrupt header must fail
+	// instead of attempting a multi-gigabyte allocation. 1<<24 is ~4000x
+	// the paper's symbol table.
+	maxSnapshotDim = 1 << 24
+	// maxSnapshotShards bounds the header shard count (the shard table
+	// is allocated before any record is validated).
+	maxSnapshotShards = 1 << 16
+)
+
+// WriteSnapshot serializes the database in the versioned binary snapshot
+// format. Dimensions beyond the format's bound are rejected here, at
+// write time, so a snapshot that serializes is always loadable.
+func (db *DB) WriteSnapshot(w io.Writer) error {
+	if db.dim > maxSnapshotDim {
+		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
+	}
+	if len(db.shards) > maxSnapshotShards {
+		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
+	}
+	for gid := 0; gid < db.total; gid++ {
+		s := db.at(gid)
+		if len(s.DocID) > maxSnapshotString || len(s.Label) > maxSnapshotString {
+			return fmt.Errorf("core: signature %d doc-id/label exceeds snapshot string bound %d", gid, maxSnapshotString)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeStr := func(s string) error {
+		n := binary.PutUvarint(scratch[:], uint64(len(s)))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint16(snapshotVersion)); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	if err := binary.Write(bw, le, uint32(db.dim)); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	if err := binary.Write(bw, le, uint32(len(db.shards))); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	if err := binary.Write(bw, le, uint64(db.total)); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	for gid := 0; gid < db.total; gid++ {
+		s := db.at(gid)
+		if err := writeStr(s.DocID); err != nil {
+			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
+		}
+		if err := writeStr(s.Label); err != nil {
+			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
+		}
+		if err := binary.Write(bw, le, uint32(s.W.NNZ())); err != nil {
+			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
+		}
+		var rec [12]byte
+		var werr error
+		s.W.ForEach(func(i int, x float64) {
+			if werr != nil {
+				return
+			}
+			le.PutUint32(rec[:4], uint32(i))
+			le.PutUint64(rec[4:12], math.Float64bits(x))
+			_, werr = bw.Write(rec[:])
+		})
+		if werr != nil {
+			return fmt.Errorf("core: writing snapshot record %d: %w", gid, werr)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot and loads it
+// into a fresh database with the requested shard count; shards == 0
+// reuses the writer's layout. Truncated or corrupt input yields an error
+// naming the offending record, never a partially valid database.
+func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var version uint16
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot version: %w", err)
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported snapshot version %d (have %d)", version, snapshotVersion)
+	}
+	var dim32, wshards uint32
+	var count uint64
+	if err := binary.Read(br, le, &dim32); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if err := binary.Read(br, le, &wshards); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if err := binary.Read(br, le, &count); err != nil {
+		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+	}
+	if dim32 < 1 || dim32 > maxSnapshotDim {
+		return nil, fmt.Errorf("core: snapshot dimension %d outside [1, %d]", dim32, maxSnapshotDim)
+	}
+	dim := int(dim32)
+	if wshards > maxSnapshotShards {
+		return nil, fmt.Errorf("core: snapshot shard count %d exceeds bound %d", wshards, maxSnapshotShards)
+	}
+	if shards == 0 {
+		shards = int(wshards)
+		if shards < 1 {
+			shards = 1
+		}
+	}
+	db, err := NewShardedDB(dim, shards)
+	if err != nil {
+		return nil, err
+	}
+	readStr := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > maxSnapshotString {
+			return "", fmt.Errorf("string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	for gid := uint64(0); gid < count; gid++ {
+		docID, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
+		}
+		label, err := readStr()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
+		}
+		var nnz uint32
+		if err := binary.Read(br, le, &nnz); err != nil {
+			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
+		}
+		if int(nnz) > dim {
+			return nil, fmt.Errorf("core: snapshot record %d: nnz %d exceeds dimension %d", gid, nnz, dim)
+		}
+		idx := make([]int32, nnz)
+		val := make([]float64, nnz)
+		rec := make([]byte, 12)
+		for k := range idx {
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
+			}
+			idx[k] = int32(le.Uint32(rec[:4]))
+			val[k] = math.Float64frombits(le.Uint64(rec[4:12]))
+		}
+		w, err := vecmath.SparseFromSorted(dim, idx, val)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
+		}
+		if err := db.Add(Signature{DocID: docID, Label: label, W: w}); err != nil {
+			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
+		}
+	}
+	return db, nil
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: inside a record an
+// EOF always means truncation, and the caller's %w context names where.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -17,19 +18,25 @@ func randSigs(r *rand.Rand, n, dim, nnz int) []Signature {
 		for j := 0; j < nnz; j++ {
 			v[r.Intn(dim)] = r.Float64()
 		}
-		out[i] = Signature{DocID: fmt.Sprintf("d%d", i), Label: fmt.Sprintf("l%d", i%3), V: v}
+		out[i] = SignatureFromDense(fmt.Sprintf("d%d", i), fmt.Sprintf("l%d", i%3), v)
 	}
 	return out
 }
 
-// sortTopK is the reference implementation: score everything, stable sort,
-// truncate — exactly what DB.TopK did before the bounded heap.
-func sortTopK(sigs []Signature, query vecmath.Vector, k int, metric Metric) []SearchResult {
+// sortTopK is the reference implementation: score everything (through
+// the same sparse path the DB uses), stable sort, truncate.
+func sortTopK(sigs []Signature, query *vecmath.Sparse, k int, metric Metric) []SearchResult {
 	results := make([]SearchResult, 0, len(sigs))
 	for _, s := range sigs {
-		score, err := metric.Score(query, s.V)
-		if err != nil {
-			panic(err)
+		var score float64
+		if metric.SparseScore != nil {
+			score = metric.SparseScore(query, s.W)
+		} else {
+			var err error
+			score, err = metric.Score(query.Dense(), s.Dense())
+			if err != nil {
+				panic(err)
+			}
 		}
 		results = append(results, SearchResult{Signature: s, Score: score})
 	}
@@ -45,107 +52,165 @@ func sortTopK(sigs []Signature, query vecmath.Vector, k int, metric Metric) []Se
 	return results[:k]
 }
 
-func TestTopKHeapMatchesSort(t *testing.T) {
+// TestTopKShardedMatchesSort checks the heap + shard-merge machinery
+// against the stable-sort reference at several shard and worker counts,
+// including duplicate signatures so equal scores exercise the
+// insertion-order tie-break across shard boundaries.
+func TestTopKShardedMatchesSort(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	const dim = 120
 	sigs := randSigs(r, 300, dim, 25)
-	db, err := NewDB(dim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := db.AddAll(sigs); err != nil {
-		t.Fatal(err)
-	}
-	for _, metric := range []Metric{EuclideanMetric(), CosineMetric(), MinkowskiMetric(1)} {
-		for _, k := range []int{1, 5, 17, 300, 999} {
-			got, err := db.TopK(randSigs(r, 1, dim, 25)[0].V, k, metric)
-			if err != nil {
-				t.Fatal(err)
-			}
-			// Re-query with the same query vector for the reference.
-			// (TopK must not mutate the query, so build it once.)
-			_ = got
-		}
-	}
-	// Deterministic comparison with a fixed query, including duplicate
-	// scores (duplicate signatures) to exercise the stable tie-break.
 	dup := sigs[42]
 	dup.DocID = "dup-of-42"
-	if err := db.Add(dup); err != nil {
-		t.Fatal(err)
-	}
-	query := randSigs(r, 1, dim, 25)[0].V
-	all := db.All()
-	for _, metric := range []Metric{EuclideanMetric(), CosineMetric(), MinkowskiMetric(1)} {
-		for _, k := range []int{1, 2, 10, 100, len(all), len(all) + 5} {
-			got, err := db.TopK(query, k, metric)
+	sigs = append(sigs, dup)
+	dup2 := sigs[7]
+	dup2.DocID = "dup-of-7"
+	sigs = append(sigs, dup2)
+	query := randSigs(r, 1, dim, 25)[0].W
+
+	for _, shards := range []int{1, 2, 3, 7} {
+		for _, workers := range []int{-1, 0, 2} {
+			db, err := NewShardedDB(dim, shards)
 			if err != nil {
 				t.Fatal(err)
 			}
-			want := sortTopK(all, query, k, metric)
-			if len(got) != len(want) {
-				t.Fatalf("%s k=%d: len %d vs %d", metric.Name, k, len(got), len(want))
+			db.SetWorkers(workers)
+			if err := db.AddAll(sigs); err != nil {
+				t.Fatal(err)
 			}
-			for i := range got {
-				if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
-					t.Fatalf("%s k=%d: hit %d = (%s, %v), want (%s, %v)",
-						metric.Name, k, i, got[i].Signature.DocID, got[i].Score,
-						want[i].Signature.DocID, want[i].Score)
+			for _, metric := range []Metric{EuclideanMetric(), CosineMetric(), MinkowskiMetric(1), MinkowskiMetric(3)} {
+				for _, k := range []int{1, 2, 10, 100, len(sigs), len(sigs) + 5} {
+					got, err := db.TopKSparse(query, k, metric)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := sortTopK(sigs, query, k, metric)
+					if len(got) != len(want) {
+						t.Fatalf("shards=%d %s k=%d: len %d vs %d", shards, metric.Name, k, len(got), len(want))
+					}
+					for i := range got {
+						if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
+							t.Fatalf("shards=%d workers=%d %s k=%d: hit %d = (%s, %v), want (%s, %v)",
+								shards, workers, metric.Name, k, i, got[i].Signature.DocID, got[i].Score,
+								want[i].Signature.DocID, want[i].Score)
+						}
+					}
 				}
 			}
 		}
 	}
 }
 
-func TestTopKSparseAgreesWithDense(t *testing.T) {
+// TestTopKDenseQueryMatchesSparseQuery checks that the dense-query entry
+// point is a pure wrapper over the sparse path.
+func TestTopKDenseQueryMatchesSparseQuery(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	const dim = 400
 	sigs := randSigs(r, 200, dim, 30)
-	dense, _ := NewDB(dim)
-	sparse, _ := NewDB(dim)
-	if err := dense.AddAll(sigs); err != nil {
+	db, err := NewShardedDB(dim, 4)
+	if err != nil {
 		t.Fatal(err)
 	}
-	sparse.UseSparse(true) // enabled before Add: indexed incrementally
-	if err := sparse.AddAll(sigs[:100]); err != nil {
+	if err := db.AddAll(sigs); err != nil {
 		t.Fatal(err)
 	}
-	sparse.UseSparse(false)
-	sparse.UseSparse(true) // re-enabled on a populated DB: bulk indexed
-	if err := sparse.AddAll(sigs[100:]); err != nil {
-		t.Fatal(err)
-	}
-	query := randSigs(r, 1, dim, 30)[0].V
-	// Cosine's sparse path is bit-identical, so hits and scores match
-	// exactly. Euclidean agrees to float tolerance; ranks may only differ
-	// on exact ties, which random data does not produce.
-	for _, metric := range []Metric{CosineMetric(), EuclideanMetric()} {
-		d, err := dense.TopK(query, 10, metric)
+	qd := randSigs(r, 1, dim, 30)[0].Dense()
+	for _, metric := range []Metric{CosineMetric(), EuclideanMetric(), MinkowskiMetric(2.5)} {
+		d, err := db.TopK(qd, 10, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
-		s, err := sparse.TopK(query, 10, metric)
+		s, err := db.TopKSparse(vecmath.DenseToSparse(qd), 10, metric)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := range d {
-			if d[i].Signature.DocID != s[i].Signature.DocID {
-				t.Fatalf("%s: hit %d differs: %s vs %s", metric.Name, i, d[i].Signature.DocID, s[i].Signature.DocID)
-			}
-			if diff := d[i].Score - s[i].Score; diff > 1e-9 || diff < -1e-9 {
-				t.Fatalf("%s: score %d differs: %v vs %v", metric.Name, i, d[i].Score, s[i].Score)
+			if d[i].Signature.DocID != s[i].Signature.DocID || d[i].Score != s[i].Score {
+				t.Fatalf("%s: hit %d differs: (%s, %v) vs (%s, %v)", metric.Name, i,
+					d[i].Signature.DocID, d[i].Score, s[i].Signature.DocID, s[i].Score)
 			}
 		}
 	}
 }
 
-// BenchmarkDBTopK proves the satellite claim: bounded-heap top-k is
-// O(n log k), and the sparse index cuts per-candidate scoring to O(nnz).
+// TestTopKDenseFallbackMetric drives a metric with no sparse path through
+// the dense-materializing fallback scan.
+func TestTopKDenseFallbackMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const dim = 60
+	sigs := randSigs(r, 50, dim, 10)
+	db, err := NewShardedDB(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	custom := Metric{
+		Name:           "dot",
+		Score:          func(x, y vecmath.Vector) (float64, error) { return x.Dot(y) },
+		HigherIsCloser: true,
+	}
+	query := randSigs(r, 1, dim, 10)[0].W
+	got, err := db.TopKSparse(query, 5, custom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortTopK(sigs, query, 5, custom)
+	for i := range got {
+		if got[i].Signature.DocID != want[i].Signature.DocID {
+			t.Fatalf("hit %d = %s, want %s", i, got[i].Signature.DocID, want[i].Signature.DocID)
+		}
+	}
+}
+
+// TestDBTypedErrors pins the typed validation errors: dimension
+// mismatches surface as *DimensionError before any scan work, and empty
+// databases as ErrEmptyDB.
+func TestDBTypedErrors(t *testing.T) {
+	db, err := NewShardedDB(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dimErr *DimensionError
+	if _, err := db.TopK(vecmath.Vector{1, 2}, 3, EuclideanMetric()); !errors.As(err, &dimErr) {
+		t.Fatalf("TopK wrong-dim error = %v, want *DimensionError", err)
+	} else if dimErr.Got != 2 || dimErr.Want != 4 {
+		t.Fatalf("DimensionError = %+v", dimErr)
+	}
+	if _, err := db.TopKSparse(vecmath.DenseToSparse(vecmath.Vector{1}), 1, EuclideanMetric()); !errors.As(err, &dimErr) {
+		t.Fatalf("TopKSparse wrong-dim error = %v, want *DimensionError", err)
+	}
+	if err := db.Add(SignatureFromDense("bad", "", vecmath.Vector{1, 2, 3})); !errors.As(err, &dimErr) {
+		t.Fatalf("Add wrong-dim error = %v, want *DimensionError", err)
+	}
+	if err := db.Add(Signature{DocID: "nil"}); err == nil {
+		t.Error("Add with nil weights should fail")
+	}
+	q := vecmath.Vector{1, 2, 3, 4}
+	if _, err := db.TopK(q, 1, EuclideanMetric()); !errors.Is(err, ErrEmptyDB) {
+		t.Fatalf("empty-db error = %v, want ErrEmptyDB", err)
+	}
+	if err := db.AddAll(randSigs(rand.New(rand.NewSource(1)), 3, 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TopK(q, 0, EuclideanMetric()); err == nil {
+		t.Error("k=0 should fail")
+	}
+	// AddAll surfaces the offending signature's typed error.
+	bad := []Signature{SignatureFromDense("ok", "", q), SignatureFromDense("short", "", vecmath.Vector{1})}
+	if err := db.AddAll(bad); !errors.As(err, &dimErr) {
+		t.Fatalf("AddAll error = %v, want *DimensionError", err)
+	}
+}
+
+// BenchmarkDBTopK pins the bounded-heap scan at paper scale on a single
+// shard (the PR-1 baseline shape).
 func BenchmarkDBTopK(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	const dim, nnz, n, k = 3815, 150, 2000, 10
 	sigs := randSigs(r, n, dim, nnz)
-	query := randSigs(r, 1, dim, nnz)[0].V
+	query := randSigs(r, 1, dim, nnz)[0].W
 	metric := EuclideanMetric()
 	b.Run("sort-reference", func(b *testing.B) {
 		b.ReportAllocs()
@@ -157,21 +222,40 @@ func BenchmarkDBTopK(b *testing.B) {
 	if err := db.AddAll(sigs); err != nil {
 		b.Fatal(err)
 	}
-	b.Run("heap-dense", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := db.TopK(query, k, metric); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	db.UseSparse(true)
 	b.Run("heap-sparse", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := db.TopK(query, k, metric); err != nil {
+			if _, err := db.TopKSparse(query, k, metric); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// BenchmarkDBTopKSharded measures the sharded scan fan-out at paper
+// scale: per-shard bounded heaps merged through the global heap, one
+// worker per CPU.
+func BenchmarkDBTopKSharded(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dim, nnz, n, k = 3815, 150, 2000, 10
+	sigs := randSigs(r, n, dim, nnz)
+	query := randSigs(r, 1, dim, nnz)[0].W
+	metric := EuclideanMetric()
+	for _, shards := range []int{1, 4} {
+		db, err := NewShardedDB(dim, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.AddAll(sigs); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.TopKSparse(query, k, metric); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -104,11 +104,12 @@ type Result struct {
 
 // EvaluateSVM runs the full protocol: per fold, grid-search C on the
 // validation split, then score the selected model once on the test split.
-// Labels must be ±1. Vectors should already be scaled into the unit ball
-// (core.Normalize), per the paper's practice. It fans the fold × C grid
-// out over one worker per CPU; use EvaluateSVMWorkers to bound or disable
-// the fan-out — the result is bit-identical at any worker count.
-func EvaluateSVM(x []vecmath.Vector, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64) (*Result, error) {
+// Labels must be ±1. Signatures arrive in canonical sparse form and
+// should already be scaled into the unit ball (core.Normalize), per the
+// paper's practice. It fans the fold × C grid out over one worker per
+// CPU; use EvaluateSVMWorkers to bound or disable the fan-out — the
+// result is bit-identical at any worker count.
+func EvaluateSVM(x []*vecmath.Sparse, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64) (*Result, error) {
 	return EvaluateSVMWorkers(x, y, folds, grid, kernel, seed, 0)
 }
 
@@ -127,7 +128,7 @@ type gridEval struct {
 // walks the grid in declaration order and keeps the first C whose
 // validation accuracy strictly exceeds the best so far, which reproduces
 // the sequential tie-break bit for bit.
-func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64, workers int) (*Result, error) {
+func EvaluateSVMWorkers(x []*vecmath.Sparse, y []float64, folds []Fold, grid []float64, kernel svm.Kernel, seed int64, workers int) (*Result, error) {
 	if len(x) != len(y) {
 		return nil, fmt.Errorf("crossval: %d examples vs %d labels", len(x), len(y))
 	}
@@ -141,8 +142,8 @@ func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []fl
 	if err != nil {
 		return nil, err
 	}
-	gather := func(idx []int) ([]vecmath.Vector, []float64, error) {
-		xs := make([]vecmath.Vector, 0, len(idx))
+	gather := func(idx []int) ([]*vecmath.Sparse, []float64, error) {
+		xs := make([]*vecmath.Sparse, 0, len(idx))
 		ys := make([]float64, 0, len(idx))
 		for _, i := range idx {
 			if i < 0 || i >= len(x) {
@@ -155,7 +156,7 @@ func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []fl
 	}
 
 	type foldData struct {
-		trX, vaX, teX []vecmath.Vector
+		trX, vaX, teX []*vecmath.Sparse
 		trY, vaY, teY []float64
 	}
 	fds := make([]foldData, len(folds))
@@ -180,7 +181,7 @@ func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []fl
 	evals, err := parallel.Map(workers, nTasks, func(t int) (gridEval, error) {
 		fi, gi := t/len(grid), t%len(grid)
 		fd := &fds[fi]
-		m, err := svm.Train(fd.trX, fd.trY, svm.Config{
+		m, err := svm.TrainSparse(fd.trX, fd.trY, svm.Config{
 			C: grid[gi], Kernel: kernel, Seed: seed + int64(fi), Workers: -1,
 		})
 		if err != nil {
@@ -208,10 +209,9 @@ func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []fl
 				bestVal, bestC, bestModel = e.valAcc, c, e.model
 			}
 		}
-		pred := make([]float64, len(fd.teX))
-		for i, xv := range fd.teX {
-			pred[i] = bestModel.Predict(xv)
-		}
+		// Batched prediction; the fold fan-out already covers the cores,
+		// so the batch itself stays sequential.
+		pred := bestModel.PredictBatch(fd.teX, -1)
 		conf, err := metrics.NewConfusion(fd.teY, pred)
 		if err != nil {
 			return FoldResult{}, err
@@ -242,14 +242,15 @@ func EvaluateSVMWorkers(x []vecmath.Vector, y []float64, folds []Fold, grid []fl
 	return res, nil
 }
 
-// scoreAccuracy evaluates plain accuracy of m on a labeled set.
-func scoreAccuracy(m *svm.Model, x []vecmath.Vector, y []float64) (float64, error) {
+// scoreAccuracy evaluates plain accuracy of m on a labeled set via one
+// batched prediction pass.
+func scoreAccuracy(m *svm.Model, x []*vecmath.Sparse, y []float64) (float64, error) {
 	if len(x) == 0 {
 		return 0, errors.New("crossval: empty evaluation split")
 	}
 	correct := 0
-	for i := range x {
-		if m.Predict(x[i]) == y[i] {
+	for i, p := range m.PredictBatch(x, -1) {
+		if p == y[i] {
 			correct++
 		}
 	}

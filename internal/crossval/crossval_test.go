@@ -111,10 +111,11 @@ func TestPaperKFoldDeterministic(t *testing.T) {
 	}
 }
 
-// separableData builds two separable high-dimensional classes.
-func separableData(n int, seed int64) ([]vecmath.Vector, []float64) {
+// separableData builds two separable high-dimensional classes in
+// canonical sparse form.
+func separableData(n int, seed int64) ([]*vecmath.Sparse, []float64) {
 	r := rand.New(rand.NewSource(seed))
-	var x []vecmath.Vector
+	var x []*vecmath.Sparse
 	var y []float64
 	for i := 0; i < n; i++ {
 		v := vecmath.NewVector(40)
@@ -132,7 +133,7 @@ func separableData(n int, seed int64) ([]vecmath.Vector, []float64) {
 		for j := 0; j < 5; j++ {
 			v[r.Intn(40)] += 0.02 * r.Float64()
 		}
-		x = append(x, v.Normalize())
+		x = append(x, vecmath.DenseToSparse(v.Normalize()))
 		y = append(y, sign)
 	}
 	return x, y

@@ -164,7 +164,7 @@ func TestSeriesDocumentsFeedCorpus(t *testing.T) {
 	}
 	nonzero := 0
 	for _, s := range sigs {
-		if !s.V.IsZero() {
+		if s.W.NNZ() > 0 {
 			nonzero++
 		}
 	}

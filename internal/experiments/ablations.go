@@ -251,8 +251,8 @@ func RunAblationWeighting(data *WorkloadData, p MLParams) (*AblationWeightingRes
 	}
 	res := &AblationWeightingResult{Grouping: "scp(+1) vs kcompile(-1)"}
 
-	eval := func(scheme string, x []vecmath.Vector, labels []string) error {
-		var xs []vecmath.Vector
+	eval := func(scheme string, x []*vecmath.Sparse, labels []string) error {
+		var xs []*vecmath.Sparse
 		var y []float64
 		var pos, neg []int
 		for i, l := range labels {
@@ -283,19 +283,19 @@ func RunAblationWeighting(data *WorkloadData, p MLParams) (*AblationWeightingRes
 
 	// tf-idf (the paper's embedding).
 	tfidf := CompactDims(set.Sigs)
-	if err := eval("tf-idf (paper)", Vectors(tfidf), LabelsOf(tfidf)); err != nil {
+	if err := eval("tf-idf (paper)", SparseVecs(tfidf), LabelsOf(tfidf)); err != nil {
 		return nil, err
 	}
 	// Raw counts, L2-normalized.
-	raw := make([]vecmath.Vector, len(rawDocs))
+	raw := make([]*vecmath.Sparse, len(rawDocs))
 	for i, v := range rawDocs {
-		raw[i] = v.Normalized()
+		raw[i] = vecmath.DenseToSparse(v.Normalized())
 	}
 	if err := eval("raw counts (L2)", raw, rawLabels); err != nil {
 		return nil, err
 	}
 	// tf only: counts normalized by document length, then L2.
-	tf := make([]vecmath.Vector, len(rawDocs))
+	tf := make([]*vecmath.Sparse, len(rawDocs))
 	for i, v := range rawDocs {
 		var total float64
 		for _, c := range v {
@@ -305,7 +305,7 @@ func RunAblationWeighting(data *WorkloadData, p MLParams) (*AblationWeightingRes
 		if total > 0 {
 			t.Scale(1 / total)
 		}
-		tf[i] = t.Normalize()
+		tf[i] = vecmath.DenseToSparse(t.Normalize())
 	}
 	if err := eval("tf only (L2)", tf, rawLabels); err != nil {
 		return nil, err

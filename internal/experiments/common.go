@@ -260,42 +260,61 @@ func SignaturesFromDocs(docs []*core.Document, dim int) ([]core.Signature, error
 // CompactDims projects signatures onto the union of their non-zero
 // dimensions, dropping coordinates that are zero everywhere. Distances and
 // dot products are unchanged; clustering and kernel computations get a
-// ~5x dimensionality cut.
+// ~5x dimensionality cut. The projection is a pure support remap on the
+// sparse forms — index order (and hence every accumulation) is preserved,
+// so the compacted weights are the originals bit for bit.
 func CompactDims(sigs []core.Signature) []core.Signature {
 	if len(sigs) == 0 {
 		return nil
 	}
-	dim := sigs[0].V.Dim()
+	dim := sigs[0].Dim()
 	used := make([]bool, dim)
 	for _, s := range sigs {
-		for i, x := range s.V {
-			if x != 0 {
-				used[i] = true
-			}
-		}
+		s.W.ForEach(func(i int, _ float64) { used[i] = true })
 	}
-	var keep []int
+	old2new := make([]int32, dim)
+	compactDim := 0
 	for i, u := range used {
 		if u {
-			keep = append(keep, i)
+			old2new[i] = int32(compactDim)
+			compactDim++
 		}
 	}
 	out := make([]core.Signature, len(sigs))
 	for si, s := range sigs {
-		v := vecmath.NewVector(len(keep))
-		for ki, i := range keep {
-			v[ki] = s.V[i]
+		idx := make([]int32, 0, s.W.NNZ())
+		val := make([]float64, 0, s.W.NNZ())
+		s.W.ForEach(func(i int, x float64) {
+			idx = append(idx, old2new[i])
+			val = append(val, x)
+		})
+		w, err := vecmath.SparseFromSorted(compactDim, idx, val)
+		if err != nil {
+			// The remap is monotonic over validated inputs; failure here
+			// is a programming error, not an input condition.
+			panic(fmt.Sprintf("experiments: compact remap: %v", err))
 		}
-		out[si] = core.Signature{DocID: s.DocID, Label: s.Label, V: v}
+		out[si] = core.Signature{DocID: s.DocID, Label: s.Label, W: w}
 	}
 	return out
 }
 
-// Vectors extracts the vector slice of signatures.
+// Vectors materializes the dense view of each signature (for consumers
+// doing per-component arithmetic, e.g. K-means centroid updates).
 func Vectors(sigs []core.Signature) []vecmath.Vector {
 	out := make([]vecmath.Vector, len(sigs))
 	for i, s := range sigs {
-		out[i] = s.V
+		out[i] = s.Dense()
+	}
+	return out
+}
+
+// SparseVecs extracts the canonical sparse forms of signatures (shared,
+// not copied).
+func SparseVecs(sigs []core.Signature) []*vecmath.Sparse {
+	out := make([]*vecmath.Sparse, len(sigs))
+	for i, s := range sigs {
+		out[i] = s.W
 	}
 	return out
 }

@@ -10,7 +10,6 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/stats"
-	"repro/internal/vecmath"
 )
 
 // Fig4Result is the hierarchical clustering demonstration of Figure 4:
@@ -39,7 +38,7 @@ const Fig4Attempts = 10
 // fig4Once samples 10 signatures per class and clusters them once.
 func fig4Once(set *SignatureSet, classA, classB string, rng *rand.Rand) (*cluster.Dendrogram, []string, bool, error) {
 	const perClass = 10
-	var points []vecmath.Vector
+	var sample []core.Signature
 	var labels []string
 	for _, cls := range []string{classA, classB} {
 		sigs := set.ByLabel[cls]
@@ -51,11 +50,11 @@ func fig4Once(set *SignatureSet, classA, classB string, rng *rand.Rand) (*cluste
 			return nil, nil, false, err
 		}
 		for _, i := range idx {
-			points = append(points, sigs[i].V)
+			sample = append(sample, sigs[i])
 			labels = append(labels, cls)
 		}
 	}
-	compactPts := Vectors(CompactDims(sigsFromVectors(points, labels)))
+	compactPts := Vectors(CompactDims(sample))
 	root, err := cluster.Hierarchical(compactPts, cluster.SingleLinkage)
 	if err != nil {
 		return nil, nil, false, err
@@ -94,15 +93,6 @@ func RunFig4(set *SignatureSet, classA, classB string, seed int64) (*Fig4Result,
 		}
 	}
 	return res, nil
-}
-
-// sigsFromVectors wraps raw vectors as signatures so CompactDims applies.
-func sigsFromVectors(vs []vecmath.Vector, labels []string) []core.Signature {
-	out := make([]core.Signature, len(vs))
-	for i := range vs {
-		out[i] = core.Signature{DocID: fmt.Sprintf("p%d", i), Label: labels[i], V: vs[i]}
-	}
-	return out
 }
 
 // Render prints the nested-parenthesis dendrogram of Figure 4.
@@ -217,10 +207,19 @@ func purityOfSample(set *SignatureSet, classes []string, n, k int, cfg ClusterPa
 		}
 	}
 	compact := CompactDims(sigs)
-	res, err := cluster.KMeans(Vectors(compact), cluster.KMeansConfig{
+	kcfg := cluster.KMeansConfig{
 		K: k, Restarts: cfg.Restarts, MaxIter: cfg.MaxIter, Seed: rng.Int63(),
-		Workers: -1, Sparse: cfg.Sparse,
-	})
+		Workers: -1,
+	}
+	var res *cluster.KMeansResult
+	var err error
+	if cfg.Sparse {
+		// Sparse-first: reuse the compacted signatures' canonical forms
+		// instead of re-extracting them from a dense materialization.
+		res, err = cluster.KMeansSparse(SparseVecs(compact), kcfg)
+	} else {
+		res, err = cluster.KMeans(Vectors(compact), kcfg)
+	}
 	if err != nil {
 		return 0, err
 	}

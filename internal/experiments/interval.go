@@ -50,7 +50,7 @@ func evalTwoClass(docs []*core.Document, dim, folds int, seed int64) (*crossval.
 		return nil, err
 	}
 	compact := CompactDims(sigs)
-	x := Vectors(compact)
+	x := SparseVecs(compact)
 	var y []float64
 	var pos, neg []int
 	for i, s := range compact {
@@ -128,17 +128,15 @@ func RunAblationInterval(perClass, folds int, seed int64, intervals []time.Durat
 		return nil, err
 	}
 	core.Normalize(trainSigs)
-	var x []core.Signature
 	var y []float64
 	for _, s := range trainSigs {
-		x = append(x, s)
 		if s.Label == "scp" {
 			y = append(y, 1)
 		} else {
 			y = append(y, -1)
 		}
 	}
-	clf, err := svm.Train(Vectors(x), y, svm.Config{C: 10, Seed: seed})
+	clf, err := svm.TrainSparse(SparseVecs(trainSigs), y, svm.Config{C: 10, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -147,24 +145,25 @@ func RunAblationInterval(perClass, folds int, seed int64, intervals []time.Durat
 	if err != nil {
 		return nil, err
 	}
-	correct, total := 0, 0
-	for _, d := range testDocs {
-		sig, err := model.Transform(d)
-		if err != nil {
-			return nil, err
-		}
-		sig.V.Normalize()
-		pred := clf.Predict(sig.V)
+	// Embed the whole test corpus through the training model, then score
+	// it in one batched prediction pass.
+	testSigs, err := model.TransformAll(testDocs)
+	if err != nil {
+		return nil, err
+	}
+	core.Normalize(testSigs)
+	preds := clf.PredictBatch(SparseVecs(testSigs), 0)
+	correct := 0
+	for i, d := range testDocs {
 		want := -1.0
 		if d.Label == "scp" {
 			want = 1
 		}
-		if pred == want {
+		if preds[i] == want {
 			correct++
 		}
-		total++
 	}
-	res.TransferAccuracy = float64(correct) / float64(total)
+	res.TransferAccuracy = float64(correct) / float64(len(testDocs))
 	return res, nil
 }
 

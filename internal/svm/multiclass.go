@@ -43,6 +43,23 @@ func TrainOneVsRest(x []vecmath.Vector, labels []string, cfg Config) (*MultiClas
 	if len(classes) < 2 {
 		return nil, fmt.Errorf("svm: need >= 2 classes, have %d", len(classes))
 	}
+	// The per-class problems share one training set; for dot-product
+	// kernels convert it to sparse once up front instead of once per
+	// class (bit-identical models either way — Train is TrainSparse
+	// after the same conversion).
+	kern := cfg.Kernel
+	if kern == nil {
+		kern = DefaultPolynomial()
+	}
+	var sx []*vecmath.Sparse
+	if _, ok := kern.(DotKernel); ok {
+		sx = make([]*vecmath.Sparse, len(x))
+		parallel.Chunks(cfg.Workers, len(x), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sx[i] = vecmath.DenseToSparse(x[i])
+			}
+		})
+	}
 	// One independent binary problem per class: each carries its own seed
 	// (cfg.Seed + class index), so the ensemble is identical whether the
 	// per-class trainings run sequentially or fanned out. The fan-out
@@ -59,9 +76,16 @@ func TrainOneVsRest(x []vecmath.Vector, labels []string, cfg Config) (*MultiClas
 			}
 		}
 		c := cfg
+		c.Kernel = kern
 		c.Seed = cfg.Seed + int64(ci)
 		c.Workers = -1
-		m, err := Train(x, y, c)
+		var m *Model
+		var err error
+		if sx != nil {
+			m, err = TrainSparse(sx, y, c)
+		} else {
+			m, err = Train(x, y, c)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("svm: class %q: %w", cls, err)
 		}
@@ -80,22 +104,38 @@ func (mc *MultiClass) Classes() []string {
 	return out
 }
 
+// queryOf sparsifies a query once for scoring against every class model
+// (all models share the kernel, so either all or none want the sparse
+// form).
+func (mc *MultiClass) queryOf(x vecmath.Vector) *vecmath.Sparse {
+	if mc.models[0].dotK != nil && mc.models[0].svSparse != nil {
+		return vecmath.DenseToSparse(x)
+	}
+	return nil
+}
+
 // Decisions returns each class's decision score for x, parallel to
-// Classes().
+// Classes(). The query is sparsified once, not once per class model.
 func (mc *MultiClass) Decisions(x vecmath.Vector) []float64 {
+	q := mc.queryOf(x)
 	out := make([]float64, len(mc.models))
 	for i, m := range mc.models {
-		out[i] = m.Decision(x)
+		if q != nil {
+			out[i] = m.DecisionSparse(q)
+		} else {
+			out[i] = m.Decision(x)
+		}
 	}
 	return out
 }
 
 // Predict returns the class with the highest decision score.
 func (mc *MultiClass) Predict(x vecmath.Vector) string {
-	best, bestScore := 0, mc.models[0].Decision(x)
-	for i := 1; i < len(mc.models); i++ {
-		if s := mc.models[i].Decision(x); s > bestScore {
-			best, bestScore = i, s
+	scores := mc.Decisions(x)
+	best := 0
+	for i := 1; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
 		}
 	}
 	return mc.classes[best]

@@ -143,62 +143,114 @@ func (c *Config) fillDefaults() {
 type Model struct {
 	kernel   Kernel
 	dotK     DotKernel         // non-nil iff kernel is dot-product based
-	svs      []vecmath.Vector  // support vectors
+	svs      []vecmath.Vector  // support vectors; nil for sparse-trained dot-kernel models
 	svSparse []*vecmath.Sparse // sparse forms, kept when dotK != nil
 	svCoef   []float64         // alpha_i * y_i for each support vector
 	b        float64
 	trained  int // training set size, for reporting
 }
 
-// Train fits a binary SVM on x with labels y in {+1, -1} using SMO
-// (Platt 1998, in the simplified variant with random second-choice
-// heuristics and a full kernel cache).
-func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
-	if len(x) == 0 {
-		return nil, errors.New("svm: empty training set")
+// validateTraining checks the shared training contract of Train and
+// TrainSparse — non-empty set, ±1 labels with both classes present,
+// positive C, and dimension agreement (dimAt returning a negative value
+// marks a nil example).
+func validateTraining(n int, y []float64, c float64, dimAt func(int) int) error {
+	if n == 0 {
+		return errors.New("svm: empty training set")
 	}
-	if len(x) != len(y) {
-		return nil, fmt.Errorf("svm: %d examples but %d labels", len(x), len(y))
+	if n != len(y) {
+		return fmt.Errorf("svm: %d examples but %d labels", n, len(y))
 	}
-	if cfg.C <= 0 {
-		return nil, fmt.Errorf("svm: C=%v must be positive", cfg.C)
+	if c <= 0 {
+		return fmt.Errorf("svm: C=%v must be positive", c)
 	}
-	dim := x[0].Dim()
 	var hasPos, hasNeg bool
-	for i := range x {
-		if x[i].Dim() != dim {
-			return nil, fmt.Errorf("svm: example %d has dimension %d, want %d", i, x[i].Dim(), dim)
-		}
-		switch y[i] {
+	for i, yy := range y {
+		switch yy {
 		case 1:
 			hasPos = true
 		case -1:
 			hasNeg = true
 		default:
-			return nil, fmt.Errorf("svm: label %v at %d; want +1 or -1", y[i], i)
+			return fmt.Errorf("svm: label %v at %d; want +1 or -1", yy, i)
 		}
 	}
 	if !hasPos || !hasNeg {
-		return nil, errors.New("svm: training set needs both classes")
+		return errors.New("svm: training set needs both classes")
+	}
+	dim := dimAt(0)
+	for i := 0; i < n; i++ {
+		switch d := dimAt(i); {
+		case d < 0:
+			return fmt.Errorf("svm: example %d is nil", i)
+		case d != dim:
+			return fmt.Errorf("svm: example %d has dimension %d, want %d", i, d, dim)
+		}
+	}
+	return nil
+}
+
+// Train fits a binary SVM on dense examples x with labels y in {+1, -1}
+// using SMO (Platt 1998, in the simplified variant with random
+// second-choice heuristics and a full kernel cache). For dot-product
+// kernels the examples are sparsified once and training proceeds exactly
+// as TrainSparse — the two entry points produce bit-identical models for
+// equal inputs.
+func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
+	if err := validateTraining(len(x), y, cfg.C, func(i int) int { return x[i].Dim() }); err != nil {
+		return nil, err
 	}
 	cfg.fillDefaults()
-
-	n := len(x)
-	// Full kernel matrix cache: the paper's corpora are a few hundred
-	// signatures, so O(n^2) memory is the right trade. Rows are filled in
-	// parallel (each goroutine writes only its own rows) and, for
-	// dot-product kernels, entries come from sparse dots — both identical
-	// to the sequential dense build bit for bit.
 	dotK, _ := cfg.Kernel.(DotKernel)
 	var sx []*vecmath.Sparse
 	if dotK != nil {
-		sx = make([]*vecmath.Sparse, n)
-		parallel.Chunks(cfg.Workers, n, func(lo, hi int) {
+		sx = make([]*vecmath.Sparse, len(x))
+		parallel.Chunks(cfg.Workers, len(x), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				sx[i] = vecmath.DenseToSparse(x[i])
 			}
 		})
 	}
+	return train(x, sx, y, cfg, dotK)
+}
+
+// TrainSparse fits a binary SVM directly on canonical sparse signatures —
+// the native path for sparse-first callers. Dot-product kernels (the
+// paper's default) never materialize a dense vector; other kernels
+// materialize dense views once up front.
+func TrainSparse(sx []*vecmath.Sparse, y []float64, cfg Config) (*Model, error) {
+	err := validateTraining(len(sx), y, cfg.C, func(i int) int {
+		if sx[i] == nil {
+			return -1
+		}
+		return sx[i].Dim()
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	dotK, _ := cfg.Kernel.(DotKernel)
+	var x []vecmath.Vector
+	if dotK == nil {
+		x = make([]vecmath.Vector, len(sx))
+		parallel.Chunks(cfg.Workers, len(sx), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] = sx[i].Dense()
+			}
+		})
+	}
+	return train(x, sx, y, cfg, dotK)
+}
+
+// train runs SMO over whichever representation the kernel needs: sx for
+// dot-product kernels (x may be nil), x otherwise.
+func train(x []vecmath.Vector, sx []*vecmath.Sparse, y []float64, cfg Config, dotK DotKernel) (*Model, error) {
+	n := len(y)
+	// Full kernel matrix cache: the paper's corpora are a few hundred
+	// signatures, so O(n^2) memory is the right trade. Rows are filled in
+	// parallel (each goroutine writes only its own rows) and, for
+	// dot-product kernels, entries come from sparse dots — both identical
+	// to the sequential dense build bit for bit.
 	kmat := make([][]float64, n)
 	for i := range kmat {
 		kmat[i] = make([]float64, n)
@@ -301,14 +353,16 @@ func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
 	m := &Model{kernel: cfg.Kernel, dotK: dotK, b: b, trained: n}
 	for i := 0; i < n; i++ {
 		if alpha[i] > 1e-10 {
-			m.svs = append(m.svs, x[i])
+			if x != nil {
+				m.svs = append(m.svs, x[i])
+			}
 			m.svCoef = append(m.svCoef, alpha[i]*y[i])
 			if dotK != nil {
 				m.svSparse = append(m.svSparse, sx[i])
 			}
 		}
 	}
-	if len(m.svs) == 0 {
+	if len(m.svCoef) == 0 {
 		return nil, errors.New("svm: optimization produced no support vectors")
 	}
 	return m, nil
@@ -319,16 +373,27 @@ func Train(x []vecmath.Vector, y []float64, cfg Config) (*Model, error) {
 // the cached sparse support vectors in O(dim + Σ nnz) instead of
 // O(|SV| × dim); the sparse dots are bit-identical to the dense ones.
 func (m *Model) Decision(x vecmath.Vector) float64 {
-	s := -m.b
-	if m.dotK != nil && len(m.svSparse) == len(m.svs) {
-		sq := vecmath.DenseToSparse(x)
-		for i, sv := range m.svSparse {
-			s += m.svCoef[i] * m.dotK.EvalDot(sv.Dot(sq))
-		}
-		return s
+	if m.dotK != nil && m.svSparse != nil {
+		return m.DecisionSparse(vecmath.DenseToSparse(x))
 	}
+	s := -m.b
 	for i, sv := range m.svs {
 		s += m.svCoef[i] * m.kernel.Eval(sv, x)
+	}
+	return s
+}
+
+// DecisionSparse scores a query already in canonical sparse form — the
+// native path for sparse-first signatures, skipping the per-query
+// sparsification Decision pays. Bit-identical to Decision of the
+// equivalent dense vector.
+func (m *Model) DecisionSparse(q *vecmath.Sparse) float64 {
+	if m.dotK == nil || m.svSparse == nil {
+		return m.Decision(q.Dense())
+	}
+	s := -m.b
+	for i, sv := range m.svSparse {
+		s += m.svCoef[i] * m.dotK.EvalDot(sv.Dot(q))
 	}
 	return s
 }
@@ -341,8 +406,58 @@ func (m *Model) Predict(x vecmath.Vector) float64 {
 	return -1
 }
 
+// PredictSparse is Predict for a query in canonical sparse form.
+func (m *Model) PredictSparse(q *vecmath.Sparse) float64 {
+	if m.DecisionSparse(q) >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// DecisionBatch scores a batch of sparse queries, fanning the per-query
+// kernel-row computations out over the worker pool (parallel.Workers
+// semantics). Each query's score is an independent pure computation, so
+// the result is bit-identical at any worker count, and equals calling
+// DecisionSparse per query.
+func (m *Model) DecisionBatch(qs []*vecmath.Sparse, workers int) []float64 {
+	out := make([]float64, len(qs))
+	parallel.Chunks(workers, len(qs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.DecisionSparse(qs[i])
+		}
+	})
+	return out
+}
+
+// PredictBatch labels a batch of sparse queries (+1/-1), batching like
+// DecisionBatch.
+func (m *Model) PredictBatch(qs []*vecmath.Sparse, workers int) []float64 {
+	out := m.DecisionBatch(qs, workers)
+	for i, s := range out {
+		if s >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// PredictBatchDense is PredictBatch for dense queries: sparsification is
+// folded into the same fan-out, so a caller holding dense vectors still
+// amortizes the conversion across workers.
+func (m *Model) PredictBatchDense(xs []vecmath.Vector, workers int) []float64 {
+	out := make([]float64, len(xs))
+	parallel.Chunks(workers, len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Predict(xs[i])
+		}
+	})
+	return out
+}
+
 // NumSV returns the number of support vectors.
-func (m *Model) NumSV() int { return len(m.svs) }
+func (m *Model) NumSV() int { return len(m.svCoef) }
 
 // TrainingSize returns the size of the training set the model was fit on.
 func (m *Model) TrainingSize() int { return m.trained }

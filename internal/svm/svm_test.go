@@ -243,3 +243,126 @@ func BenchmarkTrain200x100(b *testing.B) {
 		}
 	}
 }
+
+// sparseOf converts a dense training set to canonical sparse form.
+func sparseOf(x []vecmath.Vector) []*vecmath.Sparse {
+	out := make([]*vecmath.Sparse, len(x))
+	for i := range x {
+		out[i] = vecmath.DenseToSparse(x[i])
+	}
+	return out
+}
+
+// TestTrainSparseMatchesTrain: the sparse-first entry point must produce
+// a bit-identical model to the dense one — same SV count, same decision
+// scores — for both dot-product and non-dot kernels.
+func TestTrainSparseMatchesTrain(t *testing.T) {
+	const dim = 200
+	r := rand.New(rand.NewSource(17))
+	var x []vecmath.Vector
+	var y []float64
+	for i := 0; i < 40; i++ {
+		v := vecmath.NewVector(dim)
+		hot := []int{2, 40, 77}
+		sign := 1.0
+		if i%2 == 0 {
+			hot = []int{9, 120, 180}
+			sign = -1
+		}
+		for _, h := range hot {
+			v[h] = 0.4 + 0.1*r.NormFloat64()
+		}
+		x = append(x, v.Normalize())
+		y = append(y, sign)
+	}
+	sx := sparseOf(x)
+	for _, kernel := range []Kernel{DefaultPolynomial(), Linear{}, RBF{Gamma: 1}} {
+		dm, err := Train(x, y, Config{C: 5, Seed: 3, Kernel: kernel})
+		if err != nil {
+			t.Fatalf("%s: %v", kernel.Name(), err)
+		}
+		sm, err := TrainSparse(sx, y, Config{C: 5, Seed: 3, Kernel: kernel})
+		if err != nil {
+			t.Fatalf("%s: %v", kernel.Name(), err)
+		}
+		if dm.NumSV() != sm.NumSV() {
+			t.Fatalf("%s: SV count %d vs %d", kernel.Name(), dm.NumSV(), sm.NumSV())
+		}
+		for i := range x {
+			if d, s := dm.Decision(x[i]), sm.DecisionSparse(sx[i]); d != s {
+				t.Fatalf("%s: decision %d: dense-trained %v vs sparse-trained %v", kernel.Name(), i, d, s)
+			}
+			// Cross-representation queries agree too.
+			if d, s := sm.Decision(x[i]), sm.DecisionSparse(sx[i]); d != s {
+				t.Fatalf("%s: decision %d: dense query %v vs sparse query %v", kernel.Name(), i, d, s)
+			}
+		}
+	}
+}
+
+func TestTrainSparseValidation(t *testing.T) {
+	ok := sparseOf([]vecmath.Vector{{0, 1}, {1, 0}})
+	y := []float64{1, -1}
+	if _, err := TrainSparse(nil, nil, Config{C: 1}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := TrainSparse(ok, y, Config{C: 0}); err == nil {
+		t.Error("C=0 should fail")
+	}
+	if _, err := TrainSparse([]*vecmath.Sparse{ok[0], nil}, y, Config{C: 1}); err == nil {
+		t.Error("nil example should fail")
+	}
+	bad := sparseOf([]vecmath.Vector{{0, 1}, {1, 0, 0}})
+	if _, err := TrainSparse(bad, y, Config{C: 1}); err == nil {
+		t.Error("inconsistent dimensions should fail")
+	}
+}
+
+// TestPredictBatchMatchesSequential: batched prediction is a pure
+// fan-out — identical to per-query calls at every worker count.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	x, y := func() ([]vecmath.Vector, []float64) {
+		r := rand.New(rand.NewSource(31))
+		var x []vecmath.Vector
+		var y []float64
+		for i := 0; i < 60; i++ {
+			v := vecmath.NewVector(80)
+			sign := 1.0
+			hot := 5
+			if i%2 == 0 {
+				sign, hot = -1, 60
+			}
+			v[hot] = 1
+			v[r.Intn(80)] += 0.3 * r.Float64()
+			x = append(x, v.Normalize())
+			y = append(y, sign)
+		}
+		return x, y
+	}()
+	sx := sparseOf(x)
+	m, err := TrainSparse(sx[:40], y[:40], Config{C: 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := sx[40:]
+	wantDec := make([]float64, len(queries))
+	wantPred := make([]float64, len(queries))
+	for i, q := range queries {
+		wantDec[i] = m.DecisionSparse(q)
+		wantPred[i] = m.PredictSparse(q)
+	}
+	for _, workers := range []int{-1, 1, 2, 0} {
+		dec := m.DecisionBatch(queries, workers)
+		pred := m.PredictBatch(queries, workers)
+		predDense := m.PredictBatchDense(x[40:], workers)
+		for i := range queries {
+			if dec[i] != wantDec[i] || pred[i] != wantPred[i] || predDense[i] != wantPred[i] {
+				t.Fatalf("workers=%d query %d: batch (%v, %v, %v) vs sequential (%v, %v)",
+					workers, i, dec[i], pred[i], predDense[i], wantDec[i], wantPred[i])
+			}
+		}
+	}
+	if got := m.DecisionBatch(nil, 0); len(got) != 0 {
+		t.Error("empty batch should return empty slice")
+	}
+}

@@ -6,12 +6,20 @@ import (
 	"sort"
 )
 
-// Sparse is a read-only sparse signature: parallel sorted index/value
-// arrays plus a cached squared L2 norm. It is the hot-loop companion to
-// the map-based SparseVector — Fmeter signatures live in a ~3815-dim space
-// but any one monitoring interval touches only a few hundred kernel
-// functions, so kernel evaluations, similarity scans, and K-means
-// assignment steps cost O(nnz) instead of O(dim) in this form.
+// Sparse is the canonical signature representation: parallel sorted
+// index/value arrays plus a cached squared L2 norm. Fmeter signatures
+// live in a ~3815-dim space but any one monitoring interval touches only
+// a few hundred kernel functions, so kernel evaluations, similarity
+// scans, and K-means assignment steps cost O(nnz) instead of O(dim) in
+// this form. Dense vectors are the derived view (Dense); the few callers
+// that need per-component arithmetic materialize one explicitly.
+//
+// Mutating methods (Scale, Normalize) recompute the cached norm by
+// re-accumulating in index order, so a mutated Sparse is
+// indistinguishable from one freshly extracted from the equivalent dense
+// vector. Sharing discipline: values flow through aliased *Sparse in
+// read-mostly pipelines; mutate only vectors you own (Clone first when in
+// doubt).
 //
 // The accumulation order of Dot and DotDense is ascending index order —
 // exactly the order the dense loops visit the same non-zero terms — so
@@ -44,7 +52,36 @@ func DenseToSparse(v Vector) *Sparse {
 	return s
 }
 
-// MapToSparse converts a map-based SparseVector into the array form.
+// SparseFromSorted builds a Sparse directly from parallel index/value
+// slices, taking ownership of both. Indices must be strictly ascending
+// and inside [0, dim); values must be non-zero (zeros would bloat the
+// support and break nnz-based reasoning). The cached norm accumulates in
+// index order, exactly as DenseToSparse would for the equivalent dense
+// vector. This is the allocation-free path for producers that already
+// hold sorted non-zeros — tf-idf transformation, dimension compaction,
+// snapshot loading.
+func SparseFromSorted(dim int, idx []int32, val []float64) (*Sparse, error) {
+	if len(idx) != len(val) {
+		return nil, fmt.Errorf("vecmath: %d indices but %d values", len(idx), len(val))
+	}
+	s := &Sparse{dim: dim, idx: idx, val: val}
+	prev := int32(-1)
+	for k, i := range idx {
+		if i <= prev || int(i) >= dim {
+			return nil, fmt.Errorf("vecmath: sparse index %d at position %d not strictly ascending in [0, %d)", i, k, dim)
+		}
+		if val[k] == 0 {
+			return nil, fmt.Errorf("vecmath: explicit zero at sparse index %d", i)
+		}
+		prev = i
+		s.norm2 += val[k] * val[k]
+	}
+	return s, nil
+}
+
+// MapToSparse converts a map-based SparseVector into the array form,
+// dropping explicit zeros so the result honors the minimal-support
+// invariant.
 func MapToSparse(m SparseVector, dim int) (*Sparse, error) {
 	support := m.Support()
 	s := &Sparse{dim: dim, idx: make([]int32, 0, len(support)), val: make([]float64, 0, len(support))}
@@ -53,6 +90,9 @@ func MapToSparse(m SparseVector, dim int) (*Sparse, error) {
 			return nil, fmt.Errorf("vecmath: sparse index %d outside dimension %d", i, dim)
 		}
 		x := m[i]
+		if x == 0 {
+			continue
+		}
 		s.idx = append(s.idx, int32(i))
 		s.val = append(s.val, x)
 		s.norm2 += x * x
@@ -79,6 +119,22 @@ func (s *Sparse) Dense() Vector {
 		out[i] = s.val[k]
 	}
 	return out
+}
+
+// DenseInto writes the dense view of s into dst (zeroing it first) and
+// returns dst — the allocation-free sibling of Dense for scan loops that
+// reuse a scratch buffer.
+func (s *Sparse) DenseInto(dst Vector) Vector {
+	if s.dim != len(dst) {
+		panic(fmt.Sprintf("vecmath: sparse DenseInto dimension mismatch %d vs %d", s.dim, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k, i := range s.idx {
+		dst[i] = s.val[k]
+	}
+	return dst
 }
 
 // Get returns the value at dimension i (zero when absent), by binary
@@ -170,6 +226,132 @@ func (s *Sparse) Cosine(t *Sparse) float64 {
 		c = -1
 	}
 	return c
+}
+
+// Clone returns a deep copy of s.
+func (s *Sparse) Clone() *Sparse {
+	out := &Sparse{dim: s.dim, idx: make([]int32, len(s.idx)), val: make([]float64, len(s.val)), norm2: s.norm2}
+	copy(out.idx, s.idx)
+	copy(out.val, s.val)
+	return out
+}
+
+// ForEach calls fn for every stored non-zero in ascending index order.
+func (s *Sparse) ForEach(fn func(i int, x float64)) {
+	for k, i := range s.idx {
+		fn(int(i), s.val[k])
+	}
+}
+
+// ForEachUnion calls fn for every index in the support union of s and t,
+// in ascending index order, with both values at that index (zero when
+// absent from one support). It panics on dimension mismatch, like the
+// other pre-validated merge ops.
+func (s *Sparse) ForEachUnion(t *Sparse, fn func(i int, x, y float64)) {
+	if s.dim != t.dim {
+		panic(fmt.Sprintf("vecmath: sparse ForEachUnion dimension mismatch %d vs %d", s.dim, t.dim))
+	}
+	a, b := 0, len(s.idx)
+	c, d := 0, len(t.idx)
+	for a < b || c < d {
+		switch {
+		case c >= d || (a < b && s.idx[a] < t.idx[c]):
+			fn(int(s.idx[a]), s.val[a], 0)
+			a++
+		case a >= b || t.idx[c] < s.idx[a]:
+			fn(int(t.idx[c]), 0, t.val[c])
+			c++
+		default: // equal indices
+			fn(int(s.idx[a]), s.val[a], t.val[c])
+			a++
+			c++
+		}
+	}
+}
+
+// Scale multiplies every stored value by a in place and returns s. The
+// cached norm is re-accumulated in index order so it stays bit-identical
+// to a fresh extraction of the scaled dense vector. Scaling by zero
+// leaves an all-zero support; callers that rely on minimal supports
+// should avoid it (signatures never scale by zero).
+func (s *Sparse) Scale(a float64) *Sparse {
+	s.norm2 = 0
+	for k := range s.val {
+		s.val[k] *= a
+		s.norm2 += s.val[k] * s.val[k]
+	}
+	return s
+}
+
+// Normalize scales s in place to unit L2 norm and returns s, exactly like
+// the dense Vector.Normalize: every value is divided by the norm (the
+// same operation the dense loop applies to the non-zero components; the
+// zero components stay zero either way). The zero vector is unchanged.
+func (s *Sparse) Normalize() *Sparse {
+	n := math.Sqrt(s.norm2)
+	if n == 0 {
+		return s
+	}
+	s.norm2 = 0
+	for k := range s.val {
+		s.val[k] /= n
+		s.norm2 += s.val[k] * s.val[k]
+	}
+	return s
+}
+
+// Axpy accumulates a*s into the dense vector dst (dst += a*s), the
+// sparse-to-dense accumulate that centroid updates and mean signatures
+// need. Only the support is touched, and since the skipped components
+// would contribute an exact +0, the result is bit-identical to adding the
+// materialized dense form.
+func (s *Sparse) Axpy(a float64, dst Vector) {
+	if s.dim != len(dst) {
+		panic(fmt.Sprintf("vecmath: sparse Axpy dimension mismatch %d vs %d", s.dim, len(dst)))
+	}
+	for k, i := range s.idx {
+		dst[i] += a * s.val[k]
+	}
+}
+
+// Minkowski returns the Lp-induced distance to t computed over the
+// support union, in O(nnz_s + nnz_t). The merge visits indices in
+// ascending order — the order the dense Minkowski loop visits the same
+// terms — and the indices where both vectors are zero contribute an exact
+// +0 there, so the result is bit-identical to the dense computation for
+// every p (including p=2; contrast Euclidean, which trades bit-identity
+// for the cached-norm identity).
+func (s *Sparse) Minkowski(t *Sparse, p float64) (float64, error) {
+	if s.dim != t.dim {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrDimensionMismatch, s.dim, t.dim)
+	}
+	if p < 1 && !math.IsInf(p, 1) {
+		return 0, fmt.Errorf("vecmath: Minkowski order p=%v must be >= 1", p)
+	}
+	var acc float64
+	s.ForEachUnion(t, func(_ int, x, y float64) {
+		d := x - y
+		switch {
+		case math.IsInf(p, 1):
+			if a := math.Abs(d); a > acc {
+				acc = a
+			}
+		case p == 2:
+			acc += d * d
+		case p == 1:
+			acc += math.Abs(d)
+		default:
+			acc += math.Pow(math.Abs(d), p)
+		}
+	})
+	switch {
+	case math.IsInf(p, 1), p == 1:
+		return acc, nil
+	case p == 2:
+		return math.Sqrt(acc), nil
+	default:
+		return math.Pow(acc, 1/p), nil
+	}
 }
 
 // Norm2Of returns the squared L2 norm of a dense vector, accumulated in

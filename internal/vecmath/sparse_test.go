@@ -173,3 +173,157 @@ func BenchmarkVecmathSparseVsDense(b *testing.B) {
 		_ = s
 	})
 }
+
+func TestSparseFromSorted(t *testing.T) {
+	s, err := SparseFromSorted(10, []int32{1, 4, 9}, []float64{0.5, -2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 3 || s.Dim() != 10 {
+		t.Fatalf("nnz=%d dim=%d", s.NNZ(), s.Dim())
+	}
+	want := DenseToSparse(s.Dense())
+	if s.Norm2() != want.Norm2() {
+		t.Errorf("norm2 = %v, want %v", s.Norm2(), want.Norm2())
+	}
+	for _, bad := range []struct {
+		idx []int32
+		val []float64
+	}{
+		{[]int32{1}, []float64{1, 2}},     // length mismatch
+		{[]int32{4, 1}, []float64{1, 2}},  // not ascending
+		{[]int32{1, 1}, []float64{1, 2}},  // duplicate
+		{[]int32{1, 10}, []float64{1, 2}}, // out of range
+		{[]int32{-1}, []float64{1}},       // negative
+		{[]int32{3}, []float64{0}},        // explicit zero
+	} {
+		if _, err := SparseFromSorted(10, bad.idx, bad.val); err == nil {
+			t.Errorf("SparseFromSorted(%v, %v) should fail", bad.idx, bad.val)
+		}
+	}
+	empty, err := SparseFromSorted(5, nil, nil)
+	if err != nil || empty.NNZ() != 0 || empty.Dim() != 5 {
+		t.Fatalf("empty sparse: %v %d %d", err, empty.NNZ(), empty.Dim())
+	}
+}
+
+// TestSparseScaleNormalizeMatchDense: mutating ops must leave the vector
+// indistinguishable from extracting the equivalently mutated dense form,
+// cached norm included.
+func TestSparseScaleNormalizeMatchDense(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		v := randSparseDense(r, 300, 40)
+		s := DenseToSparse(v).Scale(2.5)
+		w := v.Clone().Scale(2.5)
+		ref := DenseToSparse(w)
+		if !s.Dense().Equal(w, 0) || s.Norm2() != ref.Norm2() {
+			t.Fatal("Scale diverges from dense")
+		}
+		n := DenseToSparse(v).Normalize()
+		dn := v.Clone().Normalize()
+		refN := DenseToSparse(dn)
+		if !n.Dense().Equal(dn, 0) || n.Norm2() != refN.Norm2() {
+			t.Fatal("Normalize diverges from dense")
+		}
+	}
+	zero := DenseToSparse(NewVector(5))
+	if zero.Normalize().NNZ() != 0 {
+		t.Error("zero vector should survive Normalize unchanged")
+	}
+}
+
+func TestSparseAxpyMatchesDenseAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		v := randSparseDense(r, 200, 30)
+		dst := randSparseDense(r, 200, 30)
+		want := dst.Clone()
+		for i := range want {
+			want[i] += 1.5 * v[i]
+		}
+		DenseToSparse(v).Axpy(1.5, dst)
+		if !dst.Equal(want, 0) {
+			t.Fatal("Axpy diverges from dense accumulate")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	DenseToSparse(NewVector(3)).Axpy(1, NewVector(4))
+}
+
+// TestSparseMinkowskiBitIdenticalToDense: the support-union merge must
+// reproduce the dense loop exactly for every p, including the branches
+// (1, 2, general, +Inf).
+func TestSparseMinkowskiBitIdenticalToDense(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for _, p := range []float64{1, 2, 2.5, 3, math.Inf(1)} {
+		for trial := 0; trial < 30; trial++ {
+			x := randSparseDense(r, 400, 50)
+			y := randSparseDense(r, 400, 50)
+			sx, sy := DenseToSparse(x), DenseToSparse(y)
+			want, err := Minkowski(x, y, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sx.Minkowski(sy, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("p=%v: sparse %v != dense %v", p, got, want)
+			}
+		}
+	}
+	a := DenseToSparse(Vector{1, 0})
+	b := DenseToSparse(Vector{0, 1})
+	if _, err := a.Minkowski(b, 0.5); err == nil {
+		t.Error("p<1 should fail")
+	}
+	if _, err := a.Minkowski(DenseToSparse(Vector{1}), 2); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestSparseCloneAndForEach(t *testing.T) {
+	s, err := SparseFromSorted(6, []int32{0, 3, 5}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone().Scale(10)
+	if s.Get(3) != 2 {
+		t.Error("Clone should not alias the original")
+	}
+	if c.Get(3) != 20 {
+		t.Error("Clone lost values")
+	}
+	var idxs []int
+	var sum float64
+	s.ForEach(func(i int, x float64) {
+		idxs = append(idxs, i)
+		sum += x
+	})
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 3 || idxs[2] != 5 || sum != 6 {
+		t.Errorf("ForEach visited %v (sum %v)", idxs, sum)
+	}
+}
+
+func TestSparseDenseInto(t *testing.T) {
+	s, err := SparseFromSorted(6, []int32{1, 4}, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := Vector{9, 9, 9, 9, 9, 9}
+	if got := s.DenseInto(buf); !got.Equal(s.Dense(), 0) {
+		t.Errorf("DenseInto = %v, want %v", got, s.Dense())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	s.DenseInto(NewVector(5))
+}
