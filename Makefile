@@ -18,20 +18,23 @@ test:
 race:
 	$(GO) test -race -count=1 ./internal/parallel/ ./internal/svm/ \
 		./internal/crossval/ ./internal/cluster/ ./internal/core/ \
-		./internal/vecmath/ ./internal/experiments/
+		./internal/vecmath/ ./internal/experiments/ ./internal/percpu/
 
 ## bench: the full reproduction benchmark harness.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
 
 ## bench-smoke: a quick perf-trajectory record (BENCH_baseline.json for
-## wall-clock, BENCH_sparse_first.json for the sparse-first
-## micro-benchmarks: Transform sparse vs dense view, sharded DB TopK) so
-## future PRs can compare like against like.
+## wall-clock, BENCH_indexed.json for the retrieval micro-benchmarks:
+## Transform sparse vs dense view, exhaustive-scan vs inverted-index
+## TopK — BenchmarkDBTopKSharded vs BenchmarkDBTopKIndexed — and the
+## batched BenchmarkDBTopKBatch 0-allocs record) so future PRs can
+## compare like against like. `fmeter-bench -index=on|off` reproduces
+## the scan/index comparison from the CLI.
 bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
 		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
-	$(GO) run ./cmd/fmeter-bench -microjson BENCH_sparse_first.json
+	$(GO) run ./cmd/fmeter-bench -microjson BENCH_indexed.json
 
 fmt:
 	gofmt -l -w .

@@ -110,12 +110,18 @@ func classify(w io.Writer, sigs []fmeter.Signature, k, dim int) error {
 	}
 	fmt.Fprintf(w, "classifying %d unlabeled signatures against %d labeled (k=%d):\n",
 		len(unlabeled), db.Len(), k)
-	for _, s := range unlabeled {
-		label, err := db.ClassifySparse(s.W, k, fmeter.EuclideanMetric())
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "  %-24s -> %s\n", s.DocID, label)
+	// One batched pass: the queries fan out over the worker pool and each
+	// rides the DB's inverted index, instead of a scan per signature.
+	queries := make([]*fmeter.Sparse, len(unlabeled))
+	for i, s := range unlabeled {
+		queries[i] = s.W
+	}
+	labels, err := fmeter.ClassifyBatch(db, queries, k, fmeter.EuclideanMetric())
+	if err != nil {
+		return err
+	}
+	for i, s := range unlabeled {
+		fmt.Fprintf(w, "  %-24s -> %s\n", s.DocID, labels[i])
 	}
 	return nil
 }

@@ -46,13 +46,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker-pool bound for parallel sweeps (0 = one per CPU, <0 = sequential; results are identical at any setting)")
 		sparse    = fs.Bool("sparse", false, "use the O(nnz) norm-cached K-means assignment step in the clustering experiments")
 		benchJSON = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
-		microJSON = fs.String("microjson", "", "run the sparse-first micro-benchmarks (Transform, sharded TopK) and write them to this JSON file, then exit")
+		microJSON = fs.String("microjson", "", "run the retrieval micro-benchmarks (Transform, scan vs indexed TopK, batched TopK) and write them to this JSON file, then exit")
+		indexMode = fs.String("index", "off", "route the BenchmarkDBTopKSharded micro-benchmark DBs through the inverted index (on) or the exhaustive scan (off) — the CLI knob for reproducing the scan/index comparison; BenchmarkDBTopKIndexed and BenchmarkDBTopKBatch are always indexed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var indexOn bool
+	switch *indexMode {
+	case "on":
+		indexOn = true
+	case "off":
+		indexOn = false
+	default:
+		return fmt.Errorf("-index must be on or off, got %q", *indexMode)
+	}
 	if *microJSON != "" {
-		return runMicroBench(*microJSON, stderr)
+		return runMicroBench(*microJSON, indexOn, stderr)
 	}
 
 	selected := make(map[string]bool)

@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/vecmath"
 )
 
-// microRecord is the BENCH_sparse_first.json artifact: the sparse-first
-// micro-benchmarks (tf-idf embedding and sharded-DB TopK) measured via
-// testing.Benchmark, so the perf trajectory of the sparse-first
-// representation is recorded next to the wall-clock table records.
+// microRecord is the BENCH_indexed.json artifact (formerly
+// BENCH_sparse_first.json): the retrieval micro-benchmarks — tf-idf
+// embedding, scan vs inverted-index TopK, batched TopK — measured via
+// testing.Benchmark, so the perf trajectory of the signature store is
+// recorded next to the wall-clock table records.
 type microRecord struct {
 	Timestamp  string                `json:"timestamp"`
 	GoMaxProcs int                   `json:"gomaxprocs"`
@@ -61,11 +63,14 @@ func microCorpus(docs, nnz int) (*core.Corpus, error) {
 	return c, nil
 }
 
-// runMicroBench measures the sparse-first micro-benchmarks and writes
-// the JSON record. The benchmark set mirrors the go-test benchmarks of
-// the same names (internal/core): BenchmarkTransform3815 sparse vs the
-// dense view, and BenchmarkDBTopKSharded at 1 and 4 shards.
-func runMicroBench(path string, stderr io.Writer) error {
+// runMicroBench measures the retrieval micro-benchmarks and writes the
+// JSON record. The benchmark set mirrors the go-test benchmarks of the
+// same names (internal/core): BenchmarkTransform3815 sparse vs the
+// dense view, BenchmarkDBTopKSharded at 1 and 4 shards (scan by
+// default; -index=on flips it for CLI A/B runs), the always-indexed
+// BenchmarkDBTopKIndexed, and the batched BenchmarkDBTopKBatch with
+// reused result buffers (the 0 allocs/op record).
+func runMicroBench(path string, indexOn bool, stderr io.Writer) error {
 	c, err := microCorpus(100, 250)
 	if err != nil {
 		return err
@@ -117,6 +122,7 @@ func runMicroBench(path string, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		db.SetIndexed(indexOn)
 		if err := db.AddAll(sigs); err != nil {
 			return err
 		}
@@ -126,6 +132,65 @@ func runMicroBench(path string, stderr io.Writer) error {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := db.TopKSparse(query, 10, metric); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Indexed retrieval on the same corpus shape: posting-list
+	// accumulation over the query support instead of the exhaustive
+	// merge-walk scan (the BenchmarkDBTopKSharded family above).
+	for _, shards := range []int{1, 4} {
+		db, err := core.NewShardedDB(sigs[0].Dim(), shards)
+		if err != nil {
+			return err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
+			name := fmt.Sprintf("BenchmarkDBTopKIndexed/shards=%d/%s", shards, metric.Name)
+			bench(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.TopKSparse(query, 10, metric); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Batched queries with reused result buffers: sequential workers pin
+	// the steady-state 0 allocs/op contract, the worker-pool run shows
+	// the fan-out.
+	{
+		db, err := core.NewShardedDB(sigs[0].Dim(), 4)
+		if err != nil {
+			return err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		queries := make([]*vecmath.Sparse, 0, 64)
+		for len(queries) < 64 {
+			queries = append(queries, sigs[len(queries)%len(sigs)].W)
+		}
+		metric := core.EuclideanMetric()
+		for _, workers := range []int{-1, 0} {
+			name := "BenchmarkDBTopKBatch/workers=seq"
+			if workers == 0 {
+				name = "BenchmarkDBTopKBatch/workers=all"
+			}
+			db.SetWorkers(workers)
+			out := make([][]core.SearchResult, len(queries))
+			if err := db.TopKBatchInto(queries, 10, metric, out); err != nil {
+				return err
+			}
+			bench(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := db.TopKBatchInto(queries, 10, metric, out); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -88,13 +88,18 @@ func run() error {
 	votes := map[string]int{}
 	fmt.Println("\ndiagnosis of the last 5 intervals before the crash:")
 	last := crashSigs[len(crashSigs)-5:]
-	for _, s := range last {
-		label, err := db.ClassifySparse(s.W, 7, fmeter.EuclideanMetric())
-		if err != nil {
-			return err
-		}
-		votes[label]++
-		fmt.Printf("  %-16s -> %s\n", s.DocID, label)
+	// Label the suspect intervals in one batched pass over the indexed DB.
+	queries := make([]*fmeter.Sparse, len(last))
+	for i, s := range last {
+		queries[i] = s.W
+	}
+	labels, err := fmeter.ClassifyBatch(db, queries, 7, fmeter.EuclideanMetric())
+	if err != nil {
+		return err
+	}
+	for i, s := range last {
+		votes[labels[i]]++
+		fmt.Printf("  %-16s -> %s\n", s.DocID, labels[i])
 	}
 	best, bestN := "", 0
 	for l, n := range votes {

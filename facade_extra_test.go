@@ -233,6 +233,80 @@ func TestShardedDBFacade(t *testing.T) {
 	}
 }
 
+// TestBatchFacade drives the batched retrieval facade: TopKBatch and
+// ClassifyBatch are bit-identical to their per-query counterparts, and
+// WithIndex(false) forces the scan without changing any result.
+func TestBatchFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 9, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 10, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := sys.Collect(DbenchWorkload(), 10, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(append(docs, more...), sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, probes := sigs[4:], sigs[:4]
+	queries := make([]*Sparse, len(probes))
+	for i, s := range probes {
+		queries[i] = s.W
+	}
+
+	indexed, err := NewDB(sys.Dim(), WithShards(3), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := NewDB(sys.Dim(), WithShards(3), WithIndex(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := indexed.AddAll(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := scanned.AddAll(store); err != nil {
+		t.Fatal(err)
+	}
+
+	metric := EuclideanMetric()
+	batch, err := TopKBatch(indexed, queries, 5, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := ClassifyBatch(indexed, queries, 5, metric)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries {
+		single, err := scanned.TopKSparse(q, 5, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[qi]) != len(single) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(batch[qi]), len(single))
+		}
+		for i := range single {
+			if batch[qi][i].Signature.DocID != single[i].Signature.DocID || batch[qi][i].Score != single[i].Score {
+				t.Fatalf("query %d hit %d: indexed batch (%s, %v) vs scan (%s, %v)", qi, i,
+					batch[qi][i].Signature.DocID, batch[qi][i].Score, single[i].Signature.DocID, single[i].Score)
+			}
+		}
+		label, err := scanned.ClassifySparse(q, 5, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if labels[qi] != label {
+			t.Fatalf("query %d: ClassifyBatch %q vs scan ClassifySparse %q", qi, labels[qi], label)
+		}
+	}
+}
+
 // TestScoreBatchMatchesMatches: the facade's batched scorer equals
 // per-signature Matches at any worker count.
 func TestScoreBatchMatchesMatches(t *testing.T) {

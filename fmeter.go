@@ -27,10 +27,15 @@
 //	dbench, _ := sys.Collect(fmeter.DbenchWorkload(), 50, 10*time.Second, nil)
 //	sigs, model, _ := fmeter.BuildSignatures(append(scp, dbench...), sys.Dim())
 //
-//	// Sharded similarity database; snapshots survive restarts.
+//	// Sharded similarity database; cosine/Euclidean queries ride a
+//	// per-shard inverted index, and snapshots survive restarts.
 //	db, _ := fmeter.NewDB(sys.Dim(), fmeter.WithShards(4))
 //	_ = db.AddAll(sigs[1:])
 //	hits, _ := db.TopKSparse(sigs[0].W, 3, fmeter.EuclideanMetric())
+//
+//	// Batched retrieval amortizes the per-query scratch to zero allocs.
+//	batch, _ := fmeter.TopKBatch(db, []*fmeter.Sparse{sigs[0].W}, 3, fmeter.EuclideanMetric())
+//	_ = batch
 //
 //	// Batched classification amortizes the per-query kernel work (the
 //	// corpus holds both classes, as a binary SVM requires).
@@ -155,6 +160,7 @@ type perfOpts struct {
 	workers int
 	sparse  bool
 	shards  int
+	noIndex bool
 }
 
 // WithWorkers bounds the helper's worker-pool fan-out: 0 (the default)
@@ -171,6 +177,12 @@ func WithSparse(on bool) Option { return func(o *perfOpts) { o.sparse = on } }
 // Queries return identical results at any shard count; shards bound the
 // TopK scan fan-out across the worker pool.
 func WithShards(n int) Option { return func(o *perfOpts) { o.shards = n } }
+
+// WithIndex routes NewDB queries through the per-shard inverted index
+// (the default) or forces the exhaustive scan, for A/B comparison —
+// results are bit-identical either way. Cosine and Euclidean ride the
+// index; other metrics always scan.
+func WithIndex(on bool) Option { return func(o *perfOpts) { o.noIndex = !on } }
 
 func applyOpts(opts []Option) perfOpts {
 	var o perfOpts
@@ -396,7 +408,23 @@ func NewDB(dim int, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	db.SetWorkers(o.workers)
+	db.SetIndexed(!o.noIndex)
 	return db, nil
+}
+
+// TopKBatch answers many similarity queries in one call, fanning them
+// over the database's worker pool with per-worker scratch so a
+// steady-state query stream allocates nothing. out[i] is bit-identical
+// to db.TopKSparse(queries[i], ...) at any worker count. Cosine and
+// Euclidean queries ride the per-shard inverted index.
+func TopKBatch(db *DB, queries []*Sparse, k int, metric Metric) ([][]SearchResult, error) {
+	return db.TopKBatch(queries, k, metric)
+}
+
+// ClassifyBatch is the batched k-NN labeler: out[i] is bit-identical to
+// db.ClassifySparse(queries[i], ...) at any worker count.
+func ClassifyBatch(db *DB, queries []*Sparse, k int, metric Metric) ([]string, error) {
+	return db.ClassifyBatch(queries, k, metric)
 }
 
 // SignatureFromDense wraps a dense weight vector as a signature.

@@ -4,9 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/parallel"
+	"repro/internal/percpu"
 	"repro/internal/vecmath"
 )
 
@@ -27,28 +27,66 @@ type Metric struct {
 	// HigherIsCloser is true for similarities (cosine) and false for
 	// distances (Euclidean, Minkowski).
 	HigherIsCloser bool
+	// dotScore, when non-nil, recovers the metric value from the
+	// query–signature dot product and the two cached squared norms —
+	// the contract that lets TopK route through the inverted index,
+	// scoring only posting lists in the query's support. It must be
+	// bit-identical to SparseScore given a bit-identical dot (the index
+	// guarantees that; see Index). Only the package constructors can set
+	// it, so custom metrics always take the exhaustive scan.
+	dotScore func(dot, qNorm2, sNorm2 float64) float64
 }
 
+// indexable reports whether the metric can ride the inverted index.
+func (m *Metric) indexable() bool { return m.dotScore != nil }
+
 // CosineMetric is the cosine similarity of §2.1. Its sparse path is
-// bit-identical to the dense one (both accumulate in index order).
+// bit-identical to the dense one (both accumulate in index order), and
+// its indexed path is bit-identical to the sparse one (same dot, same
+// norm algebra).
 func CosineMetric() Metric {
 	return Metric{
 		Name:           "cosine",
 		Score:          vecmath.Cosine,
 		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Cosine(y) },
 		HigherIsCloser: true,
+		// Mirrors Sparse.Cosine exactly: same zero-norm guard, same
+		// divisor association, same clamp.
+		dotScore: func(dot, qNorm2, sNorm2 float64) float64 {
+			if qNorm2 == 0 || sNorm2 == 0 {
+				return 0
+			}
+			c := dot / (math.Sqrt(qNorm2) * math.Sqrt(sNorm2))
+			if c > 1 {
+				c = 1
+			} else if c < -1 {
+				c = -1
+			}
+			return c
+		},
 	}
 }
 
 // EuclideanMetric is the L2-induced distance, the paper's default. The
 // sparse path uses the cached-norm identity ||x||²-2x·y+||y||², which
 // agrees with the dense loop to ~1e-9 relative but is not bit-identical.
+// The indexed path evaluates the very same identity from the very same
+// dot, so indexed and scan results are bit-identical.
 func EuclideanMetric() Metric {
 	return Metric{
 		Name:           "euclidean",
 		Score:          vecmath.Euclidean,
 		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Euclidean(y) },
 		HigherIsCloser: false,
+		// Mirrors Sparse.Euclidean/SquaredDistance exactly: same
+		// evaluation order, same negative clamp, same sqrt.
+		dotScore: func(dot, qNorm2, sNorm2 float64) float64 {
+			d2 := qNorm2 - 2*dot + sNorm2
+			if d2 < 0 {
+				d2 = 0
+			}
+			return math.Sqrt(d2)
+		},
 	}
 }
 
@@ -56,6 +94,13 @@ func EuclideanMetric() Metric {
 // merges the support union in ascending index order, so it scores in
 // O(nnz) and is bit-identical to the dense loop for every p. Orders
 // below 1 get no sparse path so the dense validation reports the error.
+//
+// Minkowski metrics never ride the inverted index — not even p=2. Their
+// scan path is the union merge walk, which is bit-distinct from the
+// cached-norm identity the index recovers distances with, and the DB
+// promises indexed results bit-identical to the scan. Callers that want
+// indexed L2 retrieval use EuclideanMetric, whose scan path already is
+// the norm identity.
 func MinkowskiMetric(p float64) Metric {
 	m := Metric{
 		Name: fmt.Sprintf("minkowski(p=%g)", p),
@@ -112,25 +157,35 @@ type SearchResult struct {
 // stored for later retrieval, comparison, and classifier training.
 //
 // Storage is sparse-first and sharded: signatures are distributed
-// round-robin over N shards by insertion order, each shard is scanned
-// with its own bounded top-k heap, and the per-shard survivors merge
-// through a global heap keyed on (score, insertion index). Because that
-// key is a total order independent of scan order, TopK returns identical
-// results at every shard and worker count. A DB is not safe for
-// concurrent mutation; concurrent TopK queries against a quiescent DB
-// are safe.
+// round-robin over N shards by insertion order, each shard carries an
+// inverted index over its signatures (maintained incrementally by Add),
+// and the per-shard top-k survivors merge through a global heap keyed on
+// (score, insertion index). For the built-in cosine and Euclidean
+// metrics a query accumulates dot products down only the posting lists
+// in its support; other metrics take the exhaustive per-shard scan.
+// Both paths order candidates by the same total order, so TopK returns
+// identical results at every shard and worker count, indexed or not.
+//
+// Query-time working state (heaps, score accumulators, merge buffers)
+// lives in a pool of per-worker scratch, so steady-state queries do not
+// allocate. A DB is not safe for concurrent mutation; concurrent
+// TopK/TopKBatch queries against a quiescent DB are safe.
 type DB struct {
 	dim     int
 	workers int
 	total   int
+	noIndex bool
 	shards  []dbShard
+	scratch *percpu.Pool[*dbScratch]
 }
 
 // dbShard holds the signatures routed to one shard alongside their
-// global insertion indices (the TopK tie-break key).
+// global insertion indices (the TopK tie-break key) and the shard's
+// inverted index (local id j == position in sigs).
 type dbShard struct {
-	gids []int
-	sigs []Signature
+	gids  []int
+	sigs  []Signature
+	index *Index
 }
 
 // NewDB creates an empty single-shard database for signatures of the
@@ -147,13 +202,27 @@ func NewShardedDB(dim, shards int) (*DB, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("core: shard count %d must be >= 1", shards)
 	}
-	return &DB{dim: dim, shards: make([]dbShard, shards)}, nil
+	db := &DB{dim: dim, shards: make([]dbShard, shards)}
+	db.scratch = percpu.NewPool(func() *dbScratch {
+		return &dbScratch{shards: make([]shardScratch, len(db.shards))}
+	})
+	return db, nil
 }
 
 // SetWorkers bounds the worker-pool fan-out of TopK scans across shards
-// (parallel.Workers semantics: 0 = one per CPU, <0 = sequential). The
-// effective parallelism is min(workers, shards).
+// — and of TopKBatch across queries (parallel.Workers semantics: 0 =
+// one per CPU, <0 = sequential). The effective single-query parallelism
+// is min(workers, shards).
 func (db *DB) SetWorkers(n int) { db.workers = n }
+
+// SetIndexed routes queries through the inverted index (the default) or
+// forces the exhaustive scan, for A/B comparison; results are identical
+// either way. The index itself is always maintained, so flipping back
+// is free.
+func (db *DB) SetIndexed(on bool) { db.noIndex = !on }
+
+// Indexed reports whether queries ride the inverted index.
+func (db *DB) Indexed() bool { return !db.noIndex }
 
 // Shards returns the shard count.
 func (db *DB) Shards() int { return len(db.shards) }
@@ -164,7 +233,8 @@ func (db *DB) Len() int { return db.total }
 // Dim returns the signature dimension.
 func (db *DB) Dim() int { return db.dim }
 
-// Add stores a signature, routing it to the next shard round-robin.
+// Add stores a signature, routing it to the next shard round-robin and
+// appending its weights to that shard's inverted index.
 func (db *DB) Add(sig Signature) error {
 	if sig.W == nil {
 		return fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
@@ -173,8 +243,16 @@ func (db *DB) Add(sig Signature) error {
 		return &DimensionError{What: fmt.Sprintf("signature %s", sig.DocID), Got: sig.Dim(), Want: db.dim}
 	}
 	sh := &db.shards[db.total%len(db.shards)]
+	if sh.index == nil {
+		ix, err := NewIndex(db.dim)
+		if err != nil {
+			return err
+		}
+		sh.index = ix
+	}
 	sh.gids = append(sh.gids, db.total)
 	sh.sigs = append(sh.sigs, sig)
+	sh.index.Add(sig.W)
 	db.total++
 	return nil
 }
@@ -209,6 +287,23 @@ func (db *DB) at(gid int) Signature {
 	return db.shards[gid%len(db.shards)].sigs[gid/len(db.shards)]
 }
 
+// dbScratch is the per-worker working state of one query evaluation:
+// per-shard bounded heaps and score accumulators, the global merge
+// heap, and the dense-fallback buffer. A scratch is checked out of the
+// DB's pool for the duration of one query, so concurrent readers never
+// share one and a steady query stream allocates nothing.
+type dbScratch struct {
+	shards []shardScratch
+	merged topkHeap
+}
+
+// shardScratch is one shard's slice of the query working state.
+type shardScratch struct {
+	heap  topkHeap
+	acc   vecmath.Accumulator
+	dense vecmath.Vector
+}
+
 // topkHeap is a bounded binary heap holding the k best candidates seen so
 // far, worst at the root. "Worse" means farther under the metric, ties
 // broken toward the larger insertion index — (score, index) is a total
@@ -218,6 +313,13 @@ type topkHeap struct {
 	idx    []int
 	score  []float64
 	higher bool // metric.HigherIsCloser
+}
+
+// reset empties the heap for a new query, keeping its capacity.
+func (h *topkHeap) reset(higher bool) {
+	h.idx = h.idx[:0]
+	h.score = h.score[:0]
+	h.higher = higher
 }
 
 // worseAt reports whether the candidate at position a ranks strictly
@@ -294,19 +396,16 @@ func (h *topkHeap) offer(k int, i int, score float64) {
 	h.down(0)
 }
 
-// sorted returns the heap's candidates best first.
-func (h *topkHeap) sorted() (idx []int, score []float64) {
-	order := make([]int, len(h.idx))
-	for j := range order {
-		order[j] = j
-	}
-	sort.Slice(order, func(a, b int) bool { return h.worseAt(order[b], order[a]) })
-	idx = make([]int, len(order))
-	score = make([]float64, len(order))
-	for j, o := range order {
-		idx[j], score[j] = h.idx[o], h.score[o]
-	}
-	return idx, score
+// pop removes and returns the worst remaining candidate. Draining the
+// heap therefore yields candidates in worst-to-best (score, index)
+// order — the allocation-free replacement for sorting the survivors.
+func (h *topkHeap) pop() (int, float64) {
+	gid, score := h.idx[0], h.score[0]
+	last := len(h.idx) - 1
+	h.idx[0], h.score[0] = h.idx[last], h.score[last]
+	h.idx, h.score = h.idx[:last], h.score[:last]
+	h.down(0)
+	return gid, score
 }
 
 // TopK returns the k stored signatures closest to query under metric,
@@ -317,7 +416,7 @@ func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, 
 	if query.Dim() != db.dim {
 		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
-	return db.topk(vecmath.DenseToSparse(query), query, k, metric)
+	return db.topk(vecmath.DenseToSparse(query), query, k, metric, db.workers, nil)
 }
 
 // TopKSparse is TopK for a query already in canonical sparse form — the
@@ -326,13 +425,77 @@ func (db *DB) TopKSparse(query *vecmath.Sparse, k int, metric Metric) ([]SearchR
 	if query.Dim() != db.dim {
 		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
-	return db.topk(query, nil, k, metric)
+	return db.topk(query, nil, k, metric, db.workers, nil)
 }
 
-// topk fans per-shard bounded-heap scans out over the worker pool and
-// merges the per-shard survivors into the global top k. denseQuery may be
+// TopKBatch answers many queries in one call, fanning them over the
+// worker pool (SetWorkers) with one checked-out scratch per worker.
+// out[i] is query i's TopK result; results are bit-identical to calling
+// TopKSparse per query, at any worker count. Allocation is dominated by
+// the result slices — see TopKBatchInto to reuse them.
+func (db *DB) TopKBatch(queries []*vecmath.Sparse, k int, metric Metric) ([][]SearchResult, error) {
+	out := make([][]SearchResult, len(queries))
+	if err := db.TopKBatchInto(queries, k, metric, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TopKBatchInto is TopKBatch writing into caller-owned result slices:
+// out[i] is overwritten (reusing its capacity) with query i's hits. With
+// warm capacity a steady-state batch allocates nothing. len(out) must
+// equal len(queries). On error out holds a mix of old and new results
+// and must not be interpreted.
+func (db *DB) TopKBatchInto(queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
+	if len(out) != len(queries) {
+		return fmt.Errorf("core: TopKBatchInto: %d result slots for %d queries", len(out), len(queries))
+	}
+	if parallel.Workers(db.workers) == 1 {
+		// Sequential batch: direct calls keep the steady state at zero
+		// allocations (no closure, no worker bookkeeping).
+		for qi := range queries {
+			if err := db.batchQuery(qi, queries, k, metric, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.batchQueriesParallel(queries, k, metric, out)
+}
+
+// batchQueriesParallel fans batchQuery over the worker pool; split out
+// of TopKBatchInto so the closure exists only on the parallel path.
+func (db *DB) batchQueriesParallel(queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
+	return parallel.For(db.workers, len(queries), func(qi int) error {
+		return db.batchQuery(qi, queries, k, metric, out)
+	})
+}
+
+// batchQuery answers query qi into out[qi], reusing its capacity.
+// Shards are walked sequentially inside each query; the batch
+// parallelism is the query fan-out.
+func (db *DB) batchQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
+	q := queries[qi]
+	if q == nil {
+		return fmt.Errorf("core: query %d is nil", qi)
+	}
+	if q.Dim() != db.dim {
+		return &DimensionError{What: fmt.Sprintf("query %d", qi), Got: q.Dim(), Want: db.dim}
+	}
+	res, err := db.topk(q, nil, k, metric, -1, out[qi][:0])
+	if err != nil {
+		return err
+	}
+	out[qi] = res
+	return nil
+}
+
+// topk evaluates one query: per-shard candidate scoring (inverted index
+// when the metric supports it, bounded-heap scan otherwise) fanned over
+// the worker pool, then a global (score, index) merge. denseQuery may be
 // nil; it is materialized only when the metric lacks a sparse path.
-func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric) ([]SearchResult, error) {
+// Results are appended to out[:0] when it has capacity.
+func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k %d must be >= 1", k)
 	}
@@ -342,53 +505,104 @@ func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metr
 	if k > db.total {
 		k = db.total
 	}
-	if metric.SparseScore == nil && denseQuery == nil {
+	if metric.SparseScore == nil && metric.dotScore == nil && denseQuery == nil {
 		denseQuery = query.Dense()
 	}
-	heaps, err := parallel.Map(db.workers, len(db.shards), func(si int) (*topkHeap, error) {
-		sh := &db.shards[si]
-		hcap := k
-		if len(sh.sigs) < hcap {
-			hcap = len(sh.sigs)
-		}
-		h := &topkHeap{idx: make([]int, 0, hcap), score: make([]float64, 0, hcap), higher: metric.HigherIsCloser}
-		if metric.SparseScore != nil {
-			for j, s := range sh.sigs {
-				h.offer(k, sh.gids[j], metric.SparseScore(query, s.W))
-			}
-		} else {
-			// One scratch buffer per shard keeps the dense-fallback scan
-			// at O(1) allocation instead of one materialization per
-			// stored signature.
-			scratch := vecmath.NewVector(db.dim)
-			for j, s := range sh.sigs {
-				score, err := metric.Score(denseQuery, s.W.DenseInto(scratch))
-				if err != nil {
-					return nil, err
-				}
-				h.offer(k, sh.gids[j], score)
+	useIndex := !db.noIndex && metric.indexable()
+	qNorm2 := query.Norm2()
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	if parallel.Workers(workers) == 1 || len(db.shards) == 1 {
+		// Sequential shard walk: direct calls, so the hot batched path
+		// (queries fan out, shards stay sequential) builds no closure
+		// and stays allocation-free.
+		for si := range db.shards {
+			if err := db.topkShard(si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
+				return nil, err
 			}
 		}
-		return h, nil
-	})
-	if err != nil {
+	} else if err := db.topkShardsParallel(workers, sc, query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
 		return nil, err
 	}
-	merged := heaps[0]
-	if len(heaps) > 1 {
-		merged = &topkHeap{idx: make([]int, 0, k), score: make([]float64, 0, k), higher: metric.HigherIsCloser}
-		for _, h := range heaps {
+	merged := &sc.shards[0].heap
+	if len(db.shards) > 1 {
+		merged = &sc.merged
+		merged.reset(metric.HigherIsCloser)
+		for si := range db.shards {
+			h := &sc.shards[si].heap
 			for j := range h.idx {
 				merged.offer(k, h.idx[j], h.score[j])
 			}
 		}
 	}
-	gids, scores := merged.sorted()
-	out := make([]SearchResult, len(gids))
-	for j := range gids {
-		out[j] = SearchResult{Signature: db.at(gids[j]), Score: scores[j]}
+	// Drain the merge heap worst-first into the tail of out, leaving the
+	// hits best-first. The (score, index) total order makes this the
+	// exact sequence a stable sort of all scores would produce.
+	n := len(merged.idx)
+	if cap(out) < n {
+		out = make([]SearchResult, n)
+	}
+	out = out[:n]
+	for j := n - 1; j >= 0; j-- {
+		gid, score := merged.pop()
+		out[j] = SearchResult{Signature: db.at(gid), Score: score}
 	}
 	return out, nil
+}
+
+// topkShardsParallel fans the per-shard scoring over the worker pool.
+// It lives apart from topk so the closure (and the captures it boxes)
+// exists only on the parallel path; the sequential path stays
+// allocation-free.
+func (db *DB) topkShardsParallel(workers int, sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
+	return parallel.For(workers, len(db.shards), func(si int) error {
+		return db.topkShard(si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2)
+	})
+}
+
+// topkShard scores one shard's signatures against the query into the
+// shard's scratch heap: the inverted-index accumulate when useIndex,
+// the sparse merge-walk scan when the metric has a sparse path, the
+// dense-materializing scan otherwise.
+func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
+	sh := &db.shards[si]
+	h := &ss.heap
+	h.reset(metric.HigherIsCloser)
+	if len(sh.sigs) == 0 {
+		// More shards than signatures: nothing stored here yet (and no
+		// index to walk).
+		return nil
+	}
+	switch {
+	case useIndex:
+		// Inverted-index path: dot products accumulate down the posting
+		// lists of the query's support only; every stored signature is
+		// then scored from its (possibly zero) dot in O(1) via the
+		// cached norms.
+		sh.index.Dots(query, &ss.acc)
+		for j, s := range sh.sigs {
+			h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j), qNorm2, s.W.Norm2()))
+		}
+	case metric.SparseScore != nil:
+		for j, s := range sh.sigs {
+			h.offer(k, sh.gids[j], metric.SparseScore(query, s.W))
+		}
+	default:
+		// One scratch buffer per shard keeps the dense-fallback scan at
+		// O(1) allocation instead of one materialization per stored
+		// signature.
+		if len(ss.dense) != db.dim {
+			ss.dense = vecmath.NewVector(db.dim)
+		}
+		for j, s := range sh.sigs {
+			score, err := metric.Score(denseQuery, s.W.DenseInto(ss.dense))
+			if err != nil {
+				return err
+			}
+			h.offer(k, sh.gids[j], score)
+		}
+	}
+	return nil
 }
 
 // Classify labels a query by majority vote among its k nearest stored
@@ -409,6 +623,21 @@ func (db *DB) ClassifySparse(query *vecmath.Sparse, k int, metric Metric) (strin
 		return "", err
 	}
 	return voteLabel(hits), nil
+}
+
+// ClassifyBatch labels many queries in one batched pass over the worker
+// pool; out[i] is bit-identical to ClassifySparse(queries[i], ...) at
+// any worker count.
+func (db *DB) ClassifyBatch(queries []*vecmath.Sparse, k int, metric Metric) ([]string, error) {
+	hits, err := db.TopKBatch(queries, k, metric)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, len(hits))
+	for i, h := range hits {
+		labels[i] = voteLabel(h)
+	}
+	return labels, nil
 }
 
 // voteLabel majority-votes over hits, nearest-first tie-break.

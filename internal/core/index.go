@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vecmath"
+)
+
+// Index is an inverted index over a shard's sparse signatures: one
+// posting list per dimension, each holding the (local id, weight) pairs
+// of the signatures whose support contains that dimension. A TopK query
+// then touches only the posting lists in the query's support — with
+// ~250-nnz queries over ~3815 dimensions that is a small fraction of the
+// stored weight mass, versus the exhaustive scan's merge walk over every
+// stored signature.
+//
+// Posting lists are kept sorted by local id for free: ids are assigned
+// in Add order and only ever appended. Because a query's support is
+// walked in ascending dimension order, each candidate's dot product
+// accumulates its intersection terms in ascending index order — exactly
+// the order Sparse.Dot visits them — so indexed dot products are
+// bit-identical to the merge-walk dots of the scan path.
+//
+// An Index is not safe for concurrent mutation; concurrent Dots calls
+// against a quiescent index are safe (each query owns its Accumulator).
+type Index struct {
+	dim int
+	n   int
+	// ids[d] / ws[d] are the parallel posting arrays of dimension d:
+	// the local ids (ascending) and stored weights of the signatures
+	// whose support contains d.
+	ids [][]int32
+	ws  [][]float64
+}
+
+// NewIndex creates an empty inverted index over the given dimension.
+func NewIndex(dim int) (*Index, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("core: index dimension %d must be >= 1", dim)
+	}
+	return &Index{dim: dim, ids: make([][]int32, dim), ws: make([][]float64, dim)}, nil
+}
+
+// Dim returns the ambient dimension.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of indexed signatures.
+func (ix *Index) Len() int { return ix.n }
+
+// Postings returns the posting count of one dimension (test and
+// introspection hook).
+func (ix *Index) Postings(dim int) int { return len(ix.ids[dim]) }
+
+// Add appends the next signature's weights to the posting lists and
+// returns its local id. Like the other pre-validated hot-path ops it
+// panics on a dimension mismatch; DB.Add validates before indexing.
+func (ix *Index) Add(w *vecmath.Sparse) int32 {
+	if w.Dim() != ix.dim {
+		panic(fmt.Sprintf("core: index Add dimension mismatch %d vs %d", w.Dim(), ix.dim))
+	}
+	id := int32(ix.n)
+	idx, val := w.Support(), w.Values()
+	for k, i := range idx {
+		ix.ids[i] = append(ix.ids[i], id)
+		ix.ws[i] = append(ix.ws[i], val[k])
+	}
+	ix.n++
+	return id
+}
+
+// Dots accumulates the dot product of q against every indexed signature
+// into acc: after the call, acc.Get(id) is q·signature[id], an exact
+// zero for signatures with no support overlap. The query support is
+// walked in ascending dimension order, which is what makes each
+// candidate's sum bit-identical to Sparse.Dot (see the type comment).
+func (ix *Index) Dots(q *vecmath.Sparse, acc *vecmath.Accumulator) {
+	if q.Dim() != ix.dim {
+		panic(fmt.Sprintf("core: index Dots dimension mismatch %d vs %d", q.Dim(), ix.dim))
+	}
+	acc.Reset(ix.n)
+	idx, val := q.Support(), q.Values()
+	for k, i := range idx {
+		if ids := ix.ids[i]; len(ids) > 0 {
+			acc.ScatterMulAdd(val[k], ids, ix.ws[i])
+		}
+	}
+}

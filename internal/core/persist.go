@@ -250,7 +250,10 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 // ReadSnapshot parses a snapshot written by WriteSnapshot and loads it
 // into a fresh database with the requested shard count; shards == 0
 // reuses the writer's layout. Truncated or corrupt input yields an error
-// naming the offending record, never a partially valid database.
+// naming the offending record, never a partially valid database. The
+// per-shard inverted indexes are rebuilt incrementally as records load
+// (each goes through DB.Add), so snapshots carry no index data and the
+// format is unchanged from pre-index versions.
 func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))

@@ -232,9 +232,10 @@ func BenchmarkDBTopK(b *testing.B) {
 	})
 }
 
-// BenchmarkDBTopKSharded measures the sharded scan fan-out at paper
+// BenchmarkDBTopKSharded measures the exhaustive sharded scan at paper
 // scale: per-shard bounded heaps merged through the global heap, one
-// worker per CPU.
+// worker per CPU. The index is disabled — this is the scan baseline the
+// indexed benchmarks are compared against.
 func BenchmarkDBTopKSharded(b *testing.B) {
 	r := rand.New(rand.NewSource(1))
 	const dim, nnz, n, k = 3815, 150, 2000, 10
@@ -246,6 +247,7 @@ func BenchmarkDBTopKSharded(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		db.SetIndexed(false)
 		if err := db.AddAll(sigs); err != nil {
 			b.Fatal(err)
 		}
@@ -258,4 +260,76 @@ func BenchmarkDBTopKSharded(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDBTopKIndexed measures inverted-index retrieval on the same
+// corpus shape as BenchmarkDBTopKSharded: score accumulation touches
+// only the posting lists in the query's ~150-dim support instead of
+// merge-walking all 2000 stored signatures.
+func BenchmarkDBTopKIndexed(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dim, nnz, n, k = 3815, 150, 2000, 10
+	sigs := randSigs(r, n, dim, nnz)
+	query := randSigs(r, 1, dim, nnz)[0].W
+	for _, shards := range []int{1, 4} {
+		db, err := NewShardedDB(dim, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.AddAll(sigs); err != nil {
+			b.Fatal(err)
+		}
+		for _, metric := range []Metric{EuclideanMetric(), CosineMetric()} {
+			b.Run(fmt.Sprintf("shards=%d/%s", shards, metric.Name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.TopKSparse(query, k, metric); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDBTopKBatch measures the batched query path with reused
+// result buffers: sequential workers pin the steady-state 0 allocs/op
+// contract, parallel workers show the fan-out speedup (allocation there
+// is the worker pool's bookkeeping, amortized over the batch).
+func BenchmarkDBTopKBatch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dim, nnz, n, k, batch = 3815, 150, 2000, 10, 64
+	sigs := randSigs(r, n, dim, nnz)
+	queries := make([]*vecmath.Sparse, batch)
+	for i := range queries {
+		queries[i] = randSigs(r, 1, dim, nnz)[0].W
+	}
+	metric := EuclideanMetric()
+	db, err := NewShardedDB(dim, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.AddAll(sigs); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0} {
+		name := "workers=seq"
+		if workers == 0 {
+			name = "workers=all"
+		}
+		db.SetWorkers(workers)
+		out := make([][]SearchResult, len(queries))
+		if err := db.TopKBatchInto(queries, k, metric, out); err != nil {
+			b.Fatal(err) // warm the result capacity and scratch pool
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.TopKBatchInto(queries, k, metric, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	db.SetWorkers(0)
 }

@@ -1,0 +1,46 @@
+package percpu
+
+import "sync"
+
+// Pool is the host-side analogue of the per-CPU counter pages for
+// query-time scratch: each worker checks out an exclusive scratch value,
+// works on it without any sharing or cross-worker coherency traffic, and
+// returns it when done. Unlike sync.Pool it never discards values, so a
+// steady-state workload (e.g. a TopK query stream) reaches zero
+// allocations per operation once as many scratch values exist as there
+// are concurrent workers.
+//
+// A Pool must be created with NewPool; the zero value has no constructor.
+type Pool[T any] struct {
+	mu   sync.Mutex
+	free []T
+	new  func() T
+}
+
+// NewPool creates a pool whose Get falls back to newFn when no recycled
+// scratch is available.
+func NewPool[T any](newFn func() T) *Pool[T] {
+	return &Pool[T]{new: newFn}
+}
+
+// Get checks out a scratch value: the most recently returned one (warm
+// caches) or a fresh one from the constructor.
+func (p *Pool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return p.new()
+}
+
+// Put returns a scratch value for reuse. The caller must not touch v
+// afterwards.
+func (p *Pool[T]) Put(v T) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
+}

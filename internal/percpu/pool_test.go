@@ -1,0 +1,49 @@
+package percpu
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolRecycles checks that Put-then-Get hands back the same scratch
+// value (LIFO, warm caches) and that an empty pool constructs.
+func TestPoolRecycles(t *testing.T) {
+	built := 0
+	p := NewPool(func() *[]int {
+		built++
+		v := make([]int, 0, 8)
+		return &v
+	})
+	a := p.Get()
+	if built != 1 {
+		t.Fatalf("built = %d", built)
+	}
+	p.Put(a)
+	b := p.Get()
+	if a != b {
+		t.Fatal("pool did not recycle the returned scratch")
+	}
+	c := p.Get() // pool empty again: constructs
+	if built != 2 || c == a {
+		t.Fatalf("built = %d, c == a: %v", built, c == a)
+	}
+}
+
+// TestPoolConcurrent hammers Get/Put from many goroutines; run under
+// -race this pins the mutex discipline.
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool(func() []byte { return make([]byte, 16) })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := p.Get()
+				v[0]++
+				p.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+}

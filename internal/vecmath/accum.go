@@ -1,0 +1,76 @@
+package vecmath
+
+// Accumulator is the score-accumulation scratch of inverted-index
+// retrieval: a dense per-candidate sum array with epoch-stamped lazy
+// clearing, so resetting between queries costs O(1) instead of O(n).
+// A candidate's sum is valid only when its stamp matches the current
+// epoch; untouched candidates read as an exact zero.
+//
+// The kernel contract that makes indexed retrieval bit-identical to a
+// merge-walk Dot: callers feed posting lists in ascending dimension
+// order, so each candidate's partial sums accumulate over its support
+// intersection in ascending index order — exactly the order Sparse.Dot
+// visits the same terms.
+//
+// An Accumulator is not safe for concurrent use; each worker owns one.
+type Accumulator struct {
+	acc   []float64
+	stamp []uint32
+	epoch uint32
+}
+
+// Reset prepares the accumulator for n candidates. Amortized O(1): the
+// backing arrays are reused and only the epoch advances; clearing work
+// happens when the arrays grow or the 32-bit epoch wraps.
+func (a *Accumulator) Reset(n int) {
+	if cap(a.acc) < n {
+		a.acc = make([]float64, n)
+		a.stamp = make([]uint32, n)
+		a.epoch = 0
+	}
+	a.acc = a.acc[:n]
+	a.stamp = a.stamp[:n]
+	a.epoch++
+	if a.epoch == 0 {
+		// The epoch wrapped: stale stamps from 2^32 queries ago could
+		// alias the fresh epoch, so clear them all once — the full
+		// capacity, not just [:n], or a later regrowth within capacity
+		// would re-expose pre-wrap stamps.
+		full := a.stamp[:cap(a.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		a.epoch = 1
+	}
+}
+
+// ScatterMulAdd accumulates q*ws[k] into candidate ids[k] for every
+// posting — acc[ids[k]] += q*ws[k] — stamping first-touched candidates
+// into the current epoch. This is the posting-list kernel: one call per
+// query dimension, with ids the candidates whose support contains that
+// dimension and ws their stored weights there.
+func (a *Accumulator) ScatterMulAdd(q float64, ids []int32, ws []float64) {
+	if len(ids) != len(ws) {
+		panic("vecmath: posting id/weight lengths differ")
+	}
+	for k, id := range ids {
+		if a.stamp[id] != a.epoch {
+			a.stamp[id] = a.epoch
+			a.acc[id] = q * ws[k]
+		} else {
+			a.acc[id] += q * ws[k]
+		}
+	}
+}
+
+// Get returns candidate id's accumulated sum, an exact zero when the
+// candidate was not touched since the last Reset.
+func (a *Accumulator) Get(id int) float64 {
+	if a.stamp[id] != a.epoch {
+		return 0
+	}
+	return a.acc[id]
+}
+
+// Len returns the candidate count of the last Reset.
+func (a *Accumulator) Len() int { return len(a.acc) }

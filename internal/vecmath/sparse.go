@@ -236,6 +236,16 @@ func (s *Sparse) Clone() *Sparse {
 	return out
 }
 
+// Support returns the sorted non-zero indices backing s. The slice is
+// the canonical storage, not a copy — callers must treat it as
+// read-only. It exists for closure-free hot loops (the inverted-index
+// posting walk); everything else should prefer ForEach.
+func (s *Sparse) Support() []int32 { return s.idx }
+
+// Values returns the stored values parallel to Support, again aliasing
+// the canonical storage; read-only for the same reason.
+func (s *Sparse) Values() []float64 { return s.val }
+
 // ForEach calls fn for every stored non-zero in ascending index order.
 func (s *Sparse) ForEach(fn func(i int, x float64)) {
 	for k, i := range s.idx {
