@@ -27,14 +27,17 @@ bench:
 ## bench-smoke: a quick perf-trajectory record (BENCH_baseline.json for
 ## wall-clock, BENCH_indexed.json for the retrieval micro-benchmarks:
 ## Transform sparse vs dense view, exhaustive-scan vs inverted-index
-## TopK — BenchmarkDBTopKSharded vs BenchmarkDBTopKIndexed — and the
-## batched BenchmarkDBTopKBatch 0-allocs record) so future PRs can
+## TopK — BenchmarkDBTopKSharded vs BenchmarkDBTopKIndexed — the batched
+## BenchmarkDBTopKBatch/BenchmarkDBClassifyBatch 0-allocs records, and
+## BENCH_segments.json for the segmented-store persistence benchmark:
+## full vs incremental SaveDir vs the v1 full rewrite) so future PRs can
 ## compare like against like. `fmeter-bench -index=on|off` reproduces
 ## the scan/index comparison from the CLI.
 bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
 		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
 	$(GO) run ./cmd/fmeter-bench -microjson BENCH_indexed.json
+	$(GO) run ./cmd/fmeter-bench -segjson BENCH_segments.json
 
 fmt:
 	gofmt -l -w .

@@ -38,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		labels = fs.String("labels", "", "two labels to contrast, comma-separated (contrast mode)")
 		topN   = fs.Int("top", 10, "terms to print in contrast mode")
 		dim    = fs.Int("dim", 3815, "signature dimension (core-kernel function count)")
+		saveDB = fs.String("savedb", "", "classify mode: also persist the labeled signature DB as a snapshot directory at this path (incremental + crash-safe; reload with fmeter.OpenDB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	switch *mode {
 	case "classify":
-		return classify(stdout, sigs, *k, *dim)
+		return classify(stdout, sigs, *k, *dim, *saveDB)
 	case "cluster":
 		return clusterMode(stdout, sigs, *k)
 	case "contrast":
@@ -88,8 +89,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // classify labels every unlabeled signature by k-NN against the labeled
-// ones.
-func classify(w io.Writer, sigs []fmeter.Signature, k, dim int) error {
+// ones, optionally persisting the labeled DB via the facade's atomic
+// snapshot-directory save (no hand-rolled os.Create: a crash mid-write
+// never leaves a torn store behind).
+func classify(w io.Writer, sigs []fmeter.Signature, k, dim int, saveDB string) error {
 	db, err := fmeter.NewDB(dim)
 	if err != nil {
 		return err
@@ -122,6 +125,12 @@ func classify(w io.Writer, sigs []fmeter.Signature, k, dim int) error {
 	}
 	for i, s := range unlabeled {
 		fmt.Fprintf(w, "  %-24s -> %s\n", s.DocID, labels[i])
+	}
+	if saveDB != "" {
+		if err := fmeter.SaveDB(saveDB, db); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "labeled DB (%d signatures) saved to %s\n", db.Len(), saveDB)
 	}
 	return nil
 }

@@ -62,6 +62,36 @@ func TestClassifyMode(t *testing.T) {
 	}
 }
 
+// TestClassifySaveDB checks the -savedb flag: the labeled DB lands as a
+// v2 snapshot directory via the facade's atomic save, and reopens with
+// every labeled signature intact.
+func TestClassifySaveDB(t *testing.T) {
+	dir := t.TempDir()
+	scp := filepath.Join(dir, "scp.jsonl")
+	db := filepath.Join(dir, "dbench.jsonl")
+	unk := filepath.Join(dir, "unknown.jsonl")
+	writeLog(t, scp, fmeter.ScpWorkload(), 6, 1, false)
+	writeLog(t, db, fmeter.DbenchWorkload(), 6, 2, false)
+	writeLog(t, unk, fmeter.ScpWorkload(), 2, 3, true)
+
+	store := filepath.Join(dir, "labeled.fmdbdir")
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-mode", "classify", "-k", "3", "-in", scp + "," + db + "," + unk, "-savedb", store}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "saved to "+store) {
+		t.Errorf("save confirmation missing: %q", out.String())
+	}
+	reopened, err := fmeter.OpenDB(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != 12 { // the 12 labeled signatures, not the 2 unlabeled
+		t.Errorf("reopened DB holds %d signatures, want 12", reopened.Len())
+	}
+}
+
 func TestClusterMode(t *testing.T) {
 	dir := t.TempDir()
 	all := filepath.Join(dir, "all.jsonl")

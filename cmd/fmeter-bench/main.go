@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sparse    = fs.Bool("sparse", false, "use the O(nnz) norm-cached K-means assignment step in the clustering experiments")
 		benchJSON = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
 		microJSON = fs.String("microjson", "", "run the retrieval micro-benchmarks (Transform, scan vs indexed TopK, batched TopK) and write them to this JSON file, then exit")
+		segJSON   = fs.String("segjson", "", "run the segmented-store persistence benchmark (full vs incremental SaveDir vs v1 rewrite) and write it to this JSON file, then exit")
 		indexMode = fs.String("index", "off", "route the BenchmarkDBTopKSharded micro-benchmark DBs through the inverted index (on) or the exhaustive scan (off) — the CLI knob for reproducing the scan/index comparison; BenchmarkDBTopKIndexed and BenchmarkDBTopKBatch are always indexed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *microJSON != "" {
 		return runMicroBench(*microJSON, indexOn, stderr)
+	}
+	if *segJSON != "" {
+		return runSegBench(*segJSON, stderr)
 	}
 
 	selected := make(map[string]bool)

@@ -197,6 +197,36 @@ func runMicroBench(path string, indexOn bool, stderr io.Writer) error {
 			})
 		}
 	}
+	// Batched k-NN labeling: hits and vote counts live in pooled
+	// scratch, the label slice is caller-owned — the ClassifyBatch
+	// 0 allocs/op record.
+	{
+		db, err := core.NewShardedDB(sigs[0].Dim(), 4)
+		if err != nil {
+			return err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		db.SetWorkers(-1)
+		queries := make([]*vecmath.Sparse, 0, 64)
+		for len(queries) < 64 {
+			queries = append(queries, sigs[len(queries)%len(sigs)].W)
+		}
+		metric := core.EuclideanMetric()
+		labels := make([]string, len(queries))
+		if err := db.ClassifyBatchInto(queries, 10, metric, labels); err != nil {
+			return err
+		}
+		bench("BenchmarkDBClassifyBatch/workers=seq", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.ClassifyBatchInto(queries, 10, metric, labels); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	// Pin the kernel the scans ride on (sparse dot at ~250 nnz).
 	x, y := sigs[0].W, sigs[1].W
 	bench("BenchmarkSparseDot250", func(b *testing.B) {

@@ -7,6 +7,8 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	fmeter "repro"
@@ -91,5 +93,31 @@ func run() error {
 		return err
 	}
 	fmt.Printf("after snapshot/reload (%d -> %d shards): %s\n", db.Shards(), restored.Shards(), label2)
+
+	// For an on-disk store, prefer the v2 snapshot directory: SaveDB
+	// writes atomically (a crash never corrupts the store) and re-saves
+	// only the segments that changed since the last save, so a
+	// long-lived operator DB saves in O(new data).
+	dir, err := os.MkdirTemp("", "fmeter-quickstart-db-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store := filepath.Join(dir, "db")
+	if err := fmeter.SaveDB(store, db); err != nil {
+		return err
+	}
+	if err := db.Add(query); err != nil { // one new signature...
+		return err
+	}
+	if err := fmeter.SaveDB(store, db); err != nil { // ...is all this save writes
+		return err
+	}
+	reopened, err := fmeter.OpenDB(store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("incremental on-disk store: %d signatures across %d segment files\n",
+		reopened.Len(), reopened.Segments())
 	return nil
 }

@@ -2,6 +2,9 @@ package fmeter
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -338,5 +341,111 @@ func TestScoreBatchMatchesMatches(t *testing.T) {
 				t.Fatalf("workers=%d: score %d = %v, want %v", workers, i, scores[i], want)
 			}
 		}
+	}
+}
+
+// TestSaveOpenDBFacade drives the path-based persistence facade: SaveDB
+// writes the v2 snapshot directory, OpenDB loads both that and a v1
+// single-file snapshot, repeated saves are incremental, and a corrupted
+// segment surfaces the typed *SnapshotError naming the file.
+func TestSaveOpenDBFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 11, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 10, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, rest := sigs[0], sigs[1:]
+	db, err := NewDB(sys.Dim(), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(4)
+	if err := db.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.TopKSparse(query.W, 3, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := SaveDB(dir, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.TopKSparse(query.W, 3, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
+			t.Fatalf("hit %d differs after SaveDB/OpenDB", i)
+		}
+	}
+	// Incremental: a reloaded store re-saves without dirty segments.
+	if n := back.DirtySegments(); n != 0 {
+		t.Fatalf("freshly opened store has %d dirty segments", n)
+	}
+	if err := SaveDB(dir, back); err != nil {
+		t.Fatal(err)
+	}
+
+	// OpenDB also reads single-file v1 snapshots.
+	v1 := filepath.Join(t.TempDir(), "store.fmdb")
+	f, err := os.Create(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDBSnapshot(f, db); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fromV1, err := OpenDB(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromV1.Len() != db.Len() {
+		t.Fatalf("v1 OpenDB len = %d, want %d", fromV1.Len(), db.Len())
+	}
+
+	// Corruption is typed and names the file.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segFile string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") {
+			segFile = e.Name()
+			break
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, segFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x04
+	if err := os.WriteFile(filepath.Join(dir, segFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenDB(dir)
+	var snapErr *SnapshotError
+	if !errors.As(err, &snapErr) {
+		t.Fatalf("corrupt segment error = %v, want *SnapshotError", err)
+	}
+	if filepath.Base(snapErr.Path) != segFile {
+		t.Fatalf("error names %s, want %s", snapErr.Path, segFile)
 	}
 }

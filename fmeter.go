@@ -51,6 +51,7 @@ package fmeter
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -84,6 +85,10 @@ type (
 	SearchResult = core.SearchResult
 	// DimensionError is the typed error for mis-sized DB inputs.
 	DimensionError = core.DimensionError
+	// SnapshotError is the typed error for corrupt, missing, or
+	// unreadable v2 snapshot-directory files; it names the offending
+	// file.
+	SnapshotError = core.SnapshotError
 	// Vector is a dense signature vector.
 	Vector = vecmath.Vector
 	// Sparse is the canonical sparse signature vector (Signature.W).
@@ -432,10 +437,41 @@ func SignatureFromDense(docID, label string, v Vector) Signature {
 	return core.SignatureFromDense(docID, label, v)
 }
 
+// SaveDB persists a signature database at path in the v2 snapshot
+// directory format: a manifest plus one CRC-checked file per segment,
+// each written atomically (temp + fsync + rename), with only the
+// segments dirtied since the last save rewritten — a long-lived
+// operator database saves in O(new data), and a crash mid-save never
+// corrupts the previous snapshot. This is the path-based save every CLI
+// should use instead of hand-rolled os.Create writes.
+func SaveDB(path string, db *DB) error { return db.SaveDir(path) }
+
+// OpenDB loads a database saved by SaveDB (a v2 snapshot directory) or
+// by WriteDBSnapshot (a single v1 snapshot file) — the format is
+// detected from the path. Corrupt v2 directories fail with a typed
+// *SnapshotError naming the offending file.
+func OpenDB(path string) (*DB, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return core.LoadDir(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ReadSnapshot(f, 0)
+}
+
 // WriteDBSnapshot / ReadDBSnapshot persist a signature database in the
-// versioned binary snapshot format, so an operator's labeled DB survives
-// restarts. shards == 0 reloads with the writer's shard layout; any
-// other count re-shards without changing query results.
+// single-file v1 binary snapshot format, so an operator's labeled DB
+// survives restarts. shards == 0 reloads with the writer's shard
+// layout; any other count re-shards without changing query results.
+// Prefer SaveDB/OpenDB for on-disk stores: the v2 directory format adds
+// incremental saves, atomic writes, and per-segment CRCs.
 func WriteDBSnapshot(w io.Writer, db *DB) error { return db.WriteSnapshot(w) }
 
 // ReadDBSnapshot parses a snapshot written by WriteDBSnapshot.

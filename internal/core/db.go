@@ -156,36 +156,54 @@ type SearchResult struct {
 // maintaining (§2.2): signatures of forensically identified behaviours,
 // stored for later retrieval, comparison, and classifier training.
 //
-// Storage is sparse-first and sharded: signatures are distributed
-// round-robin over N shards by insertion order, each shard carries an
-// inverted index over its signatures (maintained incrementally by Add),
-// and the per-shard top-k survivors merge through a global heap keyed on
-// (score, insertion index). For the built-in cosine and Euclidean
-// metrics a query accumulates dot products down only the posting lists
-// in its support; other metrics take the exhaustive per-shard scan.
-// Both paths order candidates by the same total order, so TopK returns
-// identical results at every shard and worker count, indexed or not.
+// Storage is sparse-first, sharded, and segmented: signatures are
+// distributed round-robin over N shards by insertion order, and inside
+// each shard they live in a run of append-only segments — Add appends
+// to the shard's mutable active segment, which Seal (or the segment
+// size threshold) rolls into an immutable sealed segment carrying its
+// own posting lists and cached norms, and Compact merges small sealed
+// segments by splicing their posting lists (see segment.go). Queries
+// walk the segments in order; the per-shard top-k survivors merge
+// through a global heap keyed on (score, insertion index). For the
+// built-in cosine and Euclidean metrics a query accumulates dot
+// products down only the posting lists in its support; other metrics
+// take the exhaustive per-shard scan. Both paths order candidates by
+// the same total order, so TopK returns identical results at every
+// shard, segment, and worker count, indexed or not.
 //
-// Query-time working state (heaps, score accumulators, merge buffers)
-// lives in a pool of per-worker scratch, so steady-state queries do not
-// allocate. A DB is not safe for concurrent mutation; concurrent
-// TopK/TopKBatch queries against a quiescent DB are safe.
+// Persistence is two-format: WriteSnapshot/ReadSnapshot stream the
+// whole store as a single v1 file, while SaveDir/LoadDir keep a v2
+// snapshot directory (manifest + one CRC-checked file per segment)
+// where a save rewrites only the segments dirtied since the last save.
+//
+// Query-time working state (heaps, score accumulators, merge buffers,
+// vote counters) lives in a pool of per-worker scratch, so steady-state
+// queries do not allocate. A DB is not safe for concurrent mutation;
+// concurrent TopK/TopKBatch queries against a quiescent DB are safe.
 type DB struct {
 	dim     int
 	workers int
 	total   int
 	noIndex bool
+	segSize int
+	nextSeg uint64
+	// saveDir is the directory the last SaveDir wrote to; segment dirty
+	// bits are relative to it (saving elsewhere rewrites everything).
+	saveDir string
 	shards  []dbShard
 	scratch *percpu.Pool[*dbScratch]
 }
 
 // dbShard holds the signatures routed to one shard alongside their
-// global insertion indices (the TopK tie-break key) and the shard's
-// inverted index (local id j == position in sigs).
+// global insertion indices (the TopK tie-break key) and cached squared
+// norms. The backing arrays are append-only; segs partitions them into
+// the shard's segment run (each segment owns the posting lists of its
+// range — see segment.go).
 type dbShard struct {
 	gids  []int
 	sigs  []Signature
-	index *Index
+	norms []float64
+	segs  []*segment
 }
 
 // NewDB creates an empty single-shard database for signatures of the
@@ -234,7 +252,10 @@ func (db *DB) Len() int { return db.total }
 func (db *DB) Dim() int { return db.dim }
 
 // Add stores a signature, routing it to the next shard round-robin and
-// appending its weights to that shard's inverted index.
+// appending it to that shard's active segment (weights into the
+// segment's posting lists, squared norm into the shard's norm cache).
+// An active segment that reaches the segment size is sealed and the
+// next Add opens a fresh one.
 func (db *DB) Add(sig Signature) error {
 	if sig.W == nil {
 		return fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
@@ -243,16 +264,22 @@ func (db *DB) Add(sig Signature) error {
 		return &DimensionError{What: fmt.Sprintf("signature %s", sig.DocID), Got: sig.Dim(), Want: db.dim}
 	}
 	sh := &db.shards[db.total%len(db.shards)]
-	if sh.index == nil {
-		ix, err := NewIndex(db.dim)
-		if err != nil {
+	sg := sh.activeSegment()
+	if sg == nil {
+		var err error
+		if sg, err = db.appendSegment(sh); err != nil {
 			return err
 		}
-		sh.index = ix
 	}
 	sh.gids = append(sh.gids, db.total)
 	sh.sigs = append(sh.sigs, sig)
-	sh.index.Add(sig.W)
+	sh.norms = append(sh.norms, sig.W.Norm2())
+	sg.index.Add(sig.W)
+	sg.end++
+	sg.dirty = true
+	if sg.len() >= db.SegmentSize() {
+		sg.sealed = true
+	}
 	db.total++
 	return nil
 }
@@ -289,12 +316,16 @@ func (db *DB) at(gid int) Signature {
 
 // dbScratch is the per-worker working state of one query evaluation:
 // per-shard bounded heaps and score accumulators, the global merge
-// heap, and the dense-fallback buffer. A scratch is checked out of the
-// DB's pool for the duration of one query, so concurrent readers never
-// share one and a steady query stream allocates nothing.
+// heap, the dense-fallback buffer, and the classification vote state
+// (a reused label-count map plus a hit buffer, so Classify* steady
+// state allocates nothing). A scratch is checked out of the DB's pool
+// for the duration of one query, so concurrent readers never share one
+// and a steady query stream allocates nothing.
 type dbScratch struct {
 	shards []shardScratch
 	merged topkHeap
+	votes  map[string]int
+	hits   []SearchResult
 }
 
 // shardScratch is one shard's slice of the query working state.
@@ -496,6 +527,16 @@ func (db *DB) batchQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric
 // nil; it is materialized only when the metric lacks a sparse path.
 // Results are appended to out[:0] when it has capacity.
 func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	return db.topkWith(sc, query, denseQuery, k, metric, workers, out)
+}
+
+// topkWith is topk running on a caller-held scratch, so callers that
+// need scratch state around the query (the classify paths, which keep
+// hits and votes there) check out exactly one scratch for the whole
+// operation.
+func (db *DB) topkWith(sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: k %d must be >= 1", k)
 	}
@@ -510,8 +551,6 @@ func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metr
 	}
 	useIndex := !db.noIndex && metric.indexable()
 	qNorm2 := query.Norm2()
-	sc := db.scratch.Get()
-	defer db.scratch.Put(sc)
 	if parallel.Workers(workers) == 1 || len(db.shards) == 1 {
 		// Sequential shard walk: direct calls, so the hot batched path
 		// (queries fan out, shards stay sequential) builds no closure
@@ -561,31 +600,42 @@ func (db *DB) topkShardsParallel(workers int, sc *dbScratch, query *vecmath.Spar
 }
 
 // topkShard scores one shard's signatures against the query into the
-// shard's scratch heap: the inverted-index accumulate when useIndex,
-// the sparse merge-walk scan when the metric has a sparse path, the
-// dense-materializing scan otherwise.
+// shard's scratch heap, walking the shard's segments in order: the
+// inverted-index accumulate when useIndex, the sparse merge-walk scan
+// when the metric has a sparse path, the dense-materializing scan
+// otherwise. Segment boundaries never change a score — each candidate's
+// arithmetic is per-signature — and the heap's (score, insertion index)
+// total order never depends on arrival order, so results are
+// bit-identical at any segment layout.
 func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
 	sh := &db.shards[si]
 	h := &ss.heap
 	h.reset(metric.HigherIsCloser)
 	if len(sh.sigs) == 0 {
 		// More shards than signatures: nothing stored here yet (and no
-		// index to walk).
+		// segments to walk).
 		return nil
 	}
 	switch {
 	case useIndex:
-		// Inverted-index path: dot products accumulate down the posting
-		// lists of the query's support only; every stored signature is
-		// then scored from its (possibly zero) dot in O(1) via the
-		// cached norms.
-		sh.index.Dots(query, &ss.acc)
-		for j, s := range sh.sigs {
-			h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j), qNorm2, s.W.Norm2()))
+		// Inverted-index path, one segment at a time: dot products
+		// accumulate down the posting lists of the query's support only;
+		// every signature in the segment is then scored from its
+		// (possibly zero) dot in O(1) via the cached norms. Per-candidate
+		// accumulation order inside a segment equals the pre-segment
+		// whole-shard walk (ascending query dims, each candidate sees
+		// exactly its intersection terms), so dots are bit-identical.
+		for _, sg := range sh.segs {
+			sg.index.Dots(query, &ss.acc)
+			for j := sg.start; j < sg.end; j++ {
+				h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, sh.norms[j]))
+			}
 		}
 	case metric.SparseScore != nil:
-		for j, s := range sh.sigs {
-			h.offer(k, sh.gids[j], metric.SparseScore(query, s.W))
+		for _, sg := range sh.segs {
+			for j := sg.start; j < sg.end; j++ {
+				h.offer(k, sh.gids[j], metric.SparseScore(query, sh.sigs[j].W))
+			}
 		}
 	default:
 		// One scratch buffer per shard keeps the dense-fallback scan at
@@ -594,12 +644,14 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 		if len(ss.dense) != db.dim {
 			ss.dense = vecmath.NewVector(db.dim)
 		}
-		for j, s := range sh.sigs {
-			score, err := metric.Score(denseQuery, s.W.DenseInto(ss.dense))
-			if err != nil {
-				return err
+		for _, sg := range sh.segs {
+			for j := sg.start; j < sg.end; j++ {
+				score, err := metric.Score(denseQuery, sh.sigs[j].W.DenseInto(ss.dense))
+				if err != nil {
+					return err
+				}
+				h.offer(k, sh.gids[j], score)
 			}
-			h.offer(k, sh.gids[j], score)
 		}
 	}
 	return nil
@@ -609,40 +661,109 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 // signatures (ties broken toward the nearest). It is the similarity-based
 // retrieval use case of §2.2 in its simplest form.
 func (db *DB) Classify(query vecmath.Vector, k int, metric Metric) (string, error) {
-	hits, err := db.TopK(query, k, metric)
-	if err != nil {
-		return "", err
+	if query.Dim() != db.dim {
+		return "", &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
-	return voteLabel(hits), nil
+	return db.classify(vecmath.DenseToSparse(query), query, k, metric)
 }
 
 // ClassifySparse is Classify for a query already in sparse form.
 func (db *DB) ClassifySparse(query *vecmath.Sparse, k int, metric Metric) (string, error) {
-	hits, err := db.TopKSparse(query, k, metric)
+	if query.Dim() != db.dim {
+		return "", &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
+	}
+	return db.classify(query, nil, k, metric)
+}
+
+// classify retrieves into the pooled hit buffer and votes in the pooled
+// counter, so the whole k-NN labeling path shares TopK's zero-alloc
+// steady state.
+func (db *DB) classify(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric) (string, error) {
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	hits, err := db.topkWith(sc, query, denseQuery, k, metric, db.workers, sc.hits[:0])
 	if err != nil {
 		return "", err
 	}
-	return voteLabel(hits), nil
+	sc.hits = hits
+	return voteLabel(hits, sc.voteMap()), nil
 }
 
 // ClassifyBatch labels many queries in one batched pass over the worker
 // pool; out[i] is bit-identical to ClassifySparse(queries[i], ...) at
-// any worker count.
+// any worker count. See ClassifyBatchInto for the allocation-free path.
 func (db *DB) ClassifyBatch(queries []*vecmath.Sparse, k int, metric Metric) ([]string, error) {
-	hits, err := db.TopKBatch(queries, k, metric)
-	if err != nil {
+	out := make([]string, len(queries))
+	if err := db.ClassifyBatchInto(queries, k, metric, out); err != nil {
 		return nil, err
 	}
-	labels := make([]string, len(hits))
-	for i, h := range hits {
-		labels[i] = voteLabel(h)
-	}
-	return labels, nil
+	return out, nil
 }
 
-// voteLabel majority-votes over hits, nearest-first tie-break.
-func voteLabel(hits []SearchResult) string {
-	votes := make(map[string]int)
+// ClassifyBatchInto is ClassifyBatch writing into a caller-owned label
+// slice: out[i] is overwritten with query i's label. Hits and vote
+// counts live entirely in pooled per-worker scratch, so a steady-state
+// batch allocates nothing. len(out) must equal len(queries). On error
+// out holds a mix of old and new labels and must not be interpreted.
+func (db *DB) ClassifyBatchInto(queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
+	if len(out) != len(queries) {
+		return fmt.Errorf("core: ClassifyBatchInto: %d result slots for %d queries", len(out), len(queries))
+	}
+	if parallel.Workers(db.workers) == 1 {
+		// Sequential batch: direct calls keep the steady state at zero
+		// allocations (no closure, no worker bookkeeping).
+		for qi := range queries {
+			if err := db.classifyQuery(qi, queries, k, metric, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return db.classifyQueriesParallel(queries, k, metric, out)
+}
+
+// classifyQueriesParallel fans classifyQuery over the worker pool; split
+// out of ClassifyBatchInto so the closure exists only on the parallel
+// path.
+func (db *DB) classifyQueriesParallel(queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
+	return parallel.For(db.workers, len(queries), func(qi int) error {
+		return db.classifyQuery(qi, queries, k, metric, out)
+	})
+}
+
+// classifyQuery labels query qi into out[qi] via the pooled scratch.
+func (db *DB) classifyQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
+	q := queries[qi]
+	if q == nil {
+		return fmt.Errorf("core: query %d is nil", qi)
+	}
+	if q.Dim() != db.dim {
+		return &DimensionError{What: fmt.Sprintf("query %d", qi), Got: q.Dim(), Want: db.dim}
+	}
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	hits, err := db.topkWith(sc, q, nil, k, metric, -1, sc.hits[:0])
+	if err != nil {
+		return err
+	}
+	sc.hits = hits
+	out[qi] = voteLabel(hits, sc.voteMap())
+	return nil
+}
+
+// voteMap returns the scratch's vote counter, cleared for a new query
+// (clearing keeps the map's buckets, so steady state allocates nothing).
+func (sc *dbScratch) voteMap() map[string]int {
+	if sc.votes == nil {
+		sc.votes = make(map[string]int)
+	}
+	clear(sc.votes)
+	return sc.votes
+}
+
+// voteLabel majority-votes over hits, nearest-first tie-break, counting
+// into votes (which the caller supplies empty).
+func voteLabel(hits []SearchResult, votes map[string]int) string {
 	for _, h := range hits {
 		votes[h.Signature.Label]++
 	}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dirState reads every file in a snapshot directory, keyed by name —
+// the before/after probe the incrementality assertions compare.
+func dirState(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte)
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = b
+	}
+	return out
+}
+
+// TestSaveDirLoadDirRoundTrip checks the v2 round trip: a reloaded
+// directory answers TopK bit-identically (both routings), remembers its
+// directory (an immediate re-save rewrites nothing), and keeps working
+// through further Add/Save cycles.
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	const dim, nnz, k = 150, 18, 12
+	sigs := randSigs(r, 120, dim, nnz)
+	query := randSigs(r, 1, dim, nnz)[0].W
+	dir := filepath.Join(t.TempDir(), "db")
+
+	src, err := NewShardedDB(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetSegmentSize(16)
+	if err := src.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := src.TopKSparse(query, k, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.DirtySegments(); got != 0 {
+		t.Fatalf("after SaveDir: %d dirty segments, want 0", got)
+	}
+
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != src.Len() || back.Dim() != src.Dim() || back.Shards() != src.Shards() {
+		t.Fatalf("reloaded len/dim/shards = %d/%d/%d, want %d/%d/%d",
+			back.Len(), back.Dim(), back.Shards(), src.Len(), src.Dim(), src.Shards())
+	}
+	if back.Segments() != src.Segments() {
+		t.Fatalf("reloaded segments = %d, want %d", back.Segments(), src.Segments())
+	}
+	for _, m := range []Metric{EuclideanMetric(), CosineMetric(), MinkowskiMetric(1)} {
+		ref, err := src.TopKSparse(query, k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.TopKSparse(query, k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "reloaded indexed "+m.Name, got, ref)
+		sameResults(t, "reloaded scan "+m.Name, scanResults(t, back, query, k, m), ref)
+	}
+	_ = want
+
+	// A reloaded DB knows its directory: saving straight back rewrites
+	// no segment files.
+	before := dirState(t, dir)
+	if got := back.DirtySegments(); got != 0 {
+		t.Fatalf("freshly loaded DB: %d dirty segments, want 0", got)
+	}
+	if err := back.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	after := dirState(t, dir)
+	for name, b := range before {
+		if name == manifestName {
+			continue
+		}
+		if !bytes.Equal(after[name], b) {
+			t.Fatalf("no-op re-save rewrote %s", name)
+		}
+	}
+
+	// Add/save again and reload once more: labels survive.
+	extra := randSigs(r, 7, dim, nnz)
+	for i := range extra {
+		extra[i].DocID = fmt.Sprintf("extra-%d", i)
+	}
+	if err := back.AddAll(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != back.Len() {
+		t.Fatalf("second reload len = %d, want %d", again.Len(), back.Len())
+	}
+	all := again.All()
+	found := 0
+	for _, s := range all {
+		if strings.HasPrefix(s.DocID, "extra-") {
+			found++
+		}
+	}
+	if found != len(extra) {
+		t.Fatalf("reload kept %d of %d appended signatures", found, len(extra))
+	}
+}
+
+// TestSaveDirIncremental is the O(new data) assertion behind the
+// tentpole: after ingesting N and saving, adding M << N signatures and
+// saving again must rewrite only the active segments (at most one per
+// shard) plus the manifest — every sealed segment file stays
+// byte-identical on disk.
+func TestSaveDirIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	const dim, nnz, shards = 100, 12, 2
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := NewShardedDB(dim, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(20)
+	if err := db.AddAll(randSigs(r, 200, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	before := dirState(t, dir)
+
+	// M = 4 new signatures land in the (new) active segments of at most
+	// two shards.
+	if err := db.AddAll(randSigs(r, 4, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	dirty := db.DirtySegments()
+	if dirty < 1 || dirty > shards {
+		t.Fatalf("after 4 adds: %d dirty segments, want 1..%d", dirty, shards)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	after := dirState(t, dir)
+
+	changed := 0
+	for name, b := range after {
+		if name == manifestName {
+			continue
+		}
+		if prev, ok := before[name]; ok && !bytes.Equal(prev, b) {
+			t.Fatalf("sealed segment file %s was rewritten with different content", name)
+		} else if !ok {
+			changed++ // a new segment file: the fresh active segment
+		}
+	}
+	if changed != dirty {
+		t.Fatalf("incremental save wrote %d new segment files, want %d", changed, dirty)
+	}
+
+	// Compaction dirties exactly its outputs; the next save rewrites
+	// them and removes the replaced files.
+	db.Seal()
+	db.Compact()
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	final := dirState(t, dir)
+	if got, want := len(final)-1, db.Segments(); got != want {
+		t.Fatalf("after compacting save: %d segment files on disk, want %d", got, want)
+	}
+	re, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != db.Len() {
+		t.Fatalf("post-compaction reload len = %d, want %d", re.Len(), db.Len())
+	}
+	q := randSigs(r, 1, dim, nnz)[0].W
+	want, err := db.TopKSparse(q, 9, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.TopKSparse(q, 9, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "post-compaction reload", got, want)
+}
+
+// TestSaveDirNeverRewritesReferencedFiles pins the crash-safety
+// invariant behind the manifest-last ordering: a file referenced by the
+// previous (durable) manifest is never renamed over, even when its
+// segment grew — the rewrite takes a fresh id, and the old file is only
+// removed after the new manifest lands. A crash at any point therefore
+// leaves a loadable snapshot: the old manifest's files are all intact
+// until the new manifest replaces it.
+func TestSaveDirNeverRewritesReferencedFiles(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	const dim, nnz = 60, 8
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(64)
+	// 10 signatures: one partially filled active segment.
+	if err := db.AddAll(randSigs(r, 10, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	first := dirState(t, dir)
+	// The active segment grows and is re-saved: its old file must stay
+	// byte-identical until the new manifest is durable, then be removed
+	// as an orphan — never rewritten in place.
+	if err := db.AddAll(randSigs(r, 5, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	second := dirState(t, dir)
+	for name, b := range second {
+		if name == manifestName {
+			continue
+		}
+		if prev, ok := first[name]; ok && !bytes.Equal(prev, b) {
+			t.Fatalf("file %s from the previous snapshot was rewritten in place", name)
+		}
+	}
+	// The grown segment landed under a fresh name and the superseded
+	// file is gone.
+	fresh := 0
+	for name := range second {
+		if _, ok := first[name]; !ok {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Fatalf("%d fresh segment files after the grown-active re-save, want 1", fresh)
+	}
+	for name := range first {
+		if name == manifestName {
+			continue
+		}
+		if _, ok := second[name]; !ok {
+			continue // superseded file removed: expected
+		}
+	}
+	if len(second) != 2 { // one segment file + manifest (single shard, one segment)
+		t.Fatalf("directory holds %d files, want 2", len(second))
+	}
+	// And the final state loads with everything present.
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 15 {
+		t.Fatalf("reloaded len = %d, want 15", back.Len())
+	}
+}
+
+// TestDirCorruptionMatrix drives every corruption class the v2 format
+// must catch: segment files truncated at every field boundary (and a
+// sweep of byte prefixes), a single flipped bit (CRC), a deleted
+// manifest-referenced segment, and manifest tampering. Each must yield
+// a *SnapshotError naming the offending file — never a partial DB.
+func TestDirCorruptionMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	const dim, nnz = 30, 5
+	dir := filepath.Join(t.TempDir(), "db")
+	db, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(4)
+	if err := db.AddAll(randSigs(r, 11, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	clean := dirState(t, dir)
+	var segName string
+	for name := range clean {
+		if strings.HasPrefix(name, "seg-") {
+			segName = name
+			break
+		}
+	}
+	if segName == "" {
+		t.Fatal("no segment file written")
+	}
+
+	// restore rewrites the directory to its clean state.
+	restore := func() {
+		for name, b := range clean {
+			if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// mustFailNaming asserts LoadDir fails with a *SnapshotError naming
+	// the expected file.
+	mustFailNaming := func(tag, file string) {
+		t.Helper()
+		got, err := LoadDir(dir)
+		if err == nil {
+			t.Fatalf("%s: LoadDir succeeded", tag)
+		}
+		if got != nil {
+			t.Fatalf("%s: LoadDir returned a DB alongside the error", tag)
+		}
+		var snapErr *SnapshotError
+		if !errors.As(err, &snapErr) {
+			t.Fatalf("%s: error %v is not a *SnapshotError", tag, err)
+		}
+		if filepath.Base(snapErr.Path) != file {
+			t.Fatalf("%s: error names %s, want %s", tag, snapErr.Path, file)
+		}
+	}
+
+	segPath := filepath.Join(dir, segName)
+	raw := clean[segName]
+
+	// Truncations at every field boundary of the segment layout — the
+	// header fields, a record's docID/label/nnz/pair edges — plus a
+	// sweep of arbitrary prefixes. All are caught (short file or CRC).
+	cuts := []int{0, 2, 4, 6, 10, 14, 15, 16, 20, 24, 32, len(raw) / 2, len(raw) - 5, len(raw) - 1}
+	for i := 0; i < len(raw); i += 7 {
+		cuts = append(cuts, i)
+	}
+	for _, cut := range cuts {
+		if cut >= len(raw) {
+			continue
+		}
+		if err := os.WriteFile(segPath, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFailNaming(fmt.Sprintf("truncate@%d", cut), segName)
+	}
+	restore()
+
+	// One flipped bit anywhere in the body: the CRC must catch it.
+	for _, pos := range []int{0, 5, 9, 13, segHeaderSize + 1, len(raw) / 2, len(raw) - 6} {
+		b := append([]byte(nil), raw...)
+		b[pos] ^= 0x10
+		if err := os.WriteFile(segPath, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFailNaming(fmt.Sprintf("bitflip@%d", pos), segName)
+	}
+	// A flipped bit in the footer itself is equally fatal.
+	b := append([]byte(nil), raw...)
+	b[len(b)-2] ^= 0x01
+	if err := os.WriteFile(segPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustFailNaming("bitflip@footer", segName)
+	restore()
+
+	// Trailing garbage after the footer: the CRC/footer no longer lines
+	// up, so the file is rejected.
+	if err := os.WriteFile(segPath, append(append([]byte(nil), raw...), 0xAA, 0xBB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustFailNaming("trailing-bytes", segName)
+	restore()
+
+	// Deleting a manifest-referenced segment names that file and wraps
+	// the fs error.
+	if err := os.Remove(segPath); err != nil {
+		t.Fatal(err)
+	}
+	{
+		_, err := LoadDir(dir)
+		var snapErr *SnapshotError
+		if !errors.As(err, &snapErr) || filepath.Base(snapErr.Path) != segName {
+			t.Fatalf("missing segment error = %v, want *SnapshotError naming %s", err, segName)
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("missing segment error should wrap os.ErrNotExist, got %v", err)
+		}
+	}
+	restore()
+
+	// Manifest tampering: invalid JSON, wrong format marker, wrong
+	// version, inconsistent counts — all name the manifest.
+	mpath := filepath.Join(dir, manifestName)
+	for tag, content := range map[string]string{
+		"bad-json":      "{not json",
+		"bad-format":    `{"format":"other","version":2,"dim":30,"shards":2,"count":11,"segments":[[],[]]}`,
+		"bad-version":   `{"format":"fmdb-dir","version":9,"dim":30,"shards":2,"count":11,"segments":[[],[]]}`,
+		"bad-dim":       `{"format":"fmdb-dir","version":2,"dim":0,"shards":2,"count":11,"segments":[[],[]]}`,
+		"short-count":   `{"format":"fmdb-dir","version":2,"dim":30,"shards":2,"count":11,"segments":[[],[]]}`,
+		"missing-shard": `{"format":"fmdb-dir","version":2,"dim":30,"shards":2,"count":11,"segments":[[]]}`,
+	} {
+		if err := os.WriteFile(mpath, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mustFailNaming(tag, manifestName)
+	}
+	restore()
+	// Deleting the manifest names it too.
+	if err := os.Remove(mpath); err != nil {
+		t.Fatal(err)
+	}
+	mustFailNaming("missing-manifest", manifestName)
+	restore()
+
+	// After all that abuse, the restored directory still loads.
+	if _, err := LoadDir(dir); err != nil {
+		t.Fatalf("restored directory failed to load: %v", err)
+	}
+}
+
+// TestV1SnapshotInterop pins the compatibility promise: single-file v1
+// snapshots keep loading (and writing), and a v1 store moved into the
+// v2 directory format answers queries bit-identically.
+func TestV1SnapshotInterop(t *testing.T) {
+	r := rand.New(rand.NewSource(139))
+	const dim, nnz, k = 90, 10, 8
+	sigs := randSigs(r, 60, dim, nnz)
+	query := randSigs(r, 1, dim, nnz)[0].W
+	src, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := src.TopKSparse(query, k, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1 bytes.Buffer
+	if err := src.WriteSnapshot(&v1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(bytes.NewReader(v1.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "migrated")
+	if err := loaded.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v2.TopKSparse(query, k, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "v1->v2 migration", got, want)
+	// And back out to v1 again.
+	var round bytes.Buffer
+	if err := v2.WriteSnapshot(&round); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(round.Bytes(), v1.Bytes()) {
+		t.Fatal("v1 -> v2 -> v1 snapshot bytes changed")
+	}
+}

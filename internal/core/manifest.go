@@ -1,0 +1,443 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Snapshot format v2: a directory instead of a single file, so a
+// long-lived operator database saves in O(new data) instead of O(total).
+// Layout:
+//
+//	<dir>/MANIFEST.json   — format marker, dim/shards/count, and the
+//	                        ordered per-shard segment lists (file name,
+//	                        record count, CRC32 of the file body)
+//	<dir>/seg-<id>.fms    — one file per segment:
+//	  magic   "FMSG"                      (4 bytes)
+//	  version uint16                      (currently 1)
+//	  dim     uint32
+//	  count   uint32
+//	  count × signature records           (same encoding as v1, in
+//	                                       shard-local insertion order)
+//	  crc32   uint32                      (IEEE, over all preceding bytes)
+//
+// SaveDir writes only segments dirtied since the last save; every file
+// lands via temp + fsync + rename, and the manifest is renamed last, so
+// a crash at any point leaves the previous save fully loadable (new
+// segment files without a manifest referencing them are orphans,
+// removed by the next successful save). LoadDir verifies each segment
+// file's CRC against both its footer and the manifest before parsing a
+// single record, and any mismatch, truncation, or missing file yields a
+// *SnapshotError naming the file — never a partial DB.
+//
+// Global insertion indices are not stored: segment k's records occupy
+// the shard-local range right after segment k-1's, and shard-local
+// position j in shard s maps to gid j·shards + s (the round-robin
+// inverse), so a reload reconstructs the exact (score, insertion index)
+// total order and answers TopK bit-identically.
+const (
+	manifestName    = "MANIFEST.json"
+	manifestFormat  = "fmdb-dir"
+	manifestVersion = 2
+	segMagic        = "FMSG"
+	segVersion      = 1
+	// segHeaderSize is the fixed segment prefix: magic + version + dim +
+	// count.
+	segHeaderSize = 4 + 2 + 4 + 4
+)
+
+// segmentFileName names segment id's file inside a snapshot directory.
+func segmentFileName(id uint64) string { return fmt.Sprintf("seg-%08d.fms", id) }
+
+// SnapshotError reports a corrupt, missing, or unreadable piece of a v2
+// snapshot directory. It is typed so callers can tell storage corruption
+// from API misuse, and it always names the offending file.
+type SnapshotError struct {
+	// Path is the file that failed (a segment file or the manifest).
+	Path string
+	// Err is the underlying cause (CRC mismatch, truncation, fs error).
+	Err error
+}
+
+// Error implements error.
+func (e *SnapshotError) Error() string {
+	return fmt.Sprintf("core: snapshot file %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// manifestJSON is the on-disk manifest.
+type manifestJSON struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Dim     int    `json:"dim"`
+	Shards  int    `json:"shards"`
+	Count   int    `json:"count"`
+	NextSeg uint64 `json:"next_segment"`
+	// Segments lists each shard's segments in shard-local record order.
+	Segments [][]manifestSegment `json:"segments"`
+}
+
+// manifestSegment is one segment's manifest entry.
+type manifestSegment struct {
+	ID      uint64 `json:"id"`
+	File    string `json:"file"`
+	Records int    `json:"records"`
+	CRC32   uint32 `json:"crc32"`
+}
+
+// SaveDir persists the database into the v2 snapshot directory at path,
+// creating it if needed. Only segments dirtied since the last SaveDir to
+// the same path are rewritten (newly added or compacted data — the
+// active segments plus any compaction outputs); a steady append workload
+// therefore saves in O(new data). Every file is written to a temp name,
+// fsynced, and renamed; the manifest goes last, so a crash mid-save
+// never corrupts the previous snapshot. Files from replaced segments
+// (compaction inputs) and abandoned temp files are removed after the new
+// manifest is durable.
+func (db *DB) SaveDir(path string) error {
+	if db.dim > maxSnapshotDim {
+		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
+	}
+	if len(db.shards) > maxSnapshotShards {
+		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return &SnapshotError{Path: path, Err: err}
+	}
+	if db.saveDir != path {
+		// A different target directory knows nothing of this DB: every
+		// segment must land there.
+		for si := range db.shards {
+			for _, sg := range db.shards[si].segs {
+				sg.dirty = true
+			}
+		}
+	}
+	wrote := false
+	for si := range db.shards {
+		sh := &db.shards[si]
+		for _, sg := range sh.segs {
+			if !sg.dirty {
+				continue
+			}
+			if sg.saved {
+				// This segment's file is (or may be) referenced by a
+				// durable manifest — a grown active segment being
+				// re-saved, or a save into a fresh directory. Write
+				// under a fresh id and let the old file live as an
+				// orphan until the new manifest is durable, so a crash
+				// anywhere in this save leaves the previous snapshot
+				// loadable.
+				sg.id = db.nextSeg
+				db.nextSeg++
+			}
+			crc, err := db.writeSegmentFile(path, sh, sg)
+			if err != nil {
+				return err
+			}
+			sg.crc = crc
+			sg.dirty = false
+			sg.saved = true
+			wrote = true
+		}
+	}
+	// Make the segment renames durable before the manifest can name
+	// them: without this ordering a crash could persist the new manifest
+	// but not a segment file's directory entry.
+	if wrote {
+		if err := syncDir(path); err != nil {
+			return &SnapshotError{Path: path, Err: err}
+		}
+	}
+	m := manifestJSON{
+		Format:   manifestFormat,
+		Version:  manifestVersion,
+		Dim:      db.dim,
+		Shards:   len(db.shards),
+		Count:    db.total,
+		NextSeg:  db.nextSeg,
+		Segments: make([][]manifestSegment, len(db.shards)),
+	}
+	live := map[string]bool{manifestName: true}
+	for si := range db.shards {
+		entries := []manifestSegment{}
+		for _, sg := range db.shards[si].segs {
+			name := segmentFileName(sg.id)
+			entries = append(entries, manifestSegment{ID: sg.id, File: name, Records: sg.len(), CRC32: sg.crc})
+			live[name] = true
+		}
+		m.Segments[si] = entries
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encoding manifest: %w", err)
+	}
+	mpath := filepath.Join(path, manifestName)
+	if err := writeFileAtomic(mpath, append(buf, '\n')); err != nil {
+		return &SnapshotError{Path: mpath, Err: err}
+	}
+	if err := syncDir(path); err != nil {
+		return &SnapshotError{Path: path, Err: err}
+	}
+	db.saveDir = path
+	return removeOrphans(path, live)
+}
+
+// removeOrphans deletes segment and temp files the manifest no longer
+// references: compaction inputs, crash leftovers. Safe only after the
+// new manifest is durable.
+func removeOrphans(dir string, live map[string]bool) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return &SnapshotError{Path: dir, Err: err}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := strings.HasPrefix(name, ".tmp-") ||
+			(strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".fms") && !live[name])
+		if !stale {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return &SnapshotError{Path: filepath.Join(dir, name), Err: err}
+		}
+	}
+	return nil
+}
+
+// writeSegmentFile writes one segment's file atomically and returns the
+// CRC32 of its body (everything before the footer).
+func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, error) {
+	final := filepath.Join(dir, segmentFileName(sg.id))
+	f, err := os.CreateTemp(dir, ".tmp-seg-*")
+	if err != nil {
+		return 0, &SnapshotError{Path: final, Err: err}
+	}
+	tmp := f.Name()
+	fail := func(err error) (uint32, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, &SnapshotError{Path: final, Err: err}
+	}
+	h := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(f, h))
+	le := binary.LittleEndian
+	var hdr [segHeaderSize]byte
+	copy(hdr[:4], segMagic)
+	le.PutUint16(hdr[4:6], segVersion)
+	le.PutUint32(hdr[6:10], uint32(db.dim))
+	le.PutUint32(hdr[10:14], uint32(sg.len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	for j := sg.start; j < sg.end; j++ {
+		if err := writeSigRecord(bw, sh.sigs[j]); err != nil {
+			return fail(fmt.Errorf("record %d: %w", j-sg.start, err))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	crc := h.Sum32()
+	var foot [4]byte
+	le.PutUint32(foot[:], crc)
+	if _, err := f.Write(foot[:]); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, &SnapshotError{Path: final, Err: err}
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, &SnapshotError{Path: final, Err: err}
+	}
+	return crc, nil
+}
+
+// writeFileAtomic writes data to path via temp + fsync + rename: readers
+// only ever observe the old content or the new, never a torn write.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+base+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// LoadDir loads a v2 snapshot directory written by SaveDir. Every
+// segment file's CRC is verified against both its own footer and the
+// manifest before any record is parsed; corruption, truncation, or a
+// missing file yields a *SnapshotError naming the file, never a
+// partially loaded database. All loaded segments are sealed — the next
+// Add opens a fresh active segment — and the DB remembers the directory,
+// so an immediate SaveDir back to it rewrites nothing but the manifest.
+func LoadDir(path string) (*DB, error) {
+	mpath := filepath.Join(path, manifestName)
+	raw, err := os.ReadFile(mpath)
+	if err != nil {
+		return nil, &SnapshotError{Path: mpath, Err: err}
+	}
+	var m manifestJSON
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, &SnapshotError{Path: mpath, Err: err}
+	}
+	if m.Format != manifestFormat {
+		return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("format %q, want %q", m.Format, manifestFormat)}
+	}
+	if m.Version != manifestVersion {
+		return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("unsupported version %d (have %d)", m.Version, manifestVersion)}
+	}
+	if m.Dim < 1 || m.Dim > maxSnapshotDim {
+		return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("dimension %d outside [1, %d]", m.Dim, maxSnapshotDim)}
+	}
+	if m.Shards < 1 || m.Shards > maxSnapshotShards {
+		return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("shard count %d outside [1, %d]", m.Shards, maxSnapshotShards)}
+	}
+	if m.Count < 0 || len(m.Segments) != m.Shards {
+		return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("count %d / %d shard segment lists inconsistent with %d shards", m.Count, len(m.Segments), m.Shards)}
+	}
+	db, err := NewShardedDB(m.Dim, m.Shards)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[uint64]bool)
+	for si, list := range m.Segments {
+		sh := &db.shards[si]
+		for _, ent := range list {
+			if seen[ent.ID] {
+				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d listed twice", ent.ID)}
+			}
+			seen[ent.ID] = true
+			if ent.ID >= m.NextSeg {
+				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d >= next_segment %d", ent.ID, m.NextSeg)}
+			}
+			if ent.File != segmentFileName(ent.ID) {
+				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment %d file %q, want %q", ent.ID, ent.File, segmentFileName(ent.ID))}
+			}
+			if err := db.loadSegmentFile(path, si, sh, ent); err != nil {
+				return nil, err
+			}
+		}
+		// The round-robin inverse: shard si must hold exactly the gids
+		// congruent to si mod shards below count.
+		want := 0
+		if m.Count > si {
+			want = (m.Count - si + m.Shards - 1) / m.Shards
+		}
+		if len(sh.sigs) != want {
+			return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("shard %d holds %d records, want %d of %d total", si, len(sh.sigs), want, m.Count)}
+		}
+	}
+	db.total = m.Count
+	db.nextSeg = m.NextSeg
+	db.saveDir = path
+	return db, nil
+}
+
+// loadSegmentFile verifies and parses one segment file, appending its
+// records to shard si as a sealed segment.
+func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegment) error {
+	path := filepath.Join(dir, ent.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return &SnapshotError{Path: path, Err: err}
+	}
+	if len(raw) < segHeaderSize+4 {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("truncated: %d bytes, need at least %d", len(raw), segHeaderSize+4)}
+	}
+	body, foot := raw[:len(raw)-4], raw[len(raw)-4:]
+	le := binary.LittleEndian
+	crc := crc32.ChecksumIEEE(body)
+	if got := le.Uint32(foot); got != crc {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("CRC mismatch: footer %08x, body computes %08x", got, crc)}
+	}
+	if crc != ent.CRC32 {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("CRC %08x does not match manifest's %08x", crc, ent.CRC32)}
+	}
+	if string(body[:4]) != segMagic {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("bad segment magic %q", body[:4])}
+	}
+	if v := le.Uint16(body[4:6]); v != segVersion {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("unsupported segment version %d (have %d)", v, segVersion)}
+	}
+	if d := le.Uint32(body[6:10]); int(d) != db.dim {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("dimension %d, manifest says %d", d, db.dim)}
+	}
+	count := le.Uint32(body[10:14])
+	if int(count) != ent.Records {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d, manifest says %d", count, ent.Records)}
+	}
+	// A record is at least 6 bytes (two empty strings + nnz), so a count
+	// beyond this bound cannot be satisfied by the body — reject before
+	// looping.
+	if int64(count) > int64(len(body)-segHeaderSize)/6 {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d exceeds file capacity", count)}
+	}
+	ix, err := NewIndex(db.dim)
+	if err != nil {
+		return err
+	}
+	sg := &segment{id: ent.ID, start: len(sh.sigs), end: len(sh.sigs), index: ix, sealed: true, crc: crc, saved: true}
+	br := bytes.NewReader(body[segHeaderSize:])
+	for i := 0; i < int(count); i++ {
+		sig, err := readSigRecord(br, db.dim)
+		if err != nil {
+			return &SnapshotError{Path: path, Err: fmt.Errorf("record %d: %w", i, err)}
+		}
+		sh.gids = append(sh.gids, len(sh.sigs)*len(db.shards)+si)
+		sh.sigs = append(sh.sigs, sig)
+		sh.norms = append(sh.norms, sig.W.Norm2())
+		sg.index.Add(sig.W)
+		sg.end++
+	}
+	if br.Len() != 0 {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("%d trailing bytes after record %d", br.Len(), count)}
+	}
+	sh.segs = append(sh.segs, sg)
+	return nil
+}

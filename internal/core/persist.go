@@ -43,19 +43,18 @@ func WriteDocuments(w io.Writer, docs []*Document) error {
 }
 
 // ReadDocuments parses a JSON Lines stream produced by WriteDocuments.
+// Records are decoded with a streaming json.Decoder, so a single huge
+// document (a long monitoring run touching everything) is bounded only
+// by memory — not by a scanner token cap.
 func ReadDocuments(r io.Reader) ([]*Document, error) {
 	var docs []*Document
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
+	dec := json.NewDecoder(r)
+	for rec := 1; ; rec++ {
 		var dj documentJSON
-		if err := json.Unmarshal(sc.Bytes(), &dj); err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		if err := dec.Decode(&dj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("core: document record %d: %w", rec, err)
 		}
 		doc := &Document{
 			ID:       dj.ID,
@@ -67,9 +66,6 @@ func ReadDocuments(r io.Reader) ([]*Document, error) {
 			doc.Counts = make(map[int]uint64)
 		}
 		docs = append(docs, doc)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: reading documents: %w", err)
 	}
 	return docs, nil
 }
@@ -104,31 +100,26 @@ func WriteSignatures(w io.Writer, sigs []Signature) error {
 }
 
 // ReadSignatures parses a JSON Lines stream produced by WriteSignatures.
+// Like ReadDocuments it streams through json.Decoder, so record size is
+// bounded only by memory.
 func ReadSignatures(r io.Reader) ([]Signature, error) {
 	var sigs []Signature
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
+	dec := json.NewDecoder(r)
+	for rec := 1; ; rec++ {
 		var sj signatureJSON
-		if err := json.Unmarshal(sc.Bytes(), &sj); err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", line, err)
+		if err := dec.Decode(&sj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("core: signature record %d: %w", rec, err)
 		}
 		if sj.Dim < 1 {
-			return nil, fmt.Errorf("core: line %d: invalid dimension %d", line, sj.Dim)
+			return nil, fmt.Errorf("core: signature record %d: invalid dimension %d", rec, sj.Dim)
 		}
 		w, err := sparseFromWeights(sj.Dim, sj.Weights)
 		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", line, err)
+			return nil, fmt.Errorf("core: signature record %d: %w", rec, err)
 		}
 		sigs = append(sigs, Signature{DocID: sj.DocID, Label: sj.Label, W: w})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("core: reading signatures: %w", err)
 	}
 	return sigs, nil
 }
@@ -194,15 +185,6 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
-	var scratch [binary.MaxVarintLen64]byte
-	writeStr := func(s string) error {
-		n := binary.PutUvarint(scratch[:], uint64(len(s)))
-		if _, err := bw.Write(scratch[:n]); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
-		return err
-	}
 	le := binary.LittleEndian
 	if err := binary.Write(bw, le, uint16(snapshotVersion)); err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
@@ -217,34 +199,114 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
 	for gid := 0; gid < db.total; gid++ {
-		s := db.at(gid)
-		if err := writeStr(s.DocID); err != nil {
+		if err := writeSigRecord(bw, db.at(gid)); err != nil {
 			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
-		}
-		if err := writeStr(s.Label); err != nil {
-			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
-		}
-		if err := binary.Write(bw, le, uint32(s.W.NNZ())); err != nil {
-			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
-		}
-		var rec [12]byte
-		var werr error
-		s.W.ForEach(func(i int, x float64) {
-			if werr != nil {
-				return
-			}
-			le.PutUint32(rec[:4], uint32(i))
-			le.PutUint64(rec[4:12], math.Float64bits(x))
-			_, werr = bw.Write(rec[:])
-		})
-		if werr != nil {
-			return fmt.Errorf("core: writing snapshot record %d: %w", gid, werr)
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
 	return nil
+}
+
+// writeSigRecord appends one signature record — docID, label (both
+// uvarint-length-prefixed), nnz, then nnz (idx, weight) pairs — the
+// encoding shared by the v1 snapshot stream and the v2 segment files.
+func writeSigRecord(bw *bufio.Writer, s Signature) error {
+	if len(s.DocID) > maxSnapshotString || len(s.Label) > maxSnapshotString {
+		return fmt.Errorf("doc-id/label exceeds snapshot string bound %d", maxSnapshotString)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeStr := func(str string) error {
+		n := binary.PutUvarint(scratch[:], uint64(len(str)))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+	if err := writeStr(s.DocID); err != nil {
+		return err
+	}
+	if err := writeStr(s.Label); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	le.PutUint32(scratch[:4], uint32(s.W.NNZ()))
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return err
+	}
+	var rec [12]byte
+	var werr error
+	s.W.ForEach(func(i int, x float64) {
+		if werr != nil {
+			return
+		}
+		le.PutUint32(rec[:4], uint32(i))
+		le.PutUint64(rec[4:12], math.Float64bits(x))
+		_, werr = bw.Write(rec[:])
+	})
+	return werr
+}
+
+// byteScanner is the reader a signature record is decoded from
+// (bufio.Reader over a stream, bytes.Reader over a verified segment
+// body).
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// readSigRecord parses one signature record written by writeSigRecord.
+// Truncation surfaces as io.ErrUnexpectedEOF (never bare io.EOF), so
+// callers can add positional context with %w.
+func readSigRecord(br byteScanner, dim int) (Signature, error) {
+	readStr := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > maxSnapshotString {
+			return "", fmt.Errorf("string length %d exceeds limit", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	docID, err := readStr()
+	if err != nil {
+		return Signature{}, noEOF(err)
+	}
+	label, err := readStr()
+	if err != nil {
+		return Signature{}, noEOF(err)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return Signature{}, noEOF(err)
+	}
+	le := binary.LittleEndian
+	nnz := le.Uint32(hdr[:])
+	if int(nnz) > dim {
+		return Signature{}, fmt.Errorf("nnz %d exceeds dimension %d", nnz, dim)
+	}
+	idx := make([]int32, nnz)
+	val := make([]float64, nnz)
+	var rec [12]byte
+	for k := range idx {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return Signature{}, noEOF(err)
+		}
+		idx[k] = int32(le.Uint32(rec[:4]))
+		val[k] = math.Float64frombits(le.Uint64(rec[4:12]))
+	}
+	w, err := vecmath.SparseFromSorted(dim, idx, val)
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{DocID: docID, Label: label, W: w}, nil
 }
 
 // ReadSnapshot parses a snapshot written by WriteSnapshot and loads it
@@ -299,53 +361,23 @@ func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	readStr := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if n > maxSnapshotString {
-			return "", fmt.Errorf("string length %d exceeds limit", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
 	for gid := uint64(0); gid < count; gid++ {
-		docID, err := readStr()
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
-		}
-		label, err := readStr()
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
-		}
-		var nnz uint32
-		if err := binary.Read(br, le, &nnz); err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
-		}
-		if int(nnz) > dim {
-			return nil, fmt.Errorf("core: snapshot record %d: nnz %d exceeds dimension %d", gid, nnz, dim)
-		}
-		idx := make([]int32, nnz)
-		val := make([]float64, nnz)
-		rec := make([]byte, 12)
-		for k := range idx {
-			if _, err := io.ReadFull(br, rec); err != nil {
-				return nil, fmt.Errorf("core: snapshot record %d: %w", gid, noEOF(err))
-			}
-			idx[k] = int32(le.Uint32(rec[:4]))
-			val[k] = math.Float64frombits(le.Uint64(rec[4:12]))
-		}
-		w, err := vecmath.SparseFromSorted(dim, idx, val)
+		sig, err := readSigRecord(br, dim)
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
 		}
-		if err := db.Add(Signature{DocID: docID, Label: label, W: w}); err != nil {
+		if err := db.Add(sig); err != nil {
 			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
 		}
+	}
+	// Require clean EOF after record `count`: trailing bytes mean the
+	// file is not the snapshot its header claims (a truncated write later
+	// concatenated, or plain corruption) — loading it silently would hand
+	// the operator a database that disagrees with what was saved.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, fmt.Errorf("core: snapshot has trailing data after record %d", count)
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("core: snapshot trailer: %w", err)
 	}
 	return db, nil
 }

@@ -1,0 +1,192 @@
+package core
+
+// Segmented storage: each shard's signatures live in a run of
+// append-only segments. A segment is a view over a contiguous range of
+// the shard's backing arrays (gids/sigs/norms, which only ever append —
+// the in-memory analogue of a log-structured store) plus the segment's
+// own inverted index over segment-local ids and its persistence state.
+//
+// The last segment of a shard may be *active*: DB.Add appends into it
+// until it reaches the segment size, at which point it is sealed and the
+// next Add opens a fresh active segment. Sealed segments are immutable:
+// their record range, posting lists, and cached norms never change
+// again, which is what lets SaveDir persist each one exactly once
+// (temp + fsync + rename) and skip it on every later save.
+//
+// Compact merges runs of small adjacent sealed segments by *splicing*
+// their posting lists (Index.Splice remaps local ids by the range
+// offset, no re-scoring, no re-sort — lists stay ascending because
+// adjacent segments cover adjacent id ranges). Because a merged segment
+// covers exactly the concatenated range of its inputs, every query walk
+// visits the same signatures in the same order with the same per-
+// candidate arithmetic, so TopK stays bit-identical across any
+// seal/compaction history (see DESIGN-PERF.md Layer 5).
+type segment struct {
+	// id names the segment on disk (seg-<id>.fms); ids are DB-unique and
+	// monotonically increasing, so compaction outputs never collide with
+	// the files they replace.
+	id uint64
+	// start/end delimit the shard-local record range [start, end).
+	start, end int
+	// index holds the segment's posting lists over segment-local ids
+	// (shard-local j maps to segment-local j-start).
+	index *Index
+	// sealed marks the segment immutable; only the last segment of a
+	// shard may be unsealed.
+	sealed bool
+	// dirty marks the segment as not yet persisted to the DB's current
+	// save directory. Cleared by SaveDir, set by Add and Compact.
+	dirty bool
+	// saved marks that a file named after this segment's id exists on
+	// disk (and may be referenced by a durable manifest). Rewriting a
+	// saved segment must take a fresh id so the old file survives until
+	// the new manifest lands — never rename over a file the previous
+	// snapshot still depends on.
+	saved bool
+	// crc is the CRC32 of the segment's file body, valid once saved
+	// (recorded in the manifest so a tampered file is caught even when
+	// its own footer was recomputed).
+	crc uint32
+}
+
+// len returns the segment's record count.
+func (sg *segment) len() int { return sg.end - sg.start }
+
+// DefaultSegmentSize is the seal threshold when SetSegmentSize was not
+// called: an active segment rolls into an immutable sealed segment once
+// it holds this many signatures.
+const DefaultSegmentSize = 4096
+
+// SetSegmentSize sets the per-shard seal threshold: an active segment is
+// sealed as soon as it reaches n signatures (n < 1 restores
+// DefaultSegmentSize). Only future seals are affected; existing segment
+// boundaries never move except through Compact. Query results are
+// bit-identical at any segment size.
+func (db *DB) SetSegmentSize(n int) {
+	if n < 1 {
+		n = DefaultSegmentSize
+	}
+	db.segSize = n
+}
+
+// SegmentSize returns the active seal threshold.
+func (db *DB) SegmentSize() int {
+	if db.segSize < 1 {
+		return DefaultSegmentSize
+	}
+	return db.segSize
+}
+
+// Segments returns the total segment count across all shards
+// (introspection for tests, benchmarks, and operators sizing Compact).
+func (db *DB) Segments() int {
+	n := 0
+	for si := range db.shards {
+		n += len(db.shards[si].segs)
+	}
+	return n
+}
+
+// DirtySegments returns how many segments would be rewritten by the next
+// SaveDir to the current save directory — the incremental-save cost in
+// segments. A DB never saved (or saved to a different directory) counts
+// every segment.
+func (db *DB) DirtySegments() int {
+	n := 0
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			if sg.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// activeSegment returns the shard's unsealed tail segment, or nil when
+// the shard is empty or its tail is sealed.
+func (sh *dbShard) activeSegment() *segment {
+	if n := len(sh.segs); n > 0 && !sh.segs[n-1].sealed {
+		return sh.segs[n-1]
+	}
+	return nil
+}
+
+// appendSegment opens a fresh active segment at the shard's tail.
+func (db *DB) appendSegment(sh *dbShard) (*segment, error) {
+	ix, err := NewIndex(db.dim)
+	if err != nil {
+		return nil, err
+	}
+	sg := &segment{id: db.nextSeg, start: len(sh.sigs), end: len(sh.sigs), index: ix, dirty: true}
+	db.nextSeg++
+	sh.segs = append(sh.segs, sg)
+	return sg, nil
+}
+
+// Seal seals every shard's active segment, making the whole store
+// immutable until the next Add (which opens fresh active segments).
+// Sealing is what lets SaveDir stop rewriting a segment: a sealed,
+// saved segment costs nothing on later saves.
+func (db *DB) Seal() {
+	for si := range db.shards {
+		if sg := db.shards[si].activeSegment(); sg != nil {
+			sg.sealed = true
+		}
+	}
+}
+
+// Compact merges runs of adjacent small sealed segments (each below the
+// segment size) by splicing their posting lists — local ids are remapped
+// by the range offset, weights are copied verbatim, nothing is
+// re-scored. Active segments and full-sized sealed segments are left
+// alone. Query results are bit-identical before and after; the merged
+// segments are rewritten by the next SaveDir and their old files
+// removed.
+func (db *DB) Compact() {
+	for si := range db.shards {
+		db.compactShard(&db.shards[si])
+	}
+}
+
+// compactShard merges each maximal run of >= 2 adjacent sealed
+// small segments into one sealed segment.
+func (db *DB) compactShard(sh *dbShard) {
+	small := func(sg *segment) bool { return sg.sealed && sg.len() < db.SegmentSize() }
+	out := sh.segs[:0]
+	for i := 0; i < len(sh.segs); {
+		if !small(sh.segs[i]) {
+			out = append(out, sh.segs[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(sh.segs) && small(sh.segs[j]) {
+			j++
+		}
+		if j-i == 1 {
+			out = append(out, sh.segs[i])
+			i++
+			continue
+		}
+		// Splice the run [i, j) into the first segment's index: adjacent
+		// segments cover adjacent id ranges, so appending keeps every
+		// posting list ascending. The merged segment takes a fresh id so
+		// its file never collides with the ones it replaces.
+		merged := sh.segs[i]
+		for _, sg := range sh.segs[i+1 : j] {
+			merged.index.Splice(sg.index, int32(sg.start-merged.start))
+			merged.end = sg.end
+		}
+		merged.id = db.nextSeg
+		db.nextSeg++
+		merged.dirty = true
+		out = append(out, merged)
+		i = j
+	}
+	// Drop the tail references so merged-away segments can be collected.
+	for k := len(out); k < len(sh.segs); k++ {
+		sh.segs[k] = nil
+	}
+	sh.segs = out
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// TestTopKSegmentedMatchesUnsegmented is the equivalence property the
+// segment re-architecture rests on: over random corpora, every
+// combination of seal points (segment sizes, explicit Seal calls),
+// compactions, shard counts, and worker counts must answer TopK —
+// indexed and scan — and ClassifyBatch bit-identically to the
+// unsegmented single-shard sequential reference.
+func TestTopKSegmentedMatchesUnsegmented(t *testing.T) {
+	metrics := []Metric{EuclideanMetric(), CosineMetric(), MinkowskiMetric(1)}
+	for seed := int64(1); seed <= 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		dim := 60 + r.Intn(100)
+		n := 50 + r.Intn(150)
+		nnz := 5 + r.Intn(20)
+		sigs := randSigs(r, n, dim, nnz)
+		// Duplicates exercise the (score, insertion index) tie-break
+		// across segment boundaries.
+		for d := 0; d < 3; d++ {
+			dup := sigs[r.Intn(len(sigs))]
+			dup.DocID = fmt.Sprintf("dup-%d", d)
+			sigs = append(sigs, dup)
+		}
+		queries := make([]*vecmath.Sparse, 8)
+		for i := range queries {
+			queries[i] = randSigs(r, 1, dim, nnz)[0].W
+		}
+		k := 1 + r.Intn(n)
+
+		// Reference: one shard, one giant segment, sequential.
+		ref, err := NewDB(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetWorkers(-1)
+		if err := ref.AddAll(sigs); err != nil {
+			t.Fatal(err)
+		}
+		if got := ref.Segments(); got != 1 {
+			t.Fatalf("reference DB should hold one segment, has %d", got)
+		}
+
+		for _, segSize := range []int{1, 3, 16, DefaultSegmentSize} {
+			for _, shards := range []int{1, 3} {
+				for _, workers := range []int{1, 4} {
+					for _, compact := range []bool{false, true} {
+						db, err := NewShardedDB(dim, shards)
+						if err != nil {
+							t.Fatal(err)
+						}
+						db.SetSegmentSize(segSize)
+						db.SetWorkers(workers)
+						// Interleave Adds with explicit seal points so
+						// segment boundaries land mid-stream, not only at
+						// size multiples.
+						for i, s := range sigs {
+							if err := db.Add(s); err != nil {
+								t.Fatal(err)
+							}
+							if i%37 == 36 {
+								db.Seal()
+							}
+						}
+						if compact {
+							db.Seal()
+							db.Compact()
+						}
+						tag := fmt.Sprintf("seed=%d segsize=%d shards=%d workers=%d compact=%v segs=%d",
+							seed, segSize, shards, workers, compact, db.Segments())
+						for _, m := range metrics {
+							want, err := ref.TopKSparse(queries[0], k, m)
+							if err != nil {
+								t.Fatal(err)
+							}
+							got, err := db.TopKSparse(queries[0], k, m)
+							if err != nil {
+								t.Fatal(err)
+							}
+							sameResults(t, tag+" "+m.Name+" indexed", got, want)
+							sameResults(t, tag+" "+m.Name+" scan", scanResults(t, db, queries[0], k, m), want)
+						}
+						wantLabels, err := ref.ClassifyBatch(queries, 5, EuclideanMetric())
+						if err != nil {
+							t.Fatal(err)
+						}
+						gotLabels, err := db.ClassifyBatch(queries, 5, EuclideanMetric())
+						if err != nil {
+							t.Fatal(err)
+						}
+						for qi := range wantLabels {
+							if gotLabels[qi] != wantLabels[qi] {
+								t.Fatalf("%s: ClassifyBatch[%d] = %q, want %q", tag, qi, gotLabels[qi], wantLabels[qi])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentLifecycle pins the seal/roll/compact mechanics: size-
+// threshold rolling, explicit Seal, Add-after-Seal opening a fresh
+// active segment, Compact merging only small sealed runs, and the dirty
+// accounting SaveDir's incrementality rests on.
+func TestSegmentLifecycle(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	const dim, nnz = 40, 6
+	db, err := NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(10)
+	if got := db.SegmentSize(); got != 10 {
+		t.Fatalf("SegmentSize = %d", got)
+	}
+	// 25 signatures at segment size 10: two sealed segments + one active
+	// of 5.
+	if err := db.AddAll(randSigs(r, 25, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Segments(); got != 3 {
+		t.Fatalf("after 25 adds at size 10: %d segments, want 3", got)
+	}
+	if got := db.DirtySegments(); got != 3 {
+		t.Fatalf("never-saved DB: %d dirty, want 3", got)
+	}
+	// Sealing the 5-record active segment then adding again must open a
+	// fourth segment.
+	db.Seal()
+	if err := db.Add(randSigs(r, 1, dim, nnz)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Segments(); got != 4 {
+		t.Fatalf("after Seal+Add: %d segments, want 4", got)
+	}
+	// Compact: the three sealed segments (10, 10, 5) are all below the
+	// huge threshold once we raise it, so they merge into one; the
+	// 1-record active segment stays.
+	db.SetSegmentSize(100)
+	db.Compact()
+	if got := db.Segments(); got != 2 {
+		t.Fatalf("after Compact: %d segments, want 2 (merged + active)", got)
+	}
+	// Full-size sealed segments are left alone.
+	db2, err := NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.SetSegmentSize(5)
+	if err := db2.AddAll(randSigs(r, 20, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	before := db2.Segments()
+	db2.Compact() // every sealed segment is exactly the threshold: no-op
+	if got := db2.Segments(); got != before {
+		t.Fatalf("Compact merged full segments: %d -> %d", before, got)
+	}
+	// SetSegmentSize(0) restores the default.
+	db2.SetSegmentSize(0)
+	if got := db2.SegmentSize(); got != DefaultSegmentSize {
+		t.Fatalf("SegmentSize after reset = %d, want %d", got, DefaultSegmentSize)
+	}
+}
+
+// TestIndexSplice pins the posting-list splice primitive: remapped ids,
+// preserved weights, and dots identical to one index built in a single
+// run.
+func TestIndexSplice(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	const dim, n, nnz = 50, 30, 8
+	sigs := randSigs(r, n, dim, nnz)
+	whole, err := NewIndex(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewIndex(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewIndex(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const split = 13
+	for i, s := range sigs {
+		whole.Add(s.W)
+		if i < split {
+			a.Add(s.W)
+		} else {
+			b.Add(s.W)
+		}
+	}
+	a.Splice(b, split)
+	if a.Len() != whole.Len() {
+		t.Fatalf("spliced Len = %d, want %d", a.Len(), whole.Len())
+	}
+	q := randSigs(r, 1, dim, nnz)[0].W
+	var accA, accW vecmath.Accumulator
+	a.Dots(q, &accA)
+	whole.Dots(q, &accW)
+	for id := 0; id < n; id++ {
+		if accA.Get(id) != accW.Get(id) {
+			t.Fatalf("dot %d: spliced %v, whole %v", id, accA.Get(id), accW.Get(id))
+		}
+	}
+	// Dimension mismatch panics like the other pre-validated ops.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Splice with mismatched dimension should panic")
+		}
+	}()
+	bad, _ := NewIndex(dim + 1)
+	a.Splice(bad, 0)
+}

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
+
+	"repro/internal/vecmath"
 )
 
 // TestSnapshotRoundTripAcrossShardCounts writes a sharded DB snapshot,
@@ -128,6 +131,69 @@ func TestSnapshotCorruptAndShortFiles(t *testing.T) {
 	}
 	if _, err := ReadSnapshot(bytes.NewReader(nil), 0); err == nil {
 		t.Error("empty input should fail")
+	}
+}
+
+// TestReadSnapshotRejectsTrailingGarbage is the regression test for the
+// silent-acceptance bug: a snapshot followed by any extra bytes (a
+// truncated file later concatenated with another, or plain corruption)
+// must fail with an error naming the problem, not load silently.
+func TestReadSnapshotRejectsTrailingGarbage(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const dim = 40
+	db, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(randSigs(r, 8, dim, 6)); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := db.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	raw := snap.Bytes()
+	// The clean snapshot loads.
+	if _, err := ReadSnapshot(bytes.NewReader(raw), 0); err != nil {
+		t.Fatalf("clean snapshot failed: %v", err)
+	}
+	// Any trailing bytes — one zero, text, or a whole second snapshot —
+	// must be rejected.
+	for _, tail := range [][]byte{{0}, []byte("garbage"), raw} {
+		if _, err := ReadSnapshot(bytes.NewReader(append(append([]byte(nil), raw...), tail...)), 0); err == nil {
+			t.Fatalf("snapshot with %d trailing bytes loaded silently", len(tail))
+		}
+	}
+}
+
+// TestJSONLinesHugeRecord is the regression test for the 16 MiB scanner
+// token cap: a single document or signature record larger than the old
+// bufio.Scanner limit must round-trip, not fail with "token too long".
+func TestJSONLinesHugeRecord(t *testing.T) {
+	huge := strings.Repeat("x", 17<<20) // 17 MiB, past the old 1<<24 cap
+	d := doc(huge, "big", map[int]uint64{1: 2, 5: 9})
+	var buf bytes.Buffer
+	if err := WriteDocuments(&buf, []*Document{d, doc("small", "", map[int]uint64{0: 1})}); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := ReadDocuments(&buf)
+	if err != nil {
+		t.Fatalf("huge document line: %v", err)
+	}
+	if len(docs) != 2 || docs[0].ID != huge || docs[1].ID != "small" {
+		t.Fatal("huge document did not round-trip")
+	}
+	sig := Signature{DocID: huge, Label: "big", W: vecmath.DenseToSparse(vecmath.Vector{0, 1, 0, 2})}
+	var sbuf bytes.Buffer
+	if err := WriteSignatures(&sbuf, []Signature{sig}); err != nil {
+		t.Fatal(err)
+	}
+	sigs, err := ReadSignatures(&sbuf)
+	if err != nil {
+		t.Fatalf("huge signature line: %v", err)
+	}
+	if len(sigs) != 1 || sigs[0].DocID != huge || sigs[0].Dim() != 4 {
+		t.Fatal("huge signature did not round-trip")
 	}
 }
 

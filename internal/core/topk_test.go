@@ -292,6 +292,96 @@ func BenchmarkDBTopKIndexed(b *testing.B) {
 	}
 }
 
+// TestClassifyBatchInto checks the allocation-free labeling entry
+// point: labels match ClassifyBatch exactly, the caller-owned slice is
+// reused, and validation errors mirror the batch query path.
+func TestClassifyBatchInto(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	const dim, n, nnz, k = 120, 150, 15, 5
+	db, err := NewShardedDB(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(randSigs(r, n, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]*vecmath.Sparse, 12)
+	for i := range queries {
+		queries[i] = randSigs(r, 1, dim, nnz)[0].W
+	}
+	for _, workers := range []int{-1, 0, 3} {
+		db.SetWorkers(workers)
+		want, err := db.ClassifyBatch(queries, k, EuclideanMetric())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(queries))
+		if err := db.ClassifyBatchInto(queries, k, EuclideanMetric(), out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: Into[%d] = %q, want %q", workers, i, out[i], want[i])
+			}
+			if single, err := db.ClassifySparse(queries[i], k, EuclideanMetric()); err != nil || single != want[i] {
+				t.Fatalf("workers=%d: ClassifySparse[%d] = %q (%v), want %q", workers, i, single, err, want[i])
+			}
+		}
+	}
+	if err := db.ClassifyBatchInto(queries, k, EuclideanMetric(), make([]string, 1)); err == nil {
+		t.Fatal("mismatched out length should fail")
+	}
+	var dimErr *DimensionError
+	bad := []*vecmath.Sparse{queries[0], vecmath.DenseToSparse(vecmath.Vector{1})}
+	if err := db.ClassifyBatchInto(bad, k, EuclideanMetric(), make([]string, 2)); !errors.As(err, &dimErr) {
+		t.Fatalf("wrong-dim error = %v, want *DimensionError", err)
+	} else if dimErr.What != "query 1" {
+		t.Fatalf("DimensionError = %+v", dimErr)
+	}
+}
+
+// BenchmarkDBClassifyBatch proves the vote-counting satellite: with
+// hits and vote counts in pooled scratch and a caller-owned label
+// slice, the sequential steady state of the k-NN labeling path runs at
+// 0 allocs/op.
+func BenchmarkDBClassifyBatch(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dim, nnz, n, k, batch = 3815, 150, 2000, 10, 64
+	sigs := randSigs(r, n, dim, nnz)
+	queries := make([]*vecmath.Sparse, batch)
+	for i := range queries {
+		queries[i] = randSigs(r, 1, dim, nnz)[0].W
+	}
+	metric := EuclideanMetric()
+	db, err := NewShardedDB(dim, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.AddAll(sigs); err != nil {
+		b.Fatal(err)
+	}
+	out := make([]string, len(queries))
+	for _, workers := range []int{-1, 0} {
+		name := "workers=seq"
+		if workers == 0 {
+			name = "workers=all"
+		}
+		db.SetWorkers(workers)
+		if err := db.ClassifyBatchInto(queries, k, metric, out); err != nil {
+			b.Fatal(err) // warm the scratch pool
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.ClassifyBatchInto(queries, k, metric, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	db.SetWorkers(0)
+}
+
 // BenchmarkDBTopKBatch measures the batched query path with reused
 // result buffers: sequential workers pin the steady-state 0 allocs/op
 // contract, parallel workers show the fan-out speedup (allocation there
