@@ -28,16 +28,21 @@ bench:
 ## wall-clock, BENCH_indexed.json for the retrieval micro-benchmarks:
 ## Transform sparse vs dense view, exhaustive-scan vs inverted-index
 ## TopK — BenchmarkDBTopKSharded vs BenchmarkDBTopKIndexed — the batched
-## BenchmarkDBTopKBatch/BenchmarkDBClassifyBatch 0-allocs records, and
+## BenchmarkDBTopKBatch/BenchmarkDBClassifyBatch 0-allocs records,
 ## BENCH_segments.json for the segmented-store persistence benchmark:
-## full vs incremental SaveDir vs the v1 full rewrite) so future PRs can
-## compare like against like. `fmeter-bench -index=on|off` reproduces
-## the scan/index comparison from the CLI.
+## full vs incremental SaveDir vs the v1 full rewrite, and
+## BENCH_postings.json for the posting-compression benchmark: index
+## bytes flat vs block-compressed, TopK over both layouts, cold-load
+## mapped vs rebuild vs v1) so future PRs can compare like against
+## like. `fmeter-bench -index=on|off` reproduces the scan/index
+## comparison from the CLI; `-cpuprofile`/`-memprofile` wrap any run in
+## pprof.
 bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
 		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
 	$(GO) run ./cmd/fmeter-bench -microjson BENCH_indexed.json
 	$(GO) run ./cmd/fmeter-bench -segjson BENCH_segments.json
+	$(GO) run ./cmd/fmeter-bench -postjson BENCH_postings.json
 
 fmt:
 	gofmt -l -w .

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,19 +40,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fmeter-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runList   = fs.String("run", "all", "comma-separated experiments: "+strings.Join(experimentNames, ",")+" or all")
-		outDir    = fs.String("out", "", "also write each report to <out>/<name>.txt")
-		perClass  = fs.Int("perclass", 250, "signatures per class for the learning experiments (paper: ~250)")
-		seed      = fs.Int64("seed", 1, "random seed")
-		workers   = fs.Int("workers", 0, "worker-pool bound for parallel sweeps (0 = one per CPU, <0 = sequential; results are identical at any setting)")
-		sparse    = fs.Bool("sparse", false, "use the O(nnz) norm-cached K-means assignment step in the clustering experiments")
-		benchJSON = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
-		microJSON = fs.String("microjson", "", "run the retrieval micro-benchmarks (Transform, scan vs indexed TopK, batched TopK) and write them to this JSON file, then exit")
-		segJSON   = fs.String("segjson", "", "run the segmented-store persistence benchmark (full vs incremental SaveDir vs v1 rewrite) and write it to this JSON file, then exit")
-		indexMode = fs.String("index", "off", "route the BenchmarkDBTopKSharded micro-benchmark DBs through the inverted index (on) or the exhaustive scan (off) — the CLI knob for reproducing the scan/index comparison; BenchmarkDBTopKIndexed and BenchmarkDBTopKBatch are always indexed")
+		runList    = fs.String("run", "all", "comma-separated experiments: "+strings.Join(experimentNames, ",")+" or all")
+		outDir     = fs.String("out", "", "also write each report to <out>/<name>.txt")
+		perClass   = fs.Int("perclass", 250, "signatures per class for the learning experiments (paper: ~250)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		workers    = fs.Int("workers", 0, "worker-pool bound for parallel sweeps (0 = one per CPU, <0 = sequential; results are identical at any setting)")
+		sparse     = fs.Bool("sparse", false, "use the O(nnz) norm-cached K-means assignment step in the clustering experiments")
+		benchJSON  = fs.String("benchjson", "", "write per-experiment wall-clock seconds to this JSON file (perf trajectory for future PRs)")
+		microJSON  = fs.String("microjson", "", "run the retrieval micro-benchmarks (Transform, scan vs indexed TopK, batched TopK) and write them to this JSON file, then exit")
+		segJSON    = fs.String("segjson", "", "run the segmented-store persistence benchmark (full vs incremental SaveDir vs v1 rewrite) and write it to this JSON file, then exit")
+		postJSON   = fs.String("postjson", "", "run the posting-compression benchmark (index bytes flat vs block-compressed, TopK over both, cold-load mapped vs rebuild vs v1) and write it to this JSON file, then exit")
+		indexMode  = fs.String("index", "off", "route the BenchmarkDBTopKSharded micro-benchmark DBs through the inverted index (on) or the exhaustive scan (off) — the CLI knob for reproducing the scan/index comparison; BenchmarkDBTopKIndexed and BenchmarkDBTopKBatch are always indexed")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "fmeter-bench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "fmeter-bench: -memprofile:", err)
+			}
+		}()
 	}
 	var indexOn bool
 	switch *indexMode {
@@ -67,6 +97,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *segJSON != "" {
 		return runSegBench(*segJSON, stderr)
+	}
+	if *postJSON != "" {
+		return runPostBench(*postJSON, stderr)
 	}
 
 	selected := make(map[string]bool)

@@ -163,7 +163,10 @@ func runMicroBench(path string, indexOn bool, stderr io.Writer) error {
 	}
 	// Batched queries with reused result buffers: sequential workers pin
 	// the steady-state 0 allocs/op contract, the worker-pool run shows
-	// the fan-out.
+	// the fan-out. On a 1-CPU host (see the record's gomaxprocs field)
+	// workers=all resolves to one worker and both rows run the identical
+	// sequential path — equal numbers there are expected, not a fan-out
+	// defect (DESIGN-PERF.md, Layer 6).
 	{
 		db, err := core.NewShardedDB(sigs[0].Dim(), 4)
 		if err != nil {

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// postRecord is the BENCH_postings.json artifact: the block-compressed
+// posting-list headline of the postings PR. It reports, on the
+// micro-corpus shapes, the resident index bytes of the flat
+// (active-segment) layout against the sealed block-compressed layout,
+// TopK latency over both (comparable with BenchmarkDBTopKIndexed in
+// BENCH_indexed.json — same corpus, same query, same k), and the cold
+// snapshot-load cost of the v2.1 mapped-postings path against the
+// rebuild path and the v1 single-file rewrite.
+type postRecord struct {
+	Timestamp  string     `json:"timestamp"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Corpus     postCorpus `json:"corpus"`
+	// Index bytes measured on the same store before and after Seal():
+	// identical signatures, identical query results, one resident
+	// representation swap.
+	IndexBytesFlat        int64   `json:"index_bytes_flat"`
+	IndexBytesCompressed  int64   `json:"index_bytes_compressed"`
+	IndexCompressionRatio float64 `json:"index_compression_ratio"`
+	Postings              int64   `json:"postings"`
+	// Benchmarks holds TopK on the 100-doc BENCH_indexed micro shape,
+	// flat vs compressed.
+	Benchmarks map[string]microBench `json:"benchmarks"`
+	ColdLoad   postColdLoad          `json:"cold_load"`
+}
+
+// postCorpus pins the corpus shape the index-bytes and cold-load
+// numbers were measured on.
+type postCorpus struct {
+	Docs        int `json:"docs"`
+	NNZ         int `json:"nnz"`
+	Dim         int `json:"dim"`
+	Shards      int `json:"shards"`
+	SegmentSize int `json:"segment_size"`
+}
+
+// postColdLoad compares cold-open costs for the same signatures:
+// LoadDir over sealed v2.1 records (postings mapped and validated, no
+// inverted-index rebuild), LoadDir over unsealed records (no postings
+// section — the rebuild path every load used to take), and the v1
+// single-file ReadSnapshot baseline.
+type postColdLoad struct {
+	MappedNs     float64 `json:"v21_mapped_ns"`
+	MappedBytes  int64   `json:"v21_mapped_dir_bytes"`
+	RebuildNs    float64 `json:"v21_rebuild_ns"`
+	RebuildBytes int64   `json:"v21_rebuild_dir_bytes"`
+	V1Ns         float64 `json:"v1_snapshot_ns"`
+	V1Bytes      int64   `json:"v1_snapshot_bytes"`
+}
+
+// runPostBench measures the posting-compression trajectory and writes
+// the JSON record.
+func runPostBench(path string, stderr io.Writer) error {
+	rec := postRecord{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]microBench),
+	}
+
+	// TopK on the exact BenchmarkDBTopKIndexed shape from
+	// BENCH_indexed.json (100 docs, ~250 nnz, one shard), flat vs
+	// compressed: the compression must not buy its memory with query
+	// latency.
+	{
+		c, err := microCorpus(100, 250)
+		if err != nil {
+			return err
+		}
+		sigs, _, err := c.Signatures()
+		if err != nil {
+			return err
+		}
+		query := sigs[0].W
+		for _, sealed := range []bool{false, true} {
+			db, err := core.NewDB(sigs[0].Dim())
+			if err != nil {
+				return err
+			}
+			if err := db.AddAll(sigs); err != nil {
+				return err
+			}
+			layout := "flat"
+			if sealed {
+				db.Seal()
+				layout = "compressed"
+			}
+			for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
+				name := fmt.Sprintf("BenchmarkDBTopKPostings/%s/%s", layout, metric.Name)
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := db.TopKSparse(query, 10, metric); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				rec.Benchmarks[name] = toMicroBench(res)
+				fmt.Fprintf(stderr, "%-48s %12.0f ns/op %8d B/op %6d allocs/op\n",
+					name, rec.Benchmarks[name].NsPerOp, rec.Benchmarks[name].BytesPerOp, rec.Benchmarks[name].AllocsPerOp)
+			}
+		}
+	}
+
+	// Index bytes and cold load on the segbench shape (2000 docs over 4
+	// shards).
+	const (
+		n      = 2000
+		nnz    = 250
+		shards = 4
+	)
+	c, err := microCorpus(n, nnz)
+	if err != nil {
+		return err
+	}
+	sigs, _, err := c.Signatures()
+	if err != nil {
+		return err
+	}
+	build := func() (*core.DB, error) {
+		db, err := core.NewShardedDB(sigs[0].Dim(), shards)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return nil, err
+		}
+		return db, nil
+	}
+	db, err := build()
+	if err != nil {
+		return err
+	}
+	rec.Corpus = postCorpus{Docs: n, NNZ: nnz, Dim: sigs[0].Dim(), Shards: shards, SegmentSize: db.SegmentSize()}
+	rec.Postings = db.IndexPostings()
+	rec.IndexBytesFlat = db.IndexBytes()
+	db.Seal()
+	rec.IndexBytesCompressed = db.IndexBytes()
+	rec.IndexCompressionRatio = float64(rec.IndexBytesFlat) / float64(rec.IndexBytesCompressed)
+	fmt.Fprintf(stderr, "index bytes: flat %d -> compressed %d (%.2fx smaller, %d postings)\n",
+		rec.IndexBytesFlat, rec.IndexBytesCompressed, rec.IndexCompressionRatio, rec.Postings)
+
+	tmp, err := os.MkdirTemp("", "fmeter-postbench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	// Cold load, mapped: sealed segments persist their compressed
+	// blocks, so LoadDir validates and maps them instead of rebuilding.
+	mappedDir := filepath.Join(tmp, "mapped")
+	if err := db.SaveDir(mappedDir); err != nil {
+		return err
+	}
+	rec.ColdLoad.MappedBytes = dirBytes(mappedDir)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LoadDir(mappedDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.ColdLoad.MappedNs = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	// Cold load, rebuild: the same signatures saved from unsealed
+	// (active) segments carry no postings section, so LoadDir takes the
+	// posting-by-posting rebuild — what every cold open cost before the
+	// v2.1 record.
+	db2, err := build()
+	if err != nil {
+		return err
+	}
+	rebuildDir := filepath.Join(tmp, "rebuild")
+	if err := db2.SaveDir(rebuildDir); err != nil {
+		return err
+	}
+	rec.ColdLoad.RebuildBytes = dirBytes(rebuildDir)
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LoadDir(rebuildDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.ColdLoad.RebuildNs = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	// v1 baseline: single-file snapshot, full re-shard and rebuild.
+	v1Path := filepath.Join(tmp, "db.fmdb")
+	f, err := os.Create(v1Path)
+	if err != nil {
+		return err
+	}
+	if err := db.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fi, err := os.Stat(v1Path)
+	if err != nil {
+		return err
+	}
+	rec.ColdLoad.V1Bytes = fi.Size()
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			raw, err := os.Open(v1Path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.ReadSnapshot(raw, shards); err != nil {
+				b.Fatal(err)
+			}
+			raw.Close()
+		}
+	})
+	rec.ColdLoad.V1Ns = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	fmt.Fprintf(stderr, "cold load: v2.1 mapped %.1f ms (%d B on disk), rebuild %.1f ms (%d B), v1 %.1f ms (%d B)\n",
+		rec.ColdLoad.MappedNs/1e6, rec.ColdLoad.MappedBytes,
+		rec.ColdLoad.RebuildNs/1e6, rec.ColdLoad.RebuildBytes,
+		rec.ColdLoad.V1Ns/1e6, rec.ColdLoad.V1Bytes)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "posting-compression record written to %s\n", path)
+	return nil
+}
+
+// dirBytes sums the sizes of every file in dir (0 on error — the bench
+// record is advisory).
+func dirBytes(dir string) int64 {
+	sizes, err := dirSizes(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, sz := range sizes {
+		total += sz
+	}
+	return total
+}

@@ -19,16 +19,22 @@ import (
 // sealed segments stay on disk untouched), and the v1 single-file
 // snapshot as the rewrite-the-world baseline.
 type segRecord struct {
-	Timestamp   string  `json:"timestamp"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
-	N           int     `json:"n_initial"`
-	M           int     `json:"m_appended"`
-	Shards      int     `json:"shards"`
-	SegmentSize int     `json:"segment_size"`
-	Segments    int     `json:"segments_after_ingest"`
-	FullSave    segSave `json:"full_save"`
-	Incremental segSave `json:"incremental_save"`
-	V1Snapshot  segSave `json:"v1_snapshot_full_rewrite"`
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	N           int    `json:"n_initial"`
+	M           int    `json:"m_appended"`
+	Shards      int    `json:"shards"`
+	SegmentSize int    `json:"segment_size"`
+	Segments    int    `json:"segments_after_ingest"`
+	// IndexBytes is the resident posting-structure footprint after the
+	// ingest batch seals (block-compressed segments); IndexPostings the
+	// entry count. BENCH_postings.json carries the flat-vs-compressed
+	// comparison.
+	IndexBytes    int64   `json:"index_bytes"`
+	IndexPostings int64   `json:"index_postings"`
+	FullSave      segSave `json:"full_save"`
+	Incremental   segSave `json:"incremental_save"`
+	V1Snapshot    segSave `json:"v1_snapshot_full_rewrite"`
 }
 
 // segSave is one save's cost.
@@ -115,13 +121,15 @@ func runSegBench(path string, stderr io.Writer) error {
 	dir := filepath.Join(tmp, "db")
 
 	rec := segRecord{
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		N:           n,
-		M:           m,
-		Shards:      shards,
-		SegmentSize: segSize,
-		Segments:    db.Segments(),
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		N:             n,
+		M:             m,
+		Shards:        shards,
+		SegmentSize:   segSize,
+		Segments:      db.Segments(),
+		IndexBytes:    db.IndexBytes(),
+		IndexPostings: db.IndexPostings(),
 	}
 
 	// Full save: every segment is dirty.

@@ -104,6 +104,13 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 	store := filepath.Join(dir, "db")
+	// Seal before the save: sealed segments re-encode their posting
+	// lists into the block-compressed form (several times smaller
+	// resident, persisted directly so reopening maps postings instead of
+	// rebuilding them) — queries stay bit-identical.
+	before := db.IndexBytes()
+	db.Seal()
+	fmt.Printf("sealed store: resident index %d -> %d bytes\n", before, db.IndexBytes())
 	if err := fmeter.SaveDB(store, db); err != nil {
 		return err
 	}

@@ -449,3 +449,72 @@ func TestSaveOpenDBFacade(t *testing.T) {
 		t.Fatalf("error names %s, want %s", snapErr.Path, segFile)
 	}
 }
+
+func TestSegmentSizeAndSealFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 7, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 14, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, rest := sigs[0], sigs[1:]
+
+	db, err := NewDB(sys.Dim(), WithSegmentSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.SegmentSize(); got != 4 {
+		t.Fatalf("SegmentSize = %d, want 4", got)
+	}
+	if err := db.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sealing compresses the remaining active segments: the resident
+	// index shrinks, queries are unchanged, and a save/open round trip
+	// persists the compressed form.
+	flatBytes := db.IndexBytes()
+	db.Seal()
+	if got := db.IndexBytes(); got >= flatBytes {
+		t.Fatalf("IndexBytes after Seal = %d, want < %d", got, flatBytes)
+	}
+	got, err := db.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sealed TopK returned %d hits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score || got[i].Signature.DocID != want[i].Signature.DocID {
+			t.Fatalf("sealed TopK[%d] = (%s, %v), want (%s, %v)",
+				i, got[i].Signature.DocID, got[i].Score, want[i].Signature.DocID, want[i].Score)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "db")
+	if err := SaveDB(dir, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenDB(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := back.TopKSparse(query.W, 5, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reloaded {
+		if reloaded[i].Score != want[i].Score || reloaded[i].Signature.DocID != want[i].Signature.DocID {
+			t.Fatalf("reloaded TopK[%d] differs from the pre-seal results", i)
+		}
+	}
+}

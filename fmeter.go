@@ -165,6 +165,7 @@ type perfOpts struct {
 	workers int
 	sparse  bool
 	shards  int
+	segSize int
 	noIndex bool
 }
 
@@ -188,6 +189,14 @@ func WithShards(n int) Option { return func(o *perfOpts) { o.shards = n } }
 // results are bit-identical either way. Cosine and Euclidean ride the
 // index; other metrics always scan.
 func WithIndex(on bool) Option { return func(o *perfOpts) { o.noIndex = !on } }
+
+// WithSegmentSize sets NewDB's per-shard seal threshold (n < 1 keeps
+// the default): an active segment rolling past it is sealed, which
+// re-encodes its posting lists into the block-compressed form (several
+// times smaller resident, persisted directly by SaveDB) — query
+// results are bit-identical at any setting. Call db.Seal() to compress
+// the current actives explicitly, e.g. before a save.
+func WithSegmentSize(n int) Option { return func(o *perfOpts) { o.segSize = n } }
 
 func applyOpts(opts []Option) perfOpts {
 	var o perfOpts
@@ -414,6 +423,7 @@ func NewDB(dim int, opts ...Option) (*DB, error) {
 	}
 	db.SetWorkers(o.workers)
 	db.SetIndexed(!o.noIndex)
+	db.SetSegmentSize(o.segSize)
 	return db, nil
 }
 

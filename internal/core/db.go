@@ -35,6 +35,45 @@ type Metric struct {
 	// guarantees that; see Index). Only the package constructors can set
 	// it, so custom metrics always take the exhaustive scan.
 	dotScore func(dot, qNorm2, sNorm2 float64) float64
+	// kind tags the two built-in indexable metrics so the hot scoring
+	// loop can call their dot-score formulas directly instead of through
+	// the function value; the formulas are the same package functions
+	// dotScore holds, so both routes are trivially identical.
+	kind metricKind
+}
+
+// metricKind discriminates the built-in indexable metrics.
+type metricKind uint8
+
+const (
+	metricKindOther metricKind = iota
+	metricKindCosine
+	metricKindEuclidean
+)
+
+// cosineDotScore mirrors Sparse.Cosine exactly: same zero-norm guard,
+// same divisor association, same clamp.
+func cosineDotScore(dot, qNorm2, sNorm2 float64) float64 {
+	if qNorm2 == 0 || sNorm2 == 0 {
+		return 0
+	}
+	c := dot / (math.Sqrt(qNorm2) * math.Sqrt(sNorm2))
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// euclideanDotScore mirrors Sparse.Euclidean/SquaredDistance exactly:
+// same evaluation order, same negative clamp, same sqrt.
+func euclideanDotScore(dot, qNorm2, sNorm2 float64) float64 {
+	d2 := qNorm2 - 2*dot + sNorm2
+	if d2 < 0 {
+		d2 = 0
+	}
+	return math.Sqrt(d2)
 }
 
 // indexable reports whether the metric can ride the inverted index.
@@ -50,20 +89,8 @@ func CosineMetric() Metric {
 		Score:          vecmath.Cosine,
 		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Cosine(y) },
 		HigherIsCloser: true,
-		// Mirrors Sparse.Cosine exactly: same zero-norm guard, same
-		// divisor association, same clamp.
-		dotScore: func(dot, qNorm2, sNorm2 float64) float64 {
-			if qNorm2 == 0 || sNorm2 == 0 {
-				return 0
-			}
-			c := dot / (math.Sqrt(qNorm2) * math.Sqrt(sNorm2))
-			if c > 1 {
-				c = 1
-			} else if c < -1 {
-				c = -1
-			}
-			return c
-		},
+		dotScore:       cosineDotScore,
+		kind:           metricKindCosine,
 	}
 }
 
@@ -78,15 +105,8 @@ func EuclideanMetric() Metric {
 		Score:          vecmath.Euclidean,
 		SparseScore:    func(x, y *vecmath.Sparse) float64 { return x.Euclidean(y) },
 		HigherIsCloser: false,
-		// Mirrors Sparse.Euclidean/SquaredDistance exactly: same
-		// evaluation order, same negative clamp, same sqrt.
-		dotScore: func(dot, qNorm2, sNorm2 float64) float64 {
-			d2 := qNorm2 - 2*dot + sNorm2
-			if d2 < 0 {
-				d2 = 0
-			}
-			return math.Sqrt(d2)
-		},
+		dotScore:       euclideanDotScore,
+		kind:           metricKindEuclidean,
 	}
 }
 
@@ -278,10 +298,37 @@ func (db *DB) Add(sig Signature) error {
 	sg.end++
 	sg.dirty = true
 	if sg.len() >= db.SegmentSize() {
-		sg.sealed = true
+		sg.seal(sh)
 	}
 	db.total++
 	return nil
+}
+
+// IndexBytes returns the resident heap footprint of every segment's
+// posting structure — flat arrays for active segments, compressed
+// blocks for sealed ones. It is the number BENCH_postings.json tracks:
+// sealing a store shrinks it by the id-compression and weight-sharing
+// factor while queries stay bit-identical.
+func (db *DB) IndexBytes() int64 {
+	var b int64
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			b += sg.postings().memBytes()
+		}
+	}
+	return b
+}
+
+// IndexPostings returns the total posting-entry count across all
+// segments (one entry per stored non-zero weight).
+func (db *DB) IndexPostings() int64 {
+	var n int64
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			n += sg.postings().postingCount()
+		}
+	}
+	return n
 }
 
 // AddAll stores a batch of signatures, validating each. On error the
@@ -619,16 +666,32 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 	switch {
 	case useIndex:
 		// Inverted-index path, one segment at a time: dot products
-		// accumulate down the posting lists of the query's support only;
+		// accumulate down the posting lists of the query's support only
+		// (flat arrays for the active segment, decoded blocks for sealed
+		// ones — same weights, same order, identical dots either way);
 		// every signature in the segment is then scored from its
 		// (possibly zero) dot in O(1) via the cached norms. Per-candidate
 		// accumulation order inside a segment equals the pre-segment
 		// whole-shard walk (ascending query dims, each candidate sees
 		// exactly its intersection terms), so dots are bit-identical.
 		for _, sg := range sh.segs {
-			sg.index.Dots(query, &ss.acc)
-			for j := sg.start; j < sg.end; j++ {
-				h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, sh.norms[j]))
+			sg.postings().dots(query, &ss.acc)
+			// Score every candidate from its accumulated dot. The two
+			// built-in metrics take devirtualized loops (their formulas
+			// called directly, plus a heap-root pre-filter that rejects
+			// exactly the candidates offer would reject); other indexable
+			// metrics go through the function value. Same formula, same
+			// (score, index) decisions — identical results, fewer
+			// indirect calls on the hot path.
+			switch metric.kind {
+			case metricKindEuclidean:
+				offerEuclidean(h, k, sh, sg, &ss.acc, qNorm2)
+			case metricKindCosine:
+				offerCosine(h, k, sh, sg, &ss.acc, qNorm2)
+			default:
+				for j := sg.start; j < sg.end; j++ {
+					h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, sh.norms[j]))
+				}
 			}
 		}
 	case metric.SparseScore != nil:
@@ -655,6 +718,57 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 		}
 	}
 	return nil
+}
+
+// offerEuclidean scores one segment's candidates under the Euclidean
+// metric and offers them to the shard heap. Once the heap is full, a
+// candidate is pre-filtered against the root with exactly offer's
+// displacement predicate (farther, or equal and a larger insertion
+// index, never displaces), so the kept set is identical to calling
+// offer for every candidate — the fast path only skips calls that
+// would have returned without mutating the heap.
+func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64) {
+	full := len(h.idx) == k
+	var rs float64
+	var ri int
+	if full {
+		rs, ri = h.score[0], h.idx[0]
+	}
+	for j := sg.start; j < sg.end; j++ {
+		score := euclideanDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
+		gid := sh.gids[j]
+		if full && (score > rs || (score == rs && gid > ri)) {
+			continue
+		}
+		h.offer(k, gid, score)
+		if len(h.idx) == k {
+			full = true
+			rs, ri = h.score[0], h.idx[0]
+		}
+	}
+}
+
+// offerCosine is offerEuclidean for the cosine similarity (higher is
+// closer, so the root pre-filter flips).
+func offerCosine(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64) {
+	full := len(h.idx) == k
+	var rs float64
+	var ri int
+	if full {
+		rs, ri = h.score[0], h.idx[0]
+	}
+	for j := sg.start; j < sg.end; j++ {
+		score := cosineDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
+		gid := sh.gids[j]
+		if full && (score < rs || (score == rs && gid > ri)) {
+			continue
+		}
+		h.offer(k, gid, score)
+		if len(h.idx) == k {
+			full = true
+			rs, ri = h.score[0], h.idx[0]
+		}
+	}
 }
 
 // Classify labels a query by majority vote among its k nearest stored

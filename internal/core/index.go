@@ -68,28 +68,6 @@ func (ix *Index) Add(w *vecmath.Sparse) int32 {
 	return id
 }
 
-// Splice appends another index's posting lists onto this one, remapping
-// the other's local ids by offset — the segment-merge primitive. When
-// the callers' id ranges are adjacent (offset == ix.n at call time, as
-// segment compaction guarantees), every posting list stays sorted
-// without a sort, because both inputs were sorted and every remapped id
-// exceeds every existing one.
-func (ix *Index) Splice(other *Index, offset int32) {
-	if other.dim != ix.dim {
-		panic(fmt.Sprintf("core: index Splice dimension mismatch %d vs %d", other.dim, ix.dim))
-	}
-	for d, ids := range other.ids {
-		if len(ids) == 0 {
-			continue
-		}
-		for _, id := range ids {
-			ix.ids[d] = append(ix.ids[d], id+offset)
-		}
-		ix.ws[d] = append(ix.ws[d], other.ws[d]...)
-	}
-	ix.n += other.n
-}
-
 // Dots accumulates the dot product of q against every indexed signature
 // into acc: after the call, acc.Get(id) is q·signature[id], an exact
 // zero for signatures with no support overlap. The query support is

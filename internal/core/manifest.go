@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,12 +23,34 @@ import (
 //	                        record count, CRC32 of the file body)
 //	<dir>/seg-<id>.fms    — one file per segment:
 //	  magic   "FMSG"                      (4 bytes)
-//	  version uint16                      (currently 1)
+//	  version uint16                      (1 or 2)
 //	  dim     uint32
 //	  count   uint32
-//	  count × signature records           (same encoding as v1, in
-//	                                       shard-local insertion order)
+//	  <version-specific body>
 //	  crc32   uint32                      (IEEE, over all preceding bytes)
+//
+// A version-1 body (the original v2 directory format, still read) is
+// count signature records in the v1 snapshot encoding. A version-2 body
+// (the "v2.1" record) is:
+//
+//	flags   uint8                         (bit 0: postings section present)
+//	count × signature records             (v2.1 encoding: uvarint-gap
+//	                                       support indices, raw float64
+//	                                       weights — see writeSigRecordV2)
+//	postings section (iff flags&1):       the sealed segment's
+//	                                       block-compressed posting lists
+//	                                       (see writePostingsSection) so a
+//	                                       load maps them directly instead
+//	                                       of rebuilding the inverted
+//	                                       index posting by posting
+//
+// Both bodies decode to bit-identical signatures; the v2.1 record is
+// smaller (gap-encoded support indices) even though it additionally
+// carries the postings. Loading validates the postings section fully:
+// every posting's (dimension, id, ordinal) must name exactly its
+// signature's support entry, ids must ascend, and the total must equal
+// the summed support sizes — a bijection check, so a crafted postings
+// section can never make queries disagree with the stored signatures.
 //
 // SaveDir writes only segments dirtied since the last save; every file
 // lands via temp + fsync + rename, and the manifest is renamed last, so
@@ -48,7 +71,14 @@ const (
 	manifestFormat  = "fmdb-dir"
 	manifestVersion = 2
 	segMagic        = "FMSG"
-	segVersion      = 1
+	// segVersion is the original record body (v1 signature records, no
+	// postings); still read, no longer written.
+	segVersion = 1
+	// segVersionBlocks is the v2.1 record body: gap-encoded signature
+	// records plus the sealed segment's compressed posting blocks.
+	segVersionBlocks = 2
+	// segFlagPostings marks a v2.1 record carrying a postings section.
+	segFlagPostings = 0x01
 	// segHeaderSize is the fixed segment prefix: magic + version + dim +
 	// count.
 	segHeaderSize = 4 + 2 + 4 + 4
@@ -234,15 +264,27 @@ func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, er
 	le := binary.LittleEndian
 	var hdr [segHeaderSize]byte
 	copy(hdr[:4], segMagic)
-	le.PutUint16(hdr[4:6], segVersion)
+	le.PutUint16(hdr[4:6], segVersionBlocks)
 	le.PutUint32(hdr[6:10], uint32(db.dim))
 	le.PutUint32(hdr[10:14], uint32(sg.len()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fail(err)
 	}
+	var flags byte
+	if sg.blocks != nil {
+		flags |= segFlagPostings
+	}
+	if err := bw.WriteByte(flags); err != nil {
+		return fail(err)
+	}
 	for j := sg.start; j < sg.end; j++ {
-		if err := writeSigRecord(bw, sh.sigs[j]); err != nil {
+		if err := writeSigRecordV2(bw, sh.sigs[j]); err != nil {
 			return fail(fmt.Errorf("record %d: %w", j-sg.start, err))
+		}
+	}
+	if sg.blocks != nil {
+		if err := writePostingsSection(bw, sg.blocks); err != nil {
+			return fail(fmt.Errorf("postings: %w", err))
 		}
 	}
 	if err := bw.Flush(); err != nil {
@@ -402,8 +444,9 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 	if string(body[:4]) != segMagic {
 		return &SnapshotError{Path: path, Err: fmt.Errorf("bad segment magic %q", body[:4])}
 	}
-	if v := le.Uint16(body[4:6]); v != segVersion {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("unsupported segment version %d (have %d)", v, segVersion)}
+	version := le.Uint16(body[4:6])
+	if version != segVersion && version != segVersionBlocks {
+		return &SnapshotError{Path: path, Err: fmt.Errorf("unsupported segment version %d (have %d and %d)", version, segVersion, segVersionBlocks)}
 	}
 	if d := le.Uint32(body[6:10]); int(d) != db.dim {
 		return &SnapshotError{Path: path, Err: fmt.Errorf("dimension %d, manifest says %d", d, db.dim)}
@@ -412,32 +455,325 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 	if int(count) != ent.Records {
 		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d, manifest says %d", count, ent.Records)}
 	}
-	// A record is at least 6 bytes (two empty strings + nnz), so a count
-	// beyond this bound cannot be satisfied by the body — reject before
-	// looping.
-	if int64(count) > int64(len(body)-segHeaderSize)/6 {
+	// A v1 record is at least 6 bytes (two empty strings + uint32 nnz), a
+	// v2.1 record at least 3 (three uvarints), so a count beyond this
+	// bound cannot be satisfied by the body — reject before looping.
+	minRecord := int64(6)
+	if version == segVersionBlocks {
+		minRecord = 3
+	}
+	if int64(count) > int64(len(body)-segHeaderSize)/minRecord {
 		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d exceeds file capacity", count)}
 	}
-	ix, err := NewIndex(db.dim)
-	if err != nil {
-		return err
-	}
-	sg := &segment{id: ent.ID, start: len(sh.sigs), end: len(sh.sigs), index: ix, sealed: true, crc: crc, saved: true}
+	sg := &segment{id: ent.ID, start: len(sh.sigs), end: len(sh.sigs), sealed: true, crc: crc, saved: true}
 	br := bytes.NewReader(body[segHeaderSize:])
+	var flags byte
+	if version == segVersionBlocks {
+		b, err := br.ReadByte()
+		if err != nil {
+			return &SnapshotError{Path: path, Err: fmt.Errorf("flags: %w", noEOF(err))}
+		}
+		flags = b
+		if flags&^segFlagPostings != 0 {
+			return &SnapshotError{Path: path, Err: fmt.Errorf("unknown segment flags %#02x", flags)}
+		}
+	}
 	for i := 0; i < int(count); i++ {
-		sig, err := readSigRecord(br, db.dim)
+		var sig Signature
+		var err error
+		if version == segVersionBlocks {
+			sig, err = readSigRecordV2(br, db.dim)
+		} else {
+			sig, err = readSigRecord(br, db.dim)
+		}
 		if err != nil {
 			return &SnapshotError{Path: path, Err: fmt.Errorf("record %d: %w", i, err)}
 		}
 		sh.gids = append(sh.gids, len(sh.sigs)*len(db.shards)+si)
 		sh.sigs = append(sh.sigs, sig)
 		sh.norms = append(sh.norms, sig.W.Norm2())
-		sg.index.Add(sig.W)
 		sg.end++
+	}
+	rows := sh.sigs[sg.start:sg.end]
+	if flags&segFlagPostings != 0 {
+		bp, err := readPostingsSection(br, rows, db.dim)
+		if err != nil {
+			return &SnapshotError{Path: path, Err: fmt.Errorf("postings: %w", err)}
+		}
+		sg.blocks = bp
+	} else {
+		// No persisted postings (a v1 file, or a segment saved while
+		// still active): rebuild the inverted index from the rows and
+		// compress it — the one path that still pays the posting-by-
+		// posting rebuild.
+		ix, err := NewIndex(db.dim)
+		if err != nil {
+			return err
+		}
+		for _, sig := range rows {
+			ix.Add(sig.W)
+		}
+		sg.blocks = compressIndex(ix, rows)
 	}
 	if br.Len() != 0 {
 		return &SnapshotError{Path: path, Err: fmt.Errorf("%d trailing bytes after record %d", br.Len(), count)}
 	}
 	sh.segs = append(sh.segs, sg)
+	return nil
+}
+
+// writePostingsSection appends a sealed segment's compressed posting
+// lists: the posting total and blob length (both cross-checked on
+// load), then for each dimension holding postings its uvarint gap from
+// the previous such dimension, its block count, and each block's
+// (firstID, count) pair, then the raw block byte streams. Block blob
+// offsets and the per-block max-|weight| are not stored — the load-time
+// validation pass recomputes both while it walks the blob once.
+func writePostingsSection(bw *bufio.Writer, bp *blockPostings) error {
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if err := put(uint64(bp.nPostings)); err != nil {
+		return err
+	}
+	if err := put(uint64(len(bp.blob))); err != nil {
+		return err
+	}
+	nDims := 0
+	for d := 0; d < bp.dim; d++ {
+		if bp.dir[d] != bp.dir[d+1] {
+			nDims++
+		}
+	}
+	if err := put(uint64(nDims)); err != nil {
+		return err
+	}
+	prevD := -1
+	for d := 0; d < bp.dim; d++ {
+		lo, hi := bp.dir[d], bp.dir[d+1]
+		if lo == hi {
+			continue
+		}
+		if err := put(uint64(d-prevD) - 1); err != nil {
+			return err
+		}
+		prevD = d
+		if err := put(uint64(hi - lo)); err != nil {
+			return err
+		}
+		for bi := lo; bi < hi; bi++ {
+			if err := put(uint64(bp.blocks[bi].firstID)); err != nil {
+				return err
+			}
+			if err := put(uint64(bp.blocks[bi].count)); err != nil {
+				return err
+			}
+			if err := put(uint64(bp.blocks[bi].ordW)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := bw.Write(bp.blob)
+	return err
+}
+
+// readPostingsSection parses and fully validates a postings section
+// against the already-decoded rows. Structural damage (bad varint,
+// truncated blob, out-of-range ids or ordinals, a posting that names a
+// dimension its signature does not hold, a count that is not exactly
+// the summed support size) is reported as a plain error the caller
+// wraps into a *SnapshotError. On success the returned blockPostings is
+// provably the transpose of rows: with the total matching the summed
+// support sizes, every posting mapping to a distinct in-range
+// (id, ordinal) whose support entry names the posting's dimension, the
+// section is a bijection onto the signatures' non-zeros.
+func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPostings, error) {
+	n := len(rows)
+	sup := make([][]int32, n)
+	vals := make([][]float64, n)
+	var totalNNZ int64
+	for j, s := range rows {
+		sup[j] = s.W.Support()
+		vals[j] = s.W.Values()
+		totalNNZ += int64(s.W.NNZ())
+	}
+	nPost, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("posting count: %w", noEOF(err))
+	}
+	if int64(nPost) != totalNNZ {
+		return nil, fmt.Errorf("posting count %d, signatures hold %d non-zeros", nPost, totalNNZ)
+	}
+	blobLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("blob length: %w", noEOF(err))
+	}
+	if blobLen > uint64(br.Len()) {
+		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", blobLen, br.Len())
+	}
+	nDims, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("dimension count: %w", noEOF(err))
+	}
+	if nDims > uint64(dim) {
+		return nil, fmt.Errorf("%d posting dimensions exceed dimension %d", nDims, dim)
+	}
+	bp := &blockPostings{dim: dim, n: n, nPostings: int64(nPost), vals: vals}
+	bp.dir = make([]int32, dim+1)
+	var blockDims []int32
+	d := -1
+	for t := uint64(0); t < nDims; t++ {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dimension gap: %w", noEOF(err))
+		}
+		if gap >= uint64(dim) {
+			return nil, fmt.Errorf("posting dimension gap %d outside dimension %d", gap, dim)
+		}
+		nd := int64(d) + 1 + int64(gap)
+		if nd >= int64(dim) {
+			return nil, fmt.Errorf("posting dimension %d outside dimension %d", nd, dim)
+		}
+		d = int(nd)
+		bc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("dimension %d block count: %w", d, noEOF(err))
+		}
+		if bc == 0 || bc > nPost {
+			return nil, fmt.Errorf("dimension %d lists %d blocks", d, bc)
+		}
+		for b := uint64(0); b < bc; b++ {
+			first, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("dimension %d block %d first id: %w", d, b, noEOF(err))
+			}
+			if first >= uint64(n) {
+				return nil, fmt.Errorf("dimension %d block %d first id %d outside segment of %d", d, b, first, n)
+			}
+			cnt, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("dimension %d block %d count: %w", d, b, noEOF(err))
+			}
+			if cnt < 1 || cnt > postingBlockSize {
+				return nil, fmt.Errorf("dimension %d block %d count %d outside [1, %d]", d, b, cnt, postingBlockSize)
+			}
+			ow, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("dimension %d block %d ordinal width: %w", d, b, noEOF(err))
+			}
+			if ow != 1 && ow != 2 && ow != 4 {
+				return nil, fmt.Errorf("dimension %d block %d ordinal width %d not 1, 2, or 4", d, b, ow)
+			}
+			bp.blocks = append(bp.blocks, blockDesc{firstID: int32(first), count: uint16(cnt), ordW: uint8(ow)})
+			blockDims = append(blockDims, int32(d))
+		}
+	}
+	// Fill the directory from the ascending block dimensions.
+	bi := 0
+	for x := 0; x <= dim; x++ {
+		for bi < len(blockDims) && int(blockDims[bi]) < x {
+			bi++
+		}
+		bp.dir[x] = int32(bi)
+	}
+	bp.blob = make([]byte, blobLen)
+	if _, err := io.ReadFull(br, bp.blob); err != nil {
+		return nil, fmt.Errorf("blob: %w", noEOF(err))
+	}
+	if err := bp.validate(sup, blockDims); err != nil {
+		return nil, err
+	}
+	return bp, nil
+}
+
+// validate walks the blob once, assigning each block's offset and
+// max-|weight| while checking every posting: varints must decode inside
+// the blob, ids must stay in range and strictly ascend within a
+// dimension (across its blocks too), and each ordinal must point at the
+// support entry of exactly this dimension. The blob must be consumed
+// exactly.
+func (bp *blockPostings) validate(sup [][]int32, blockDims []int32) error {
+	pos := 0
+	uv := func() (uint64, error) {
+		v, m := binary.Uvarint(bp.blob[pos:])
+		if m <= 0 {
+			return 0, fmt.Errorf("bad varint at postings blob byte %d", pos)
+		}
+		pos += m
+		return v, nil
+	}
+	var ids [postingBlockSize]int32
+	prevDim := int32(-1)
+	lastID := int64(-1)
+	var total int64
+	for bi := range bp.blocks {
+		bd := &bp.blocks[bi]
+		d := blockDims[bi]
+		if d != prevDim {
+			prevDim, lastID = d, -1
+		}
+		bd.off = uint32(pos)
+		id := int64(bd.firstID)
+		if id <= lastID {
+			return fmt.Errorf("dimension %d block first id %d not ascending (previous %d)", d, id, lastID)
+		}
+		cnt := int(bd.count)
+		ids[0] = int32(id)
+		for k := 1; k < cnt; k++ {
+			gap, err := uv()
+			if err != nil {
+				return err
+			}
+			// Bound the gap before accumulating: a 64-bit uvarint must
+			// not wrap the id sum past the range check below.
+			if gap >= uint64(bp.n) {
+				return fmt.Errorf("dimension %d posting id gap %d outside segment of %d", d, gap, bp.n)
+			}
+			id += 1 + int64(gap)
+			if id >= int64(bp.n) {
+				return fmt.Errorf("dimension %d posting id %d outside segment of %d", d, id, bp.n)
+			}
+			ids[k] = int32(id)
+		}
+		bd.idLen = uint16(pos - int(bd.off))
+		lastID = id
+		if pos+cnt*int(bd.ordW) > len(bp.blob) {
+			return fmt.Errorf("dimension %d ordinal stream truncated at blob byte %d", d, pos)
+		}
+		maxW := 0.0
+		for k := 0; k < cnt; k++ {
+			var ord uint64
+			switch bd.ordW {
+			case 1:
+				ord = uint64(bp.blob[pos])
+			case 2:
+				ord = uint64(bp.blob[pos]) | uint64(bp.blob[pos+1])<<8
+			default:
+				ord = uint64(bp.blob[pos]) | uint64(bp.blob[pos+1])<<8 | uint64(bp.blob[pos+2])<<16 | uint64(bp.blob[pos+3])<<24
+			}
+			pos += int(bd.ordW)
+			sid := ids[k]
+			if ord >= uint64(len(sup[sid])) {
+				return fmt.Errorf("dimension %d posting for id %d ordinal %d outside support of %d", d, sid, ord, len(sup[sid]))
+			}
+			if sup[sid][ord] != d {
+				return fmt.Errorf("posting (dimension %d, id %d) ordinal %d names dimension %d", d, sid, ord, sup[sid][ord])
+			}
+			if a := math.Abs(bp.vals[sid][ord]); a > maxW {
+				maxW = a
+			}
+		}
+		bd.maxAbsW = maxW
+		total += int64(cnt)
+	}
+	if pos != len(bp.blob) {
+		return fmt.Errorf("%d trailing bytes in postings blob", len(bp.blob)-pos)
+	}
+	if total != bp.nPostings {
+		return fmt.Errorf("blocks hold %d postings, header says %d", total, bp.nPostings)
+	}
 	return nil
 }

@@ -249,6 +249,127 @@ func writeSigRecord(bw *bufio.Writer, s Signature) error {
 	return werr
 }
 
+// writeSigRecordV2 appends one signature record in the v2.1 segment
+// encoding: docID and label as in v1, then a uvarint nnz, the support
+// indices as uvarint gaps (each index minus its predecessor minus one,
+// with an implicit predecessor of -1 — strictly ascending indices make
+// every gap non-negative and mostly one byte), then the weights as raw
+// little-endian float64s. Weights are never transformed: a decoded
+// record holds bit-identical values, only the index bytes shrink.
+func writeSigRecordV2(bw *bufio.Writer, s Signature) error {
+	if len(s.DocID) > maxSnapshotString || len(s.Label) > maxSnapshotString {
+		return fmt.Errorf("doc-id/label exceeds snapshot string bound %d", maxSnapshotString)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeStr := func(str string) error {
+		n := binary.PutUvarint(scratch[:], uint64(len(str)))
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+	if err := writeStr(s.DocID); err != nil {
+		return err
+	}
+	if err := writeStr(s.Label); err != nil {
+		return err
+	}
+	idx, val := s.W.Support(), s.W.Values()
+	n := binary.PutUvarint(scratch[:], uint64(len(idx)))
+	if _, err := bw.Write(scratch[:n]); err != nil {
+		return err
+	}
+	prev := int32(-1)
+	for _, i := range idx {
+		n := binary.PutUvarint(scratch[:], uint64(i-prev)-1)
+		if _, err := bw.Write(scratch[:n]); err != nil {
+			return err
+		}
+		prev = i
+	}
+	le := binary.LittleEndian
+	var rec [8]byte
+	for _, x := range val {
+		le.PutUint64(rec[:], math.Float64bits(x))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readSigRecordV2 parses one signature record written by
+// writeSigRecordV2. Truncation surfaces as io.ErrUnexpectedEOF, like
+// readSigRecord.
+func readSigRecordV2(br byteScanner, dim int) (Signature, error) {
+	docID, err := readSnapString(br)
+	if err != nil {
+		return Signature{}, noEOF(err)
+	}
+	label, err := readSnapString(br)
+	if err != nil {
+		return Signature{}, noEOF(err)
+	}
+	nnz, err := binary.ReadUvarint(br)
+	if err != nil {
+		return Signature{}, noEOF(err)
+	}
+	if nnz > uint64(dim) {
+		return Signature{}, fmt.Errorf("nnz %d exceeds dimension %d", nnz, dim)
+	}
+	idx := make([]int32, nnz)
+	prev := int64(-1)
+	for k := range idx {
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Signature{}, noEOF(err)
+		}
+		// Bound the gap before accumulating: a 64-bit uvarint must not
+		// wrap the index sum (dim is capped well below 2^31).
+		if gap >= uint64(dim) {
+			return Signature{}, fmt.Errorf("support index gap %d at position %d outside dimension %d", gap, k, dim)
+		}
+		i := prev + 1 + int64(gap)
+		if i >= int64(dim) {
+			return Signature{}, fmt.Errorf("support index %d at position %d outside dimension %d", i, k, dim)
+		}
+		idx[k] = int32(i)
+		prev = i
+	}
+	val := make([]float64, nnz)
+	le := binary.LittleEndian
+	var rec [8]byte
+	for k := range val {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return Signature{}, noEOF(err)
+		}
+		val[k] = math.Float64frombits(le.Uint64(rec[:]))
+	}
+	w, err := vecmath.SparseFromSorted(dim, idx, val)
+	if err != nil {
+		return Signature{}, err
+	}
+	return Signature{DocID: docID, Label: label, W: w}, nil
+}
+
+// readSnapString reads one uvarint-length-prefixed string, bounding the
+// length so a corrupt prefix cannot trigger a giant allocation.
+func readSnapString(br byteScanner) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotString {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
 // byteScanner is the reader a signature record is decoded from
 // (bufio.Reader over a stream, bytes.Reader over a verified segment
 // body).
@@ -261,25 +382,11 @@ type byteScanner interface {
 // Truncation surfaces as io.ErrUnexpectedEOF (never bare io.EOF), so
 // callers can add positional context with %w.
 func readSigRecord(br byteScanner, dim int) (Signature, error) {
-	readStr := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if n > maxSnapshotString {
-			return "", fmt.Errorf("string length %d exceeds limit", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	docID, err := readStr()
+	docID, err := readSnapString(br)
 	if err != nil {
 		return Signature{}, noEOF(err)
 	}
-	label, err := readStr()
+	label, err := readSnapString(br)
 	if err != nil {
 		return Signature{}, noEOF(err)
 	}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"repro/internal/vecmath"
+)
+
+// Posting storage comes in two forms behind one abstraction. The mutable
+// active segment keeps the flat append-only layout (*Index: one
+// []int32/[]float64 pair per dimension — cheap to append, bounded by the
+// segment size), while sealed segments hold the block-compressed form
+// (*blockPostings) produced by Seal and Compact. Queries only ever see
+// the postings interface, and both implementations feed the same
+// vecmath.Accumulator kernel with the same weights in the same ascending
+// local-id order, so scores are identical whichever form a segment is in.
+type postings interface {
+	// dots accumulates q·signature for every stored signature into acc
+	// (acc.Get(id) is an exact zero for signatures with no support
+	// overlap).
+	dots(q *vecmath.Sparse, acc *vecmath.Accumulator)
+	// postingCount returns the total number of posting entries.
+	postingCount() int64
+	// memBytes returns the resident heap footprint of the posting
+	// structure (backing-array capacities included), the number
+	// IndexBytes aggregates and BENCH_postings.json compares flat vs
+	// compressed.
+	memBytes() int64
+}
+
+// postingBlockSize is the compressed-block capacity: posting lists are
+// cut into runs of at most this many entries, each decoded in one shot
+// into the pooled scratch. 128 entries keep the decode loop and the
+// scratch (one cache-friendly id/weight pair array) small while
+// amortizing the per-block descriptor over enough postings.
+const postingBlockSize = 128
+
+// postingScratch is a stack-allocatable decode buffer for one block:
+// local ids reconstructed from the delta-varints with the gathered
+// weights alongside. The query path accumulates straight out of the
+// byte streams (accumBlock); the scratch form serves validation,
+// introspection, and tests.
+type postingScratch struct {
+	ids [postingBlockSize]int32
+	ws  [postingBlockSize]float64
+}
+
+// blockDesc is one compressed block's metadata: where its byte stream
+// starts, the gap-stream length (so the ordinal stream can be read in
+// step with the gaps), the fixed ordinal width, the raw first id (the
+// delta base), the entry count, and the largest absolute stored weight
+// — the per-block bound that lets the accumulation loop skip a block
+// exactly when it cannot contribute (maxAbsW == 0 means every term it
+// would add is an exact zero; dims absent from the query skip all their
+// blocks via the directory without touching a descriptor at all).
+type blockDesc struct {
+	maxAbsW float64
+	off     uint32
+	firstID int32
+	idLen   uint16
+	count   uint16
+	// ordW is the bytes per ordinal (1, 2, or 4 — the block's largest
+	// ordinal decides). Fixed-width keeps the hot decode branchless: one
+	// byte already spans the 0..255 ordinals real signatures have.
+	ordW uint8
+}
+
+// blockDescSize is the in-memory descriptor footprint (for memBytes).
+const blockDescSize = int64(unsafe.Sizeof(blockDesc{}))
+
+// blockPostings is the sealed-segment posting store: the same inverted
+// index as *Index, re-encoded so ids cost ~1 byte instead of 4 and
+// weights are not duplicated at all.
+//
+// Layout: dimension d's blocks are blocks[dir[d]:dir[d+1]], each
+// covering up to postingBlockSize postings in ascending local-id order.
+// A block's byte stream in blob holds count-1 uvarint id gaps (gap-1,
+// since ids are strictly ascending) followed by count uvarint weight
+// ordinals. The ordinal is the posting's position inside its
+// signature's sparse support, so the stored weight is recovered as
+// vals[id][ordinal] — the very float64 the signature itself holds, not
+// a copy. Compression therefore touches ids only: decode yields the
+// same weights in the same ascending-id order the flat layout feeds the
+// accumulator, and indexed scores are bit-identical in either form.
+//
+// A blockPostings is immutable after construction; concurrent dots
+// calls are safe (each worker owns its scratch and accumulator).
+type blockPostings struct {
+	dim       int
+	n         int   // signatures covered (the accumulator size)
+	nPostings int64 // total posting entries
+	dir       []int32
+	blocks    []blockDesc
+	blob      []byte
+	// vals[id] aliases signature id's sparse value array (no copy; the
+	// one weight store is the canonical signature data).
+	vals [][]float64
+}
+
+// compressIndex re-encodes a flat index into the block-compressed form.
+// rows must be the signatures the index was built from, in local-id
+// order — their value arrays become the weight store and their supports
+// supply the weight ordinals.
+func compressIndex(ix *Index, rows []Signature) *blockPostings {
+	if ix.n != len(rows) {
+		panic(fmt.Sprintf("core: compressIndex over %d rows for index of %d", len(rows), ix.n))
+	}
+	bp := &blockPostings{dim: ix.dim, n: ix.n}
+	bp.vals = make([][]float64, ix.n)
+	sup := make([][]int32, ix.n)
+	for j := range rows {
+		bp.vals[j] = rows[j].W.Values()
+		sup[j] = rows[j].W.Support()
+	}
+	var total int64
+	for d := range ix.ids {
+		total += int64(len(ix.ids[d]))
+	}
+	bp.nPostings = total
+	bp.dir = make([]int32, ix.dim+1)
+	bp.blocks = make([]blockDesc, 0, int(total/postingBlockSize)+minPostingBlocks(ix))
+	bp.blob = make([]byte, 0, int(total)*2)
+	// cursor[id] walks signature id's support in step with the ascending
+	// dimension sweep: the flat index was appended in exactly that order,
+	// so the next posting of id at dimension d sits at support position
+	// cursor[id].
+	cursor := make([]int32, ix.n)
+	var buf [binary.MaxVarintLen64]byte
+	for d := 0; d < ix.dim; d++ {
+		bp.dir[d] = int32(len(bp.blocks))
+		ids, ws := ix.ids[d], ix.ws[d]
+		for len(ids) > 0 {
+			c := len(ids)
+			if c > postingBlockSize {
+				c = postingBlockSize
+			}
+			desc := blockDesc{off: uint32(len(bp.blob)), firstID: ids[0], count: uint16(c)}
+			var ordBuf [postingBlockSize]int32
+			maxOrd := int32(0)
+			for k := 0; k < c; k++ {
+				id := ids[k]
+				ord := cursor[id]
+				cursor[id]++
+				if int(ord) >= len(sup[id]) || sup[id][ord] != int32(d) {
+					panic(fmt.Sprintf("core: posting (dim %d, id %d) disagrees with signature support at ordinal %d", d, id, ord))
+				}
+				ordBuf[k] = ord
+				if ord > maxOrd {
+					maxOrd = ord
+				}
+				if a := math.Abs(ws[k]); a > desc.maxAbsW {
+					desc.maxAbsW = a
+				}
+			}
+			desc.ordW = ordWidth(maxOrd)
+			prev := ids[0]
+			for k := 1; k < c; k++ {
+				m := binary.PutUvarint(buf[:], uint64(ids[k]-prev)-1)
+				bp.blob = append(bp.blob, buf[:m]...)
+				prev = ids[k]
+			}
+			desc.idLen = uint16(len(bp.blob) - int(desc.off))
+			for k := 0; k < c; k++ {
+				bp.blob = appendOrd(bp.blob, uint32(ordBuf[k]), desc.ordW)
+			}
+			bp.blocks = append(bp.blocks, desc)
+			ids, ws = ids[c:], ws[c:]
+		}
+	}
+	bp.dir[ix.dim] = int32(len(bp.blocks))
+	return bp
+}
+
+// ordWidth returns the fixed ordinal byte width covering maxOrd.
+func ordWidth(maxOrd int32) uint8 {
+	switch {
+	case maxOrd < 1<<8:
+		return 1
+	case maxOrd < 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// appendOrd appends one ordinal at the block's fixed width (little
+// endian).
+func appendOrd(blob []byte, ord uint32, w uint8) []byte {
+	switch w {
+	case 1:
+		return append(blob, byte(ord))
+	case 2:
+		return append(blob, byte(ord), byte(ord>>8))
+	default:
+		return append(blob, byte(ord), byte(ord>>8), byte(ord>>16), byte(ord>>24))
+	}
+}
+
+// minPostingBlocks estimates one block per non-empty dimension (the
+// partial-block tail every dimension may carry).
+func minPostingBlocks(ix *Index) int {
+	n := 0
+	for d := range ix.ids {
+		if len(ix.ids[d]) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// spliceBlockPostings merges sealed segments' compressed postings — the
+// compaction primitive. offsets[i] is part i's first local id inside the
+// merged range; because adjacent segments cover adjacent id ranges, the
+// merged per-dimension block sequence stays ascending without decoding a
+// single varint: block payloads are gap-encoded relative to their
+// descriptor's firstID, so rebasing a block is a descriptor edit and the
+// byte streams are copied verbatim.
+func spliceBlockPostings(dim int, parts []*blockPostings, offsets []int32) *blockPostings {
+	out := &blockPostings{dim: dim}
+	nBlocks, blobLen := 0, 0
+	for _, p := range parts {
+		nBlocks += len(p.blocks)
+		blobLen += len(p.blob)
+		out.n += p.n
+		out.nPostings += p.nPostings
+	}
+	out.dir = make([]int32, dim+1)
+	out.blocks = make([]blockDesc, 0, nBlocks)
+	out.blob = make([]byte, 0, blobLen)
+	out.vals = make([][]float64, 0, out.n)
+	blobBase := make([]uint32, len(parts))
+	for i, p := range parts {
+		blobBase[i] = uint32(len(out.blob))
+		out.blob = append(out.blob, p.blob...)
+		out.vals = append(out.vals, p.vals...)
+	}
+	for d := 0; d < dim; d++ {
+		out.dir[d] = int32(len(out.blocks))
+		for i, p := range parts {
+			for bi := p.dir[d]; bi < p.dir[d+1]; bi++ {
+				bd := p.blocks[bi]
+				bd.off += blobBase[i]
+				bd.firstID += offsets[i]
+				out.blocks = append(out.blocks, bd)
+			}
+		}
+	}
+	out.dir[dim] = int32(len(out.blocks))
+	return out
+}
+
+// dots implements postings: the block-compressed analogue of Index.Dots.
+// The query support is walked in ascending dimension order and every
+// block decodes into ascending local ids, so each candidate accumulates
+// its intersection terms in exactly the order the flat walk (and
+// Sparse.Dot) visits them — bit-identical dot products. Dimensions
+// absent from a query never touch a descriptor (dir[d] == dir[d+1] for
+// dims with no postings; dims not in the support are never looked up),
+// which is the exact block-skip: skipped blocks contribute nothing by
+// construction, not by approximation.
+func (bp *blockPostings) dots(q *vecmath.Sparse, acc *vecmath.Accumulator) {
+	if q.Dim() != bp.dim {
+		panic(fmt.Sprintf("core: postings dots dimension mismatch %d vs %d", q.Dim(), bp.dim))
+	}
+	acc.Reset(bp.n)
+	sums := acc.Sums()
+	idx, val := q.Support(), q.Values()
+	for k, d := range idx {
+		lo, hi := bp.dir[d], bp.dir[d+1]
+		if lo == hi {
+			continue
+		}
+		qv := val[k]
+		for bi := lo; bi < hi; bi++ {
+			bd := &bp.blocks[bi]
+			if bd.maxAbsW == 0 {
+				// Every weight in the block is zero: its terms are exact
+				// zeros, so skipping preserves bit-identity. (Signature
+				// supports exclude zeros, so this only guards degenerate
+				// hand-built stores.)
+				continue
+			}
+			if sums != nil && bd.ordW == 1 {
+				bp.accumBlockDense(qv, bd, sums)
+			} else {
+				bp.accumBlock(qv, bd, acc)
+			}
+		}
+	}
+}
+
+// accumBlockDense is accumBlock's hot specialization: bulk-clear
+// accumulator mode (the segment-capped common case) and one-byte
+// ordinals, adding straight into the dense sum array. Same products in
+// the same order as the general path — identical sums.
+func (bp *blockPostings) accumBlockDense(qv float64, bd *blockDesc, sums []float64) {
+	blob := bp.blob
+	vals := bp.vals
+	gp := int(bd.off)
+	op := gp + int(bd.idLen)
+	id := bd.firstID
+	sums[id] += qv * vals[id][blob[op]]
+	op++
+	for k := 1; k < int(bd.count); k++ {
+		b := blob[gp]
+		gp++
+		gap := uint32(b)
+		if b >= 0x80 {
+			gap &= 0x7f
+			for shift := 7; ; shift += 7 {
+				b = blob[gp]
+				gp++
+				gap |= uint32(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		id += int32(gap) + 1
+		sums[id] += qv * vals[id][blob[op]]
+		op++
+	}
+}
+
+// accumBlock is the fused per-block kernel of the compressed path: the
+// gap stream and the ordinal stream are read in step (idLen says where
+// the ordinals start), each posting's weight is gathered from its
+// signature's value array, and the product lands in the accumulator
+// immediately — no intermediate materialization. The ids decode in
+// ascending order and the products are qv times the very same float64s
+// the flat layout stores, so the accumulated sums are bit-identical to
+// ScatterMulAdd over the flat posting arrays. One-byte ordinals (every
+// real signature: supports up to 256 entries) take the branch-light
+// specialized loop; wider ordinals decode through the scratch.
+func (bp *blockPostings) accumBlock(qv float64, bd *blockDesc, acc *vecmath.Accumulator) {
+	if bd.ordW != 1 {
+		var sc postingScratch
+		ids, ws := bp.decodeBlock(bd, &sc)
+		acc.ScatterMulAdd(qv, ids, ws)
+		return
+	}
+	blob := bp.blob
+	vals := bp.vals
+	gp := int(bd.off)
+	op := gp + int(bd.idLen)
+	id := bd.firstID
+	acc.Add(id, qv*vals[id][blob[op]])
+	op++
+	for k := 1; k < int(bd.count); k++ {
+		b := blob[gp]
+		gp++
+		gap := uint32(b)
+		if b >= 0x80 {
+			gap &= 0x7f
+			for shift := 7; ; shift += 7 {
+				b = blob[gp]
+				gp++
+				gap |= uint32(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		id += int32(gap) + 1
+		acc.Add(id, qv*vals[id][blob[op]])
+		op++
+	}
+}
+
+// decodeBlock expands one block into the scratch: ids from the gap
+// varints, weights gathered through the ordinal varints from the
+// signatures' own value arrays.
+func (bp *blockPostings) decodeBlock(bd *blockDesc, sc *postingScratch) ([]int32, []float64) {
+	n := int(bd.count)
+	ids, ws := sc.ids[:n], sc.ws[:n]
+	blob := bp.blob
+	pos := int(bd.off)
+	id := bd.firstID
+	ids[0] = id
+	for k := 1; k < n; k++ {
+		b := blob[pos]
+		pos++
+		gap := uint32(b)
+		if b >= 0x80 {
+			gap &= 0x7f
+			for shift := 7; ; shift += 7 {
+				b = blob[pos]
+				pos++
+				gap |= uint32(b&0x7f) << shift
+				if b < 0x80 {
+					break
+				}
+			}
+		}
+		id += int32(gap) + 1
+		ids[k] = id
+	}
+	vals := bp.vals
+	for k := 0; k < n; k++ {
+		var ord uint32
+		switch bd.ordW {
+		case 1:
+			ord = uint32(blob[pos])
+		case 2:
+			ord = uint32(blob[pos]) | uint32(blob[pos+1])<<8
+		default:
+			ord = uint32(blob[pos]) | uint32(blob[pos+1])<<8 | uint32(blob[pos+2])<<16 | uint32(blob[pos+3])<<24
+		}
+		pos += int(bd.ordW)
+		ws[k] = vals[ids[k]][ord]
+	}
+	return ids, ws
+}
+
+// postingCount implements postings.
+func (bp *blockPostings) postingCount() int64 { return bp.nPostings }
+
+// memBytes implements postings: blob + descriptors + directory + the
+// per-signature value-slice table (24 bytes each — the headers only;
+// the values themselves belong to the signatures).
+func (bp *blockPostings) memBytes() int64 {
+	return int64(unsafe.Sizeof(*bp)) +
+		int64(cap(bp.blob)) +
+		int64(cap(bp.blocks))*blockDescSize +
+		int64(cap(bp.dir))*4 +
+		int64(cap(bp.vals))*24
+}
+
+// dots implements postings for the flat form.
+func (ix *Index) dots(q *vecmath.Sparse, acc *vecmath.Accumulator) {
+	ix.Dots(q, acc)
+}
+
+// postingCount implements postings.
+func (ix *Index) postingCount() int64 {
+	var n int64
+	for d := range ix.ids {
+		n += int64(len(ix.ids[d]))
+	}
+	return n
+}
+
+// memBytes implements postings: per-dimension backing capacities plus
+// the two slice-header tables.
+func (ix *Index) memBytes() int64 {
+	b := int64(unsafe.Sizeof(*ix)) + int64(cap(ix.ids))*24 + int64(cap(ix.ws))*24
+	for d := range ix.ids {
+		b += int64(cap(ix.ids[d]))*4 + int64(cap(ix.ws[d]))*8
+	}
+	return b
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// buildFlatAndCompressed indexes sigs both ways: the flat append-only
+// Index and its block-compressed re-encoding.
+func buildFlatAndCompressed(t *testing.T, sigs []Signature, dim int) (*Index, *blockPostings) {
+	t.Helper()
+	ix, err := NewIndex(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sigs {
+		ix.Add(s.W)
+	}
+	return ix, compressIndex(ix, sigs)
+}
+
+// TestBlockPostingsMatchesFlat is the kernel-level equivalence the
+// compressed layout rests on: for random corpora — including posting
+// lists long enough to span several blocks — dots over the compressed
+// form must equal dots over the flat form bit-for-bit, and the decoded
+// blocks must enumerate exactly the flat posting lists.
+func TestBlockPostingsMatchesFlat(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		// Small dimension + many signatures forces multi-block lists
+		// (n/dim*nnz ≥ 600/30*8 = 160 postings per dimension > 128).
+		dim := 20 + r.Intn(10)
+		n := 600 + r.Intn(200)
+		nnz := 8 + r.Intn(6)
+		sigs := randSigs(r, n, dim, nnz)
+		ix, bp := buildFlatAndCompressed(t, sigs, dim)
+
+		if bp.postingCount() != ix.postingCount() {
+			t.Fatalf("seed %d: posting counts %d vs %d", seed, bp.postingCount(), ix.postingCount())
+		}
+		multi := false
+		var sc postingScratch
+		for d := 0; d < dim; d++ {
+			lo, hi := bp.dir[d], bp.dir[d+1]
+			if hi-lo > 1 {
+				multi = true
+			}
+			var gotIDs []int32
+			var gotWs []float64
+			for bi := lo; bi < hi; bi++ {
+				ids, ws := bp.decodeBlock(&bp.blocks[bi], &sc)
+				gotIDs = append(gotIDs, ids...)
+				gotWs = append(gotWs, ws...)
+			}
+			if len(gotIDs) != len(ix.ids[d]) {
+				t.Fatalf("seed %d dim %d: %d decoded postings, flat has %d", seed, d, len(gotIDs), len(ix.ids[d]))
+			}
+			for k := range gotIDs {
+				if gotIDs[k] != ix.ids[d][k] || gotWs[k] != ix.ws[d][k] {
+					t.Fatalf("seed %d dim %d posting %d: decoded (%d, %v), flat (%d, %v)",
+						seed, d, k, gotIDs[k], gotWs[k], ix.ids[d][k], ix.ws[d][k])
+				}
+			}
+		}
+		if !multi {
+			t.Fatalf("seed %d: corpus produced no multi-block posting list; shrink dim or raise n", seed)
+		}
+
+		var accFlat, accComp vecmath.Accumulator
+		for q := 0; q < 10; q++ {
+			query := randSigs(r, 1, dim, nnz)[0].W
+			ix.Dots(query, &accFlat)
+			bp.dots(query, &accComp)
+			for id := 0; id < n; id++ {
+				if accFlat.Get(id) != accComp.Get(id) {
+					t.Fatalf("seed %d query %d id %d: flat dot %v, compressed %v",
+						seed, q, id, accFlat.Get(id), accComp.Get(id))
+				}
+			}
+		}
+
+		if flat, comp := ix.memBytes(), bp.memBytes(); comp*2 > flat {
+			t.Fatalf("seed %d: compressed postings %d bytes not < half of flat %d", seed, comp, flat)
+		}
+	}
+}
+
+// TestBlockPostingsWideOrdinals exercises the 2-byte ordinal path:
+// signatures with supports larger than 256 entries force ordW=2 blocks,
+// which must decode and accumulate identically to the flat index.
+func TestBlockPostingsWideOrdinals(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const dim, n, nnz = 600, 40, 400 // nnz > 256: ordinals overflow one byte
+	sigs := randSigs(r, n, dim, nnz)
+	ix, bp := buildFlatAndCompressed(t, sigs, dim)
+	wide := false
+	for bi := range bp.blocks {
+		if bp.blocks[bi].ordW > 1 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Fatal("corpus produced no wide-ordinal blocks; raise nnz")
+	}
+	var accFlat, accComp vecmath.Accumulator
+	for q := 0; q < 8; q++ {
+		query := randSigs(r, 1, dim, nnz)[0].W
+		ix.Dots(query, &accFlat)
+		bp.dots(query, &accComp)
+		for id := 0; id < n; id++ {
+			if accFlat.Get(id) != accComp.Get(id) {
+				t.Fatalf("query %d id %d: flat dot %v, compressed %v", q, id, accFlat.Get(id), accComp.Get(id))
+			}
+		}
+	}
+}
+
+// TestSpliceBlockPostings pins the compaction primitive: splicing the
+// compressed postings of adjacent ranges must equal compressing the
+// whole range in one go — descriptors rebased, byte streams verbatim.
+func TestSpliceBlockPostings(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const dim, n, nnz = 50, 300, 9
+	sigs := randSigs(r, n, dim, nnz)
+	_, whole := buildFlatAndCompressed(t, sigs, dim)
+	splits := []int{0, 97, 201, n}
+	var parts []*blockPostings
+	var offsets []int32
+	for s := 0; s+1 < len(splits); s++ {
+		_, part := buildFlatAndCompressed(t, sigs[splits[s]:splits[s+1]], dim)
+		parts = append(parts, part)
+		offsets = append(offsets, int32(splits[s]))
+	}
+	merged := spliceBlockPostings(dim, parts, offsets)
+	if merged.n != whole.n || merged.postingCount() != whole.postingCount() {
+		t.Fatalf("merged n/postings %d/%d, whole %d/%d", merged.n, merged.postingCount(), whole.n, whole.postingCount())
+	}
+	var accA, accB vecmath.Accumulator
+	for q := 0; q < 10; q++ {
+		query := randSigs(r, 1, dim, nnz)[0].W
+		whole.dots(query, &accA)
+		merged.dots(query, &accB)
+		for id := 0; id < n; id++ {
+			if accA.Get(id) != accB.Get(id) {
+				t.Fatalf("query %d id %d: whole %v, spliced %v", q, id, accA.Get(id), accB.Get(id))
+			}
+		}
+	}
+}
+
+// TestSealCompressesPostings pins the lifecycle plumbing: sealing swaps
+// a segment's flat index for compressed blocks (shrinking IndexBytes),
+// queries stay bit-identical, and posting counts are conserved.
+func TestSealCompressesPostings(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	const dim, n, nnz, k = 200, 250, 20, 15
+	db, err := NewShardedDB(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := randSigs(r, n, dim, nnz)
+	if err := db.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	query := randSigs(r, 1, dim, nnz)[0].W
+	want, err := db.TopKSparse(query, k, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatBytes := db.IndexBytes()
+	flatPostings := db.IndexPostings()
+	db.Seal()
+	if got := db.IndexPostings(); got != flatPostings {
+		t.Fatalf("postings %d after Seal, want %d", got, flatPostings)
+	}
+	if got := db.IndexBytes(); got*2 > flatBytes {
+		t.Fatalf("sealed IndexBytes %d not < half of flat %d", got, flatBytes)
+	}
+	got, err := db.TopKSparse(query, k, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "sealed vs flat", got, want)
+}
+
+// TestSealEmptyActiveNoOp is the regression test for the empty-seal
+// fix: sealing a store whose active segments are empty (fresh DB, or
+// already sealed once) must not mint zero-length sealed segments — they
+// would pollute the manifest and every compaction run.
+func TestSealEmptyActiveNoOp(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const dim, nnz = 40, 6
+	db, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Seal() // empty DB: no shard has any segment to seal
+	if got := db.Segments(); got != 0 {
+		t.Fatalf("Seal on empty DB created %d segments", got)
+	}
+	if err := db.AddAll(randSigs(r, 5, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	db.Seal()
+	segs := db.Segments()
+	// Sealing again (and again) with no new records must change nothing:
+	// the actives are gone and nothing may take their place.
+	db.Seal()
+	db.Seal()
+	if got := db.Segments(); got != segs {
+		t.Fatalf("repeated Seal grew segments %d -> %d", segs, got)
+	}
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			if sg.len() == 0 {
+				t.Fatalf("zero-length segment %d in shard %d", sg.id, si)
+			}
+		}
+	}
+	// And a save/load cycle must not see phantom segments either.
+	dir := t.TempDir() + "/db"
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Segments(); got != segs {
+		t.Fatalf("reloaded store has %d segments, want %d", got, segs)
+	}
+}
+
+// TestOrdWidth pins the fixed-width ordinal selection.
+func TestOrdWidth(t *testing.T) {
+	cases := []struct {
+		maxOrd int32
+		want   uint8
+	}{{0, 1}, {255, 1}, {256, 2}, {65535, 2}, {65536, 4}, {1 << 23, 4}}
+	for _, c := range cases {
+		if got := ordWidth(c.maxOrd); got != c.want {
+			t.Fatalf("ordWidth(%d) = %d, want %d", c.maxOrd, got, c.want)
+		}
+	}
+}
+
+// TestIndexBytesIntrospection sanity-checks the byte accounting both
+// layouts report: positive, and dominated by the posting payload.
+func TestIndexBytesIntrospection(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	const dim, n, nnz = 100, 120, 10
+	db, err := NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(randSigs(r, n, dim, nnz)); err != nil {
+		t.Fatal(err)
+	}
+	posts := db.IndexPostings()
+	if posts != int64(nPostings(db)) {
+		t.Fatalf("IndexPostings %d, stored non-zeros %d", posts, nPostings(db))
+	}
+	if flat := db.IndexBytes(); flat < posts*12 {
+		t.Fatalf("flat IndexBytes %d below the 12 B/posting payload floor (%d postings)", flat, posts)
+	}
+	db.Seal()
+	if comp := db.IndexBytes(); comp <= 0 {
+		t.Fatalf("sealed IndexBytes %d", comp)
+	}
+	if got := db.IndexPostings(); got != posts {
+		t.Fatalf("sealed IndexPostings %d, want %d", got, posts)
+	}
+}
+
+// nPostings sums the stored supports (what the index must hold).
+func nPostings(db *DB) int {
+	total := 0
+	for _, s := range db.All() {
+		total += s.W.NNZ()
+	}
+	return total
+}
+
+// TestCompressedTopKPropertySweep is the postings-PR acceptance sweep:
+// across seeds × shards{1,3,4} × workers{1,4} × seal/compaction points,
+// TopK, TopKBatch, and ClassifyBatch over stores holding compressed
+// (sealed), flat (active), and mixed segments must agree bit-for-bit
+// with the never-sealed flat reference.
+func TestCompressedTopKPropertySweep(t *testing.T) {
+	metrics := []Metric{EuclideanMetric(), CosineMetric()}
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		dim := 80 + r.Intn(80)
+		n := 120 + r.Intn(120)
+		nnz := 6 + r.Intn(12)
+		k := 1 + r.Intn(20)
+		sigs := randSigs(r, n, dim, nnz)
+		queries := make([]*vecmath.Sparse, 6)
+		for i := range queries {
+			queries[i] = randSigs(r, 1, dim, nnz)[0].W
+		}
+
+		// Reference: single shard, never sealed — pure flat layout.
+		ref, err := NewDB(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetWorkers(-1)
+		if err := ref.AddAll(sigs); err != nil {
+			t.Fatal(err)
+		}
+		wantTop := make([][]SearchResult, len(queries))
+		for i, q := range queries {
+			if wantTop[i], err = ref.TopKSparse(q, k, metrics[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wantLabels, err := ref.ClassifyBatch(queries, 5, metrics[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, shards := range []int{1, 3, 4} {
+			for _, workers := range []int{1, 4} {
+				for _, mode := range []string{"sealed", "mixed", "compacted"} {
+					db, err := NewShardedDB(dim, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					db.SetWorkers(workers)
+					db.SetSegmentSize(32)
+					for i, s := range sigs {
+						if err := db.Add(s); err != nil {
+							t.Fatal(err)
+						}
+						if mode != "mixed" && i%53 == 52 {
+							db.Seal()
+						}
+					}
+					switch mode {
+					case "sealed":
+						db.Seal()
+					case "compacted":
+						db.Seal()
+						db.SetSegmentSize(DefaultSegmentSize)
+						db.Compact()
+					}
+					tag := fmt.Sprintf("seed=%d shards=%d workers=%d mode=%s segs=%d",
+						seed, shards, workers, mode, db.Segments())
+					for _, m := range metrics {
+						want, err := ref.TopKSparse(queries[0], k, m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := db.TopKSparse(queries[0], k, m)
+						if err != nil {
+							t.Fatal(err)
+						}
+						sameResults(t, tag+" "+m.Name, got, want)
+					}
+					gotBatch, err := db.TopKBatch(queries, k, metrics[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range queries {
+						sameResults(t, fmt.Sprintf("%s batch query %d", tag, i), gotBatch[i], wantTop[i])
+					}
+					gotLabels, err := db.ClassifyBatch(queries, 5, metrics[0])
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range wantLabels {
+						if gotLabels[i] != wantLabels[i] {
+							t.Fatalf("%s: ClassifyBatch[%d] = %q, want %q", tag, i, gotLabels[i], wantLabels[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -11,16 +11,20 @@ package core
 // next Add opens a fresh active segment. Sealed segments are immutable:
 // their record range, posting lists, and cached norms never change
 // again, which is what lets SaveDir persist each one exactly once
-// (temp + fsync + rename) and skip it on every later save.
+// (temp + fsync + rename) and skip it on every later save — and what
+// lets sealing re-encode the posting lists into the block-compressed
+// form (postings.go), several times smaller resident with bit-identical
+// query results.
 //
 // Compact merges runs of small adjacent sealed segments by *splicing*
-// their posting lists (Index.Splice remaps local ids by the range
-// offset, no re-scoring, no re-sort — lists stay ascending because
-// adjacent segments cover adjacent id ranges). Because a merged segment
-// covers exactly the concatenated range of its inputs, every query walk
-// visits the same signatures in the same order with the same per-
-// candidate arithmetic, so TopK stays bit-identical across any
-// seal/compaction history (see DESIGN-PERF.md Layer 5).
+// their compressed posting lists (spliceBlockPostings rebases block
+// descriptors by the range offset and concatenates the byte streams
+// verbatim — no re-scoring, no re-sort, not even a varint decode; lists
+// stay ascending because adjacent segments cover adjacent id ranges).
+// Because a merged segment covers exactly the concatenated range of its
+// inputs, every query walk visits the same signatures in the same order
+// with the same per-candidate arithmetic, so TopK stays bit-identical
+// across any seal/compaction history (see DESIGN-PERF.md Layers 5–6).
 type segment struct {
 	// id names the segment on disk (seg-<id>.fms); ids are DB-unique and
 	// monotonically increasing, so compaction outputs never collide with
@@ -28,9 +32,13 @@ type segment struct {
 	id uint64
 	// start/end delimit the shard-local record range [start, end).
 	start, end int
-	// index holds the segment's posting lists over segment-local ids
-	// (shard-local j maps to segment-local j-start).
+	// index holds the active segment's flat posting lists over
+	// segment-local ids (shard-local j maps to segment-local j-start).
+	// nil once sealed.
 	index *Index
+	// blocks holds the sealed segment's block-compressed posting lists
+	// (see postings.go); nil while the segment is active.
+	blocks *blockPostings
 	// sealed marks the segment immutable; only the last segment of a
 	// shard may be unsealed.
 	sealed bool
@@ -51,6 +59,30 @@ type segment struct {
 
 // len returns the segment's record count.
 func (sg *segment) len() int { return sg.end - sg.start }
+
+// postings returns the segment's posting store: the flat index while
+// active, the block-compressed form once sealed.
+func (sg *segment) postings() postings {
+	if sg.blocks != nil {
+		return sg.blocks
+	}
+	return sg.index
+}
+
+// seal makes the segment immutable, re-encoding its flat posting lists
+// into the block-compressed form (delta-varint ids, weights referenced
+// from the signatures themselves) and dropping the flat arrays. Query
+// results are bit-identical before and after — both forms feed the same
+// accumulator kernel with the same weights in the same order. Sealing a
+// sealed segment is a no-op.
+func (sg *segment) seal(sh *dbShard) {
+	if sg.sealed {
+		return
+	}
+	sg.blocks = compressIndex(sg.index, sh.sigs[sg.start:sg.end])
+	sg.index = nil
+	sg.sealed = true
+}
 
 // DefaultSegmentSize is the seal threshold when SetSegmentSize was not
 // called: an active segment rolls into an immutable sealed segment once
@@ -125,13 +157,18 @@ func (db *DB) appendSegment(sh *dbShard) (*segment, error) {
 }
 
 // Seal seals every shard's active segment, making the whole store
-// immutable until the next Add (which opens fresh active segments).
-// Sealing is what lets SaveDir stop rewriting a segment: a sealed,
-// saved segment costs nothing on later saves.
+// immutable until the next Add (which opens fresh active segments) and
+// re-encoding each sealed segment's posting lists into the
+// block-compressed form. Sealing is what lets SaveDir stop rewriting a
+// segment: a sealed, saved segment costs nothing on later saves. An
+// empty active segment is left alone — sealing it would push a
+// zero-length sealed segment into the manifest and every later
+// compaction run for no data at all.
 func (db *DB) Seal() {
 	for si := range db.shards {
-		if sg := db.shards[si].activeSegment(); sg != nil {
-			sg.sealed = true
+		sh := &db.shards[si]
+		if sg := sh.activeSegment(); sg != nil && sg.len() > 0 {
+			sg.seal(sh)
 		}
 	}
 }
@@ -169,15 +206,21 @@ func (db *DB) compactShard(sh *dbShard) {
 			i++
 			continue
 		}
-		// Splice the run [i, j) into the first segment's index: adjacent
-		// segments cover adjacent id ranges, so appending keeps every
-		// posting list ascending. The merged segment takes a fresh id so
-		// its file never collides with the ones it replaces.
+		// Splice the run [i, j): adjacent segments cover adjacent id
+		// ranges, so rebasing each part's blocks by its range offset
+		// keeps every posting list ascending — descriptor edits plus
+		// byte-stream copies, no varint is decoded and nothing is
+		// re-scored. The merged segment takes a fresh id so its file
+		// never collides with the ones it replaces.
 		merged := sh.segs[i]
-		for _, sg := range sh.segs[i+1 : j] {
-			merged.index.Splice(sg.index, int32(sg.start-merged.start))
+		parts := make([]*blockPostings, 0, j-i)
+		offsets := make([]int32, 0, j-i)
+		for _, sg := range sh.segs[i:j] {
+			parts = append(parts, sg.blocks)
+			offsets = append(offsets, int32(sg.start-merged.start))
 			merged.end = sg.end
 		}
+		merged.blocks = spliceBlockPostings(db.dim, parts, offsets)
 		merged.id = db.nextSeg
 		db.nextSeg++
 		merged.dirty = true

@@ -170,54 +170,3 @@ func TestSegmentLifecycle(t *testing.T) {
 		t.Fatalf("SegmentSize after reset = %d, want %d", got, DefaultSegmentSize)
 	}
 }
-
-// TestIndexSplice pins the posting-list splice primitive: remapped ids,
-// preserved weights, and dots identical to one index built in a single
-// run.
-func TestIndexSplice(t *testing.T) {
-	r := rand.New(rand.NewSource(83))
-	const dim, n, nnz = 50, 30, 8
-	sigs := randSigs(r, n, dim, nnz)
-	whole, err := NewIndex(dim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	a, err := NewIndex(dim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewIndex(dim)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const split = 13
-	for i, s := range sigs {
-		whole.Add(s.W)
-		if i < split {
-			a.Add(s.W)
-		} else {
-			b.Add(s.W)
-		}
-	}
-	a.Splice(b, split)
-	if a.Len() != whole.Len() {
-		t.Fatalf("spliced Len = %d, want %d", a.Len(), whole.Len())
-	}
-	q := randSigs(r, 1, dim, nnz)[0].W
-	var accA, accW vecmath.Accumulator
-	a.Dots(q, &accA)
-	whole.Dots(q, &accW)
-	for id := 0; id < n; id++ {
-		if accA.Get(id) != accW.Get(id) {
-			t.Fatalf("dot %d: spliced %v, whole %v", id, accA.Get(id), accW.Get(id))
-		}
-	}
-	// Dimension mismatch panics like the other pre-validated ops.
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Splice with mismatched dimension should panic")
-		}
-	}()
-	bad, _ := NewIndex(dim + 1)
-	a.Splice(bad, 0)
-}

@@ -1,27 +1,39 @@
 package vecmath
 
 // Accumulator is the score-accumulation scratch of inverted-index
-// retrieval: a dense per-candidate sum array with epoch-stamped lazy
-// clearing, so resetting between queries costs O(1) instead of O(n).
-// A candidate's sum is valid only when its stamp matches the current
-// epoch; untouched candidates read as an exact zero.
+// retrieval: a dense per-candidate sum array, reset between queries
+// either by a bulk clear (small candidate counts — segments are capped
+// at the segment size, so this is the common mode) or by epoch-stamped
+// lazy clearing (large counts, where an O(n) clear would dominate a
+// sparse walk). Untouched candidates read as an exact zero in both
+// modes.
 //
 // The kernel contract that makes indexed retrieval bit-identical to a
 // merge-walk Dot: callers feed posting lists in ascending dimension
 // order, so each candidate's partial sums accumulate over its support
 // intersection in ascending index order — exactly the order Sparse.Dot
-// visits the same terms.
+// visits the same terms. (The two reset modes agree to the bit for
+// every product except an exact -0.0, where the cleared mode's 0 + -0.0
+// yields +0.0; distances and similarities compare equal either way.)
 //
 // An Accumulator is not safe for concurrent use; each worker owns one.
 type Accumulator struct {
 	acc   []float64
 	stamp []uint32
 	epoch uint32
+	dense bool
 }
 
-// Reset prepares the accumulator for n candidates. Amortized O(1): the
-// backing arrays are reused and only the epoch advances; clearing work
-// happens when the arrays grow or the 32-bit epoch wraps.
+// denseResetMax bounds the bulk-clear mode: up to this many candidates
+// the reset is a memclr (at most 32 KiB, cheaper than per-posting stamp
+// maintenance for any non-trivial walk). The default segment size keeps
+// every segmented store at or below it.
+const denseResetMax = 4096
+
+// Reset prepares the accumulator for n candidates. Small counts clear
+// the sums outright; larger ones switch to epoch stamping, where only
+// the epoch advances and clearing work happens when the arrays grow or
+// the 32-bit epoch wraps.
 func (a *Accumulator) Reset(n int) {
 	if cap(a.acc) < n {
 		a.acc = make([]float64, n)
@@ -29,6 +41,11 @@ func (a *Accumulator) Reset(n int) {
 		a.epoch = 0
 	}
 	a.acc = a.acc[:n]
+	a.dense = n <= denseResetMax
+	if a.dense {
+		clear(a.acc)
+		return
+	}
 	a.stamp = a.stamp[:n]
 	a.epoch++
 	if a.epoch == 0 {
@@ -44,14 +61,46 @@ func (a *Accumulator) Reset(n int) {
 	}
 }
 
+// Sums exposes the dense sum array when the accumulator is in
+// bulk-clear mode (nil in stamped mode): fused posting kernels add into
+// it directly, which is exactly what Add would do without the per-call
+// mode dispatch.
+func (a *Accumulator) Sums() []float64 {
+	if a.dense {
+		return a.acc
+	}
+	return nil
+}
+
+// Add accumulates x into candidate id — the fused single-posting kernel
+// for callers that decode postings on the fly.
+func (a *Accumulator) Add(id int32, x float64) {
+	if a.dense {
+		a.acc[id] += x
+		return
+	}
+	if a.stamp[id] != a.epoch {
+		a.stamp[id] = a.epoch
+		a.acc[id] = x
+	} else {
+		a.acc[id] += x
+	}
+}
+
 // ScatterMulAdd accumulates q*ws[k] into candidate ids[k] for every
-// posting — acc[ids[k]] += q*ws[k] — stamping first-touched candidates
-// into the current epoch. This is the posting-list kernel: one call per
-// query dimension, with ids the candidates whose support contains that
-// dimension and ws their stored weights there.
+// posting — acc[ids[k]] += q*ws[k]. This is the posting-list kernel:
+// one call per query dimension, with ids the candidates whose support
+// contains that dimension and ws their stored weights there.
 func (a *Accumulator) ScatterMulAdd(q float64, ids []int32, ws []float64) {
 	if len(ids) != len(ws) {
 		panic("vecmath: posting id/weight lengths differ")
+	}
+	if a.dense {
+		acc := a.acc
+		for k, id := range ids {
+			acc[id] += q * ws[k]
+		}
+		return
 	}
 	for k, id := range ids {
 		if a.stamp[id] != a.epoch {
@@ -66,6 +115,9 @@ func (a *Accumulator) ScatterMulAdd(q float64, ids []int32, ws []float64) {
 // Get returns candidate id's accumulated sum, an exact zero when the
 // candidate was not touched since the last Reset.
 func (a *Accumulator) Get(id int) float64 {
+	if a.dense {
+		return a.acc[id]
+	}
 	if a.stamp[id] != a.epoch {
 		return 0
 	}
