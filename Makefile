@@ -30,19 +30,23 @@ bench:
 ## TopK — BenchmarkDBTopKSharded vs BenchmarkDBTopKIndexed — the batched
 ## BenchmarkDBTopKBatch/BenchmarkDBClassifyBatch 0-allocs records,
 ## BENCH_segments.json for the segmented-store persistence benchmark:
-## full vs incremental SaveDir vs the v1 full rewrite, and
+## full vs incremental SaveDir vs the v1 full rewrite,
 ## BENCH_postings.json for the posting-compression benchmark: index
 ## bytes flat vs block-compressed, TopK over both layouts, cold-load
-## mapped vs rebuild vs v1) so future PRs can compare like against
-## like. `fmeter-bench -index=on|off` reproduces the scan/index
-## comparison from the CLI; `-cpuprofile`/`-memprofile` wrap any run in
-## pprof.
+## mapped vs rebuild vs v1, and BENCH_pruned.json for the pruning
+## scaling ladder: TopK pruned vs unpruned vs theta=0.5 at
+## 10k/100k/1M signatures plus the sealed-segment trajectory under the
+## tier policy) so future PRs can compare like against like.
+## `fmeter-bench -index=on|off` reproduces the scan/index comparison
+## from the CLI and `-prune=on|off` the pruned/plain sealed walk;
+## `-cpuprofile`/`-memprofile` wrap any run in pprof.
 bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -run table4,fig5 -perclass 60 \
 		-benchjson BENCH_baseline.json -out /tmp/fmeter-reports
 	$(GO) run ./cmd/fmeter-bench -microjson BENCH_indexed.json
 	$(GO) run ./cmd/fmeter-bench -segjson BENCH_segments.json
 	$(GO) run ./cmd/fmeter-bench -postjson BENCH_postings.json
+	$(GO) run ./cmd/fmeter-bench -prunejson BENCH_pruned.json
 
 fmt:
 	gofmt -l -w .

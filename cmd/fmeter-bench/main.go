@@ -51,6 +51,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		segJSON    = fs.String("segjson", "", "run the segmented-store persistence benchmark (full vs incremental SaveDir vs v1 rewrite) and write it to this JSON file, then exit")
 		postJSON   = fs.String("postjson", "", "run the posting-compression benchmark (index bytes flat vs block-compressed, TopK over both, cold-load mapped vs rebuild vs v1) and write it to this JSON file, then exit")
 		indexMode  = fs.String("index", "off", "route the BenchmarkDBTopKSharded micro-benchmark DBs through the inverted index (on) or the exhaustive scan (off) — the CLI knob for reproducing the scan/index comparison; BenchmarkDBTopKIndexed and BenchmarkDBTopKBatch are always indexed")
+		pruneMode  = fs.String("prune", "on", "route the BenchmarkDBTopKSealed micro-benchmark DBs through the threshold-pruned walk (on) or the plain sealed walk (off) — the CLI knob for A/B-ing pruning, like -index A/Bs the scan")
+		pruneJSON  = fs.String("prunejson", "", "run the threshold-pruning scale benchmark (synthetic signature ladder up to -scale, pruned vs unpruned vs approximate TopK, sealed-segment trajectory under the tier compaction policy; both pruning arms are always measured regardless of -prune) and write it to this JSON file, then exit")
+		scale      = fs.Int("scale", 1_000_000, "corpus ceiling for -prunejson: the ladder measures at 10k and 100k signatures, then at this count")
 		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a pprof heap profile at the end of the run to this file")
 	)
@@ -92,8 +95,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("-index must be on or off, got %q", *indexMode)
 	}
+	var pruneOn bool
+	switch *pruneMode {
+	case "on":
+		pruneOn = true
+	case "off":
+		pruneOn = false
+	default:
+		return fmt.Errorf("-prune must be on or off, got %q", *pruneMode)
+	}
 	if *microJSON != "" {
-		return runMicroBench(*microJSON, indexOn, stderr)
+		return runMicroBench(*microJSON, indexOn, pruneOn, stderr)
+	}
+	if *pruneJSON != "" {
+		return runPruneBench(*pruneJSON, *scale, stderr)
 	}
 	if *segJSON != "" {
 		return runSegBench(*segJSON, stderr)

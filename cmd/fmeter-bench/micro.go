@@ -68,9 +68,11 @@ func microCorpus(docs, nnz int) (*core.Corpus, error) {
 // same names (internal/core): BenchmarkTransform3815 sparse vs the
 // dense view, BenchmarkDBTopKSharded at 1 and 4 shards (scan by
 // default; -index=on flips it for CLI A/B runs), the always-indexed
-// BenchmarkDBTopKIndexed, and the batched BenchmarkDBTopKBatch with
-// reused result buffers (the 0 allocs/op record).
-func runMicroBench(path string, indexOn bool, stderr io.Writer) error {
+// BenchmarkDBTopKIndexed, the sealed-store BenchmarkDBTopKSealed
+// (threshold-pruned by default; -prune=off flips it for A/B runs), and
+// the batched BenchmarkDBTopKBatch with reused result buffers (the
+// 0 allocs/op record).
+func runMicroBench(path string, indexOn, pruneOn bool, stderr io.Writer) error {
 	c, err := microCorpus(100, 250)
 	if err != nil {
 		return err
@@ -151,6 +153,35 @@ func runMicroBench(path string, indexOn bool, stderr io.Writer) error {
 		}
 		for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
 			name := fmt.Sprintf("BenchmarkDBTopKIndexed/shards=%d/%s", shards, metric.Name)
+			bench(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.TopKSparse(query, 10, metric); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Sealed-store retrieval on the same corpus shape: block-compressed
+	// posting lists with the threshold-pruned walk (-prune=off falls
+	// back to the plain sealed walk — the pruning A/B knob). Note this
+	// corpus sits under the pruned walk's shard-size floor, so both
+	// arms measure the plain sealed walk here and should read ~equal;
+	// BENCH_pruned.json is where the A/B separates (the floor exists
+	// precisely because seeding costs more than a tiny shard's walk).
+	for _, shards := range []int{1, 4} {
+		db, err := core.NewShardedDB(sigs[0].Dim(), shards)
+		if err != nil {
+			return err
+		}
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		db.Seal()
+		db.SetPruned(pruneOn)
+		for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
+			name := fmt.Sprintf("BenchmarkDBTopKSealed/shards=%d/%s", shards, metric.Name)
 			bench(name, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {

@@ -1,0 +1,365 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// pruneRecord is the BENCH_pruned.json artifact: TopK latency over a
+// synthetic corpus ladder (10k → -scale signatures in the paper's
+// 3815-dim space) with threshold pruning on, off, and in approximate
+// mode, plus the sealed-segment trajectory under the tier compaction
+// policy. The headline numbers are the growth factors at the bottom: a
+// 100× corpus must grow pruned TopK latency by well under 100× (the
+// sub-linear claim), while the policy keeps the sealed-segment count
+// inside the tier budget throughout ingestion.
+type pruneRecord struct {
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Dim         int    `json:"dim"`
+	NNZ         int    `json:"nnz"`
+	Shards      int    `json:"shards"`
+	SegmentSize int    `json:"segment_size"`
+	TierFanout  int    `json:"tier_fanout"`
+	K           int    `json:"k"`
+
+	Scales []pruneScale `json:"scales"`
+
+	// Growth factors between the smallest and largest rung.
+	GrowthCorpus         float64 `json:"growth_corpus_factor"`
+	GrowthPrunedCosine   float64 `json:"growth_pruned_cosine_latency_factor"`
+	GrowthUnprunedCosine float64 `json:"growth_unpruned_cosine_latency_factor"`
+}
+
+// pruneScale is one rung of the corpus ladder.
+type pruneScale struct {
+	Docs          int     `json:"docs"`
+	IngestSeconds float64 `json:"ingest_seconds"`
+	IndexBytes    int64   `json:"index_bytes"`
+
+	// Segment trajectory under the compaction policy: the sealed count
+	// observed while ingesting up to this rung never exceeded
+	// SealedMaxDuringIngest, which must stay within TierBudget (the
+	// policy's O(F·log_F) bound, summed over shards) — without the
+	// policy the sealed count would be docs/segment_size.
+	Segments              int `json:"segments"`
+	SealedSegments        int `json:"sealed_segments"`
+	SealedMaxDuringIngest int `json:"sealed_max_during_ingest"`
+	TierBudget            int `json:"tier_budget"`
+
+	// TopK latency per arm: "<metric>/pruned", "<metric>/unpruned",
+	// "<metric>/theta=0.5".
+	TopK map[string]microBench `json:"topk"`
+
+	// ThetaRecall is approximate mode's recall@k against the exact
+	// result over the probe queries.
+	ThetaRecall map[string]float64 `json:"theta_recall"`
+
+	// PruneStats are one exact-mode cosine query's counters at this
+	// rung — what fraction of the corpus the walk actually touched.
+	PruneStats core.PruneStats `json:"prune_stats"`
+}
+
+// pruneGen generates the synthetic corpus in the shape tf-idf gives
+// real fmeter signatures: every trace hits the same common kernel
+// functions (a shared pool of dims whose tf-idf weight is crushed by
+// their ubiquity), while the workload's identity lives in its own small
+// set of class dims carrying nearly all the L2 mass. Signatures arrive
+// in per-workload batches (classSize consecutive docs per class — the
+// collection pattern of running one workload at a time), and the class
+// population grows with the corpus: a bigger deployment means more
+// distinct workloads, not fatter classes. This is the regime threshold
+// pruning is designed for — a query's class dims are the only
+// high-impact postings in the store, and the crushed commons prune as
+// the skippable tail. Deterministic for a given seed.
+type pruneGen struct {
+	r         *rand.Rand
+	dim       int
+	seed      int64
+	shared    []int32 // the common-function pool: perm[:sharedPool]
+	perm      []int   // fixed permutation partitioning shared vs class dim space
+	class     int     // class whose support is cached in classDims
+	classDims []int32
+}
+
+const (
+	pruneClassSize  = 2000 // signatures per workload class (collection batch)
+	pruneClassDims  = 50   // dims carrying a class's identity mass
+	pruneSharedPool = 200  // ubiquitous common-function dims (low weight)
+)
+
+func newPruneGen(seed int64, dim int) *pruneGen {
+	// The permutation (fixed across seeds) splits the dim space: the
+	// first sharedPool entries are the commons, classes draw from the
+	// rest (collisions between classes are allowed and realistic).
+	perm := rand.New(rand.NewSource(7)).Perm(dim)
+	g := &pruneGen{r: rand.New(rand.NewSource(seed)), dim: dim, seed: seed, perm: perm, class: -1}
+	g.shared = make([]int32, pruneSharedPool)
+	for i := range g.shared {
+		g.shared[i] = int32(perm[i])
+	}
+	return g
+}
+
+// support caches the class's dim set: pruneClassDims draws (without
+// replacement) from the non-shared dim space, seeded by the class id so
+// every generator agrees on each class's identity.
+func (g *pruneGen) support(class int) []int32 {
+	if class == g.class {
+		return g.classDims
+	}
+	cr := rand.New(rand.NewSource(1_000_003 * int64(class+1)))
+	seen := make(map[int]bool, pruneClassDims)
+	dims := make([]int32, 0, pruneClassDims)
+	for len(dims) < pruneClassDims {
+		p := pruneSharedPool + cr.Intn(g.dim-pruneSharedPool)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		dims = append(dims, int32(g.perm[p]))
+	}
+	g.class, g.classDims = class, dims
+	return dims
+}
+
+// next builds one normalized sparse signature of the given class.
+func (g *pruneGen) next(id, class int) core.Signature {
+	dims := g.support(class)
+	idx := make([]int32, 0, pruneClassDims+pruneSharedPool)
+	val := make([]float64, 0, pruneClassDims+pruneSharedPool)
+	for _, d := range dims {
+		idx = append(idx, d)
+		val = append(val, 0.5+0.5*g.r.Float64())
+	}
+	for _, d := range g.shared {
+		if g.r.Float64() < 0.75 {
+			idx = append(idx, d)
+			val = append(val, 0.01+0.04*g.r.Float64())
+		}
+	}
+	// SparseFromSorted wants ascending indices; sort the parallel pair.
+	sort.Sort(&idxValSorter{idx: idx, val: val})
+	w, err := vecmath.SparseFromSorted(g.dim, idx, val)
+	if err != nil {
+		panic(err) // generator invariant: distinct in-range dims, non-zero vals
+	}
+	w.Normalize()
+	return core.Signature{DocID: fmt.Sprintf("s%d", id), Label: fmt.Sprintf("c%d", class), W: w}
+}
+
+type idxValSorter struct {
+	idx []int32
+	val []float64
+}
+
+func (s *idxValSorter) Len() int           { return len(s.idx) }
+func (s *idxValSorter) Less(a, b int) bool { return s.idx[a] < s.idx[b] }
+func (s *idxValSorter) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.val[a], s.val[b] = s.val[b], s.val[a]
+}
+
+// tierBudget is the policy's sealed-count bound for perShard records:
+// fewer than F adjacent same-tier segments per tier, summed over the
+// tiers a store of that size can populate (plus slack for the
+// in-flight cascade), times the shard count.
+func tierBudget(perShard, segSize, fanout, shards int) int {
+	tiers := 2
+	for bound := segSize * fanout; bound <= perShard; bound *= fanout {
+		tiers++
+	}
+	return (fanout - 1) * tiers * shards
+}
+
+// runPruneBench builds the ladder corpus once (each rung extends the
+// previous), measuring ingestion, the segment trajectory, and the TopK
+// arms at every rung, then writes the JSON record.
+func runPruneBench(path string, scale int, stderr io.Writer) error {
+	const (
+		dim     = 3815
+		shards  = 4
+		segSize = 4096
+		fanout  = 4
+		k       = 10
+		nProbe  = 8
+	)
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", scale)
+	}
+	var rungs []int
+	for _, n := range []int{10_000, 100_000} {
+		if n < scale {
+			rungs = append(rungs, n)
+		}
+	}
+	rungs = append(rungs, scale)
+
+	db, err := core.NewShardedDB(dim, shards)
+	if err != nil {
+		return err
+	}
+	db.SetSegmentSize(segSize)
+	if err := db.SetCompactionPolicy(core.CompactionPolicy{TierFanout: fanout}); err != nil {
+		return err
+	}
+
+	gen := newPruneGen(42, dim)
+	probeGen := newPruneGen(43, dim)
+	// Probe queries are fresh members of classes present from the first
+	// rung on, so every rung answers the same workload-recognition task.
+	probeClasses := rungs[0] / pruneClassSize
+	if probeClasses < 1 {
+		probeClasses = 1
+	}
+	queries := make([]*vecmath.Sparse, nProbe)
+	for i := range queries {
+		queries[i] = probeGen.next(i, i%probeClasses).W
+	}
+
+	rec := pruneRecord{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Dim:         dim,
+		NNZ:         pruneClassDims + pruneSharedPool*3/4,
+		Shards:      shards,
+		SegmentSize: segSize,
+		TierFanout:  fanout,
+		K:           k,
+	}
+
+	metrics := []core.Metric{core.CosineMetric(), core.EuclideanMetric()}
+	added := 0
+	sealedMax := 0
+	for _, docs := range rungs {
+		start := time.Now()
+		for added < docs {
+			if err := db.Add(gen.next(added, added/pruneClassSize)); err != nil {
+				return err
+			}
+			added++
+			if added%1024 == 0 {
+				if s := db.SealedSegments(); s > sealedMax {
+					sealedMax = s
+				}
+			}
+			if added%100_000 == 0 {
+				fmt.Fprintf(stderr, "ingested %d signatures (%d segments)...\n", added, db.Segments())
+			}
+		}
+		db.Seal()
+		if s := db.SealedSegments(); s > sealedMax {
+			sealedMax = s
+		}
+		ingest := time.Since(start).Seconds()
+
+		sc := pruneScale{
+			Docs:                  docs,
+			IngestSeconds:         ingest,
+			IndexBytes:            db.IndexBytes(),
+			Segments:              db.Segments(),
+			SealedSegments:        db.SealedSegments(),
+			SealedMaxDuringIngest: sealedMax,
+			TierBudget:            tierBudget((docs+shards-1)/shards, segSize, fanout, shards),
+			TopK:                  make(map[string]microBench),
+			ThetaRecall:           make(map[string]float64),
+		}
+		fmt.Fprintf(stderr, "== %d signatures: %d segments (%d sealed, budget %d), %.1f MiB postings ==\n",
+			docs, sc.Segments, sc.SealedSegments, sc.TierBudget, float64(sc.IndexBytes)/(1<<20))
+
+		for _, metric := range metrics {
+			exact := make([][]core.SearchResult, nProbe)
+			for qi, q := range queries {
+				if exact[qi], err = db.TopKSparse(q, k, metric); err != nil {
+					return err
+				}
+			}
+			arms := []struct {
+				name  string
+				prune bool
+				theta float64
+			}{
+				{"pruned", true, 1},
+				{"unpruned", false, 1},
+				{"theta=0.5", true, 0.5},
+			}
+			for _, arm := range arms {
+				db.SetPruned(arm.prune)
+				db.SetPruneTheta(arm.theta)
+				name := metric.Name + "/" + arm.name
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := db.TopKSparse(queries[i%nProbe], k, metric); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				sc.TopK[name] = toMicroBench(res)
+				fmt.Fprintf(stderr, "%-28s %14.0f ns/op %8d B/op %6d allocs/op\n",
+					name, sc.TopK[name].NsPerOp, sc.TopK[name].BytesPerOp, sc.TopK[name].AllocsPerOp)
+			}
+			// Approximate-mode recall against the exact result.
+			db.SetPruned(true)
+			db.SetPruneTheta(0.5)
+			overlap, total := 0, 0
+			for qi, q := range queries {
+				approx, err := db.TopKSparse(q, k, metric)
+				if err != nil {
+					return err
+				}
+				got := make(map[string]bool, len(approx))
+				for _, h := range approx {
+					got[h.Signature.DocID] = true
+				}
+				for _, h := range exact[qi] {
+					total++
+					if got[h.Signature.DocID] {
+						overlap++
+					}
+				}
+			}
+			sc.ThetaRecall[metric.Name] = float64(overlap) / float64(total)
+			db.SetPruneTheta(1)
+			if metric.Name == "cosine" {
+				if _, st, err := db.TopKSparseStats(queries[0], k, metric); err != nil {
+					return err
+				} else {
+					sc.PruneStats = st
+				}
+			}
+		}
+		db.SetPruned(true)
+		db.SetPruneTheta(1)
+		rec.Scales = append(rec.Scales, sc)
+	}
+
+	if len(rec.Scales) > 1 {
+		first, last := rec.Scales[0], rec.Scales[len(rec.Scales)-1]
+		rec.GrowthCorpus = float64(last.Docs) / float64(first.Docs)
+		rec.GrowthPrunedCosine = last.TopK["cosine/pruned"].NsPerOp / first.TopK["cosine/pruned"].NsPerOp
+		rec.GrowthUnprunedCosine = last.TopK["cosine/unpruned"].NsPerOp / first.TopK["cosine/unpruned"].NsPerOp
+		fmt.Fprintf(stderr, "corpus x%.0f: pruned cosine TopK x%.1f, unpruned x%.1f\n",
+			rec.GrowthCorpus, rec.GrowthPrunedCosine, rec.GrowthUnprunedCosine)
+	}
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "pruning scale record written to %s\n", path)
+	return nil
+}

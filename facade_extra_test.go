@@ -518,3 +518,79 @@ func TestSegmentSizeAndSealFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestPruningFacade wires the new retrieval knobs through the facade:
+// WithPruning/WithPruneTheta/WithCompactionPolicy reach the DB, pruned
+// results stay bit-identical to the forced scan, the pruning counters
+// are visible, and a bad tier fan-out surfaces as a typed ConfigError.
+func TestPruningFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 17, Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := sys.Collect(ScpWorkload(), 30, 10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, _, err := BuildSignatures(docs, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query, rest := sigs[0], sigs[1:]
+
+	pruned, err := NewDB(sys.Dim(), WithShards(2), WithSegmentSize(8),
+		WithPruning(true), WithCompactionPolicy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pruned.Pruned() {
+		t.Fatal("WithPruning(true) did not stick")
+	}
+	if pruned.CompactionPolicy().TierFanout != 2 {
+		t.Fatalf("tier fan-out = %d, want 2", pruned.CompactionPolicy().TierFanout)
+	}
+	scan, err := NewDB(sys.Dim(), WithPruning(false), WithIndex(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Pruned() {
+		t.Fatal("WithPruning(false) did not stick")
+	}
+	if err := pruned.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	pruned.Seal()
+	if err := scan.AddAll(rest); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := pruned.TopKSparseStats(query.W, 5, CosineMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments == 0 {
+		t.Fatalf("stats saw no segments: %+v", st)
+	}
+	want, err := scan.TopKSparse(query.W, 5, CosineMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
+			t.Fatalf("pruned hit %d = (%s, %v), scan says (%s, %v)",
+				i, got[i].Signature.DocID, got[i].Score, want[i].Signature.DocID, want[i].Score)
+		}
+	}
+
+	approx, err := NewDB(sys.Dim(), WithPruneTheta(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := approx.PruneTheta(); got != 0.75 {
+		t.Fatalf("PruneTheta = %v, want 0.75", got)
+	}
+
+	var ce *ConfigError
+	if _, err := NewDB(sys.Dim(), WithCompactionPolicy(1)); !errors.As(err, &ce) {
+		t.Fatalf("WithCompactionPolicy(1) = %v, want ConfigError", err)
+	}
+}

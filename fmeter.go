@@ -85,6 +85,15 @@ type (
 	SearchResult = core.SearchResult
 	// DimensionError is the typed error for mis-sized DB inputs.
 	DimensionError = core.DimensionError
+	// ConfigError is the typed error for out-of-range construction and
+	// configuration parameters (shard count, dimension, tier fan-out).
+	ConfigError = core.ConfigError
+	// PruneStats are one query's threshold-pruning counters (see
+	// db.TopKSparseStats), the inspectable side of WithPruning A/Bs.
+	PruneStats = core.PruneStats
+	// CompactionPolicy configures background size-tiered compaction
+	// (see WithCompactionPolicy / db.SetCompactionPolicy).
+	CompactionPolicy = core.CompactionPolicy
 	// SnapshotError is the typed error for corrupt, missing, or
 	// unreadable v2 snapshot-directory files; it names the offending
 	// file.
@@ -162,11 +171,14 @@ type Config struct {
 type Option func(*perfOpts)
 
 type perfOpts struct {
-	workers int
-	sparse  bool
-	shards  int
-	segSize int
-	noIndex bool
+	workers    int
+	sparse     bool
+	shards     int
+	segSize    int
+	noIndex    bool
+	noPrune    bool
+	pruneTheta float64
+	tierFanout int
 }
 
 // WithWorkers bounds the helper's worker-pool fan-out: 0 (the default)
@@ -197,6 +209,33 @@ func WithIndex(on bool) Option { return func(o *perfOpts) { o.noIndex = !on } }
 // results are bit-identical at any setting. Call db.Seal() to compress
 // the current actives explicitly, e.g. before a save.
 func WithSegmentSize(n int) Option { return func(o *perfOpts) { o.segSize = n } }
+
+// WithPruning routes NewDB's indexed cosine/Euclidean queries through
+// the threshold-pruned walk (the default) or forces the plain
+// accumulate-everything indexed walk, for A/B comparison — exact-mode
+// results are bit-identical either way, the pruned walk just skips
+// posting blocks that provably cannot change the top k. Per-query
+// skip counters are available through db.TopKSparseStats /
+// db.ClassifySparseStats (see PruneStats).
+func WithPruning(on bool) Option { return func(o *perfOpts) { o.noPrune = !on } }
+
+// WithPruneTheta sets the approximate pruning mode: remainder bounds
+// are scaled by theta before being compared against the current k-th
+// best score, so theta in (0, 1) prunes more aggressively with a
+// bounded recall loss. 1 (the default) is exact; values outside (0, 1]
+// clamp to 1.
+func WithPruneTheta(theta float64) Option { return func(o *perfOpts) { o.pruneTheta = theta } }
+
+// WithCompactionPolicy enables NewDB's background size-tiered
+// compaction: whenever a segment seals, runs of tierFanout adjacent
+// same-tier sealed segments are spliced into the next tier, keeping the
+// sealed-segment count logarithmic in the store size under continuous
+// ingestion — no manual Compact calls. tierFanout < 1 leaves the policy
+// off; 1 is rejected by NewDB (a typed *ConfigError). Query results are
+// bit-identical with any policy.
+func WithCompactionPolicy(tierFanout int) Option {
+	return func(o *perfOpts) { o.tierFanout = tierFanout }
+}
 
 func applyOpts(opts []Option) perfOpts {
 	var o perfOpts
@@ -424,6 +463,15 @@ func NewDB(dim int, opts ...Option) (*DB, error) {
 	db.SetWorkers(o.workers)
 	db.SetIndexed(!o.noIndex)
 	db.SetSegmentSize(o.segSize)
+	db.SetPruned(!o.noPrune)
+	if o.pruneTheta != 0 {
+		db.SetPruneTheta(o.pruneTheta)
+	}
+	if o.tierFanout > 0 {
+		if err := db.SetCompactionPolicy(core.CompactionPolicy{TierFanout: o.tierFanout}); err != nil {
+			return nil, err
+		}
+	}
 	return db, nil
 }
 

@@ -161,6 +161,24 @@ func (e *DimensionError) Error() string {
 	return fmt.Sprintf("core: %s has dimension %d, want %d", e.What, e.Got, e.Want)
 }
 
+// ConfigError reports a construction or configuration parameter outside
+// its accepted range (a non-positive dimension or shard count, a
+// compaction fan-out below 2). It is a typed error so callers can
+// distinguish a bad knob from runtime failures.
+type ConfigError struct {
+	// Param names the offending parameter ("dimension", "shard count").
+	Param string
+	// Value is the rejected value.
+	Value int
+	// Min is the smallest accepted value.
+	Min int
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("core: %s %d must be >= %d", e.Param, e.Value, e.Min)
+}
+
 // ErrEmptyDB is returned by similarity queries against a database with no
 // stored signatures.
 var ErrEmptyDB = errors.New("core: empty database")
@@ -205,6 +223,16 @@ type DB struct {
 	workers int
 	total   int
 	noIndex bool
+	// noPrune forces the plain indexed walk; pruneTheta (0 meaning 1)
+	// is the approximate-mode relaxation; pruneFloor (0 meaning
+	// pruneMinRows) is the shard-size floor below which pruning is not
+	// attempted — see prune.go.
+	noPrune    bool
+	pruneTheta float64
+	pruneFloor int
+	// policy, when enabled, keeps sealed-segment counts bounded by
+	// merging same-tier runs on every seal — see segment.go.
+	policy  CompactionPolicy
 	segSize int
 	nextSeg uint64
 	// saveDir is the directory the last SaveDir wrote to; segment dirty
@@ -235,10 +263,10 @@ func NewDB(dim int) (*DB, error) { return NewShardedDB(dim, 1) }
 // identical at any shard count.
 func NewShardedDB(dim, shards int) (*DB, error) {
 	if dim < 1 {
-		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
+		return nil, &ConfigError{Param: "dimension", Value: dim, Min: 1}
 	}
 	if shards < 1 {
-		return nil, fmt.Errorf("core: shard count %d must be >= 1", shards)
+		return nil, &ConfigError{Param: "shard count", Value: shards, Min: 1}
 	}
 	db := &DB{dim: dim, shards: make([]dbShard, shards)}
 	db.scratch = percpu.NewPool(func() *dbScratch {
@@ -299,6 +327,10 @@ func (db *DB) Add(sig Signature) error {
 	sg.dirty = true
 	if sg.len() >= db.SegmentSize() {
 		sg.seal(sh)
+		// A roll is the compaction policy's trigger: merging here (not on
+		// a timer, not manually) keeps the sealed count bounded at every
+		// point of a continuous ingestion stream.
+		db.policyCompact(sh)
 	}
 	db.total++
 	return nil
@@ -380,6 +412,10 @@ type shardScratch struct {
 	heap  topkHeap
 	acc   vecmath.Accumulator
 	dense vecmath.Vector
+	prune pruneScratch
+	// stats collects this shard's pruning counters for the current query
+	// (reset by topkShard); the *Stats entry points sum them.
+	stats PruneStats
 }
 
 // topkHeap is a bounded binary heap holding the k best candidates seen so
@@ -658,6 +694,7 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 	sh := &db.shards[si]
 	h := &ss.heap
 	h.reset(metric.HigherIsCloser)
+	ss.stats = PruneStats{}
 	if len(sh.sigs) == 0 {
 		// More shards than signatures: nothing stored here yet (and no
 		// segments to walk).
@@ -674,7 +711,33 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 		// accumulation order inside a segment equals the pre-segment
 		// whole-shard walk (ascending query dims, each candidate sees
 		// exactly its intersection terms), so dots are bit-identical.
+		//
+		// With pruning on (the default) and sealed segments present, a
+		// strided sample of min(k, len) candidates is scored canonically
+		// up front so the heap holds a displacement threshold before any
+		// segment is walked; sealed segments then take the threshold-
+		// pruned walk (prune.go) and the seed sample is excluded from
+		// every later offer loop. The seed scores, the pruned walk's
+		// rescoring, and the plain walk all produce the canonical
+		// per-candidate score, and the heap's (score, index) total order
+		// is arrival-independent — results stay bit-identical with
+		// pruning on or off.
+		prune := !db.noPrune && metric.kind != metricKindOther && sh.segs[0].sealed &&
+			len(sh.sigs) >= db.pruneRowFloor()
+		var seeds []int32
+		if prune {
+			seeds = seedHeap(sh, &ss.prune, h, k, query, metric, qNorm2)
+			prune = len(h.idx) == k
+		}
+		if prune {
+			seeds = db.probeSeed(sh, &ss.prune, h, k, query, metric, qNorm2)
+		}
+		theta := db.PruneTheta()
 		for _, sg := range sh.segs {
+			ss.stats.Segments++
+			if prune && sg.blocks != nil && db.prunedSegment(sh, sg, ss, h, k, query, metric, qNorm2, theta, seeds) {
+				continue
+			}
 			sg.postings().dots(query, &ss.acc)
 			// Score every candidate from its accumulated dot. The two
 			// built-in metrics take devirtualized loops (their formulas
@@ -682,12 +745,13 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 			// exactly the candidates offer would reject); other indexable
 			// metrics go through the function value. Same formula, same
 			// (score, index) decisions — identical results, fewer
-			// indirect calls on the hot path.
+			// indirect calls on the hot path. (seeds is empty unless the
+			// seed pass ran, and metricKindOther never seeds.)
 			switch metric.kind {
 			case metricKindEuclidean:
-				offerEuclidean(h, k, sh, sg, &ss.acc, qNorm2)
+				offerEuclidean(h, k, sh, sg, &ss.acc, qNorm2, seeds)
 			case metricKindCosine:
-				offerCosine(h, k, sh, sg, &ss.acc, qNorm2)
+				offerCosine(h, k, sh, sg, &ss.acc, qNorm2, seeds)
 			default:
 				for j := sg.start; j < sg.end; j++ {
 					h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, sh.norms[j]))
@@ -721,20 +785,29 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 }
 
 // offerEuclidean scores one segment's candidates under the Euclidean
-// metric and offers them to the shard heap. Once the heap is full, a
-// candidate is pre-filtered against the root with exactly offer's
-// displacement predicate (farther, or equal and a larger insertion
-// index, never displaces), so the kept set is identical to calling
-// offer for every candidate — the fast path only skips calls that
-// would have returned without mutating the heap.
-func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64) {
+// metric and offers them to the shard heap, skipping the shard rows in
+// seeds (ascending; already offered by the pruning seed pass — a
+// single merge cursor excludes them in O(1) amortized). Once the heap
+// is full, a candidate is pre-filtered against the root with exactly
+// offer's displacement predicate (farther, or equal and a larger
+// insertion index, never displaces), so the kept set is identical to
+// calling offer for every candidate — the fast path only skips calls
+// that would have returned without mutating the heap.
+func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
 	var ri int
 	if full {
 		rs, ri = h.score[0], h.idx[0]
 	}
+	si := 0
 	for j := sg.start; j < sg.end; j++ {
+		for si < len(seeds) && int(seeds[si]) < j {
+			si++
+		}
+		if si < len(seeds) && int(seeds[si]) == j {
+			continue
+		}
 		score := euclideanDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
 		gid := sh.gids[j]
 		if full && (score > rs || (score == rs && gid > ri)) {
@@ -750,14 +823,21 @@ func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.A
 
 // offerCosine is offerEuclidean for the cosine similarity (higher is
 // closer, so the root pre-filter flips).
-func offerCosine(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64) {
+func offerCosine(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
 	var ri int
 	if full {
 		rs, ri = h.score[0], h.idx[0]
 	}
+	si := 0
 	for j := sg.start; j < sg.end; j++ {
+		for si < len(seeds) && int(seeds[si]) < j {
+			si++
+		}
+		if si < len(seeds) && int(seeds[si]) == j {
+			continue
+		}
 		score := cosineDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
 		gid := sh.gids[j]
 		if full && (score < rs || (score == rs && gid > ri)) {

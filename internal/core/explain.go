@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/vecmath"
 )
 
 // TermWeight is one term's contribution to a signature, resolved to a
@@ -104,4 +106,85 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// PruneStats are one query's threshold-pruning counters — the
+// operator-facing "what did pruning actually buy" view for -prune A/Bs
+// (see prune.go). All counters cover the indexed path only; scan
+// queries report zeros.
+type PruneStats struct {
+	// Segments is the number of segments the indexed walk visited;
+	// SegmentsPruned of them took the threshold-pruned walk (the rest
+	// were unprunable against the heap root, still active, or already
+	// covered by the seed pass).
+	Segments       int64
+	SegmentsPruned int64
+	// Candidates counts the signatures covered by pruned segment walks;
+	// CandidatesScored of them survived the bound filters and had their
+	// exact score recomputed. The gap is the walk's saving: covered
+	// candidates whose exact score was never needed.
+	Candidates       int64
+	CandidatesScored int64
+	// DimsConsidered counts (segment, query-dim) pairs with postings;
+	// DimsSkipped of them fell past the essential cutoff and were never
+	// accumulated.
+	DimsConsidered int64
+	DimsSkipped    int64
+	// BlocksConsidered counts the posting blocks under the considered
+	// dims; BlocksSkipped of them were never decoded (skipped dims'
+	// blocks, all-zero blocks, and block-max skips).
+	BlocksConsidered int64
+	BlocksSkipped    int64
+}
+
+// add accumulates s into p (the per-shard to per-query reduction).
+func (p *PruneStats) add(s *PruneStats) {
+	p.Segments += s.Segments
+	p.SegmentsPruned += s.SegmentsPruned
+	p.Candidates += s.Candidates
+	p.CandidatesScored += s.CandidatesScored
+	p.DimsConsidered += s.DimsConsidered
+	p.DimsSkipped += s.DimsSkipped
+	p.BlocksConsidered += s.BlocksConsidered
+	p.BlocksSkipped += s.BlocksSkipped
+}
+
+// TopKSparseStats is TopKSparse returning the query's pruning counters
+// alongside the hits. Results are bit-identical to TopKSparse; only the
+// counters are extra.
+func (db *DB) TopKSparseStats(query *vecmath.Sparse, k int, metric Metric) ([]SearchResult, PruneStats, error) {
+	var st PruneStats
+	if query.Dim() != db.dim {
+		return nil, st, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
+	}
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	res, err := db.topkWith(sc, query, nil, k, metric, db.workers, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	for si := range sc.shards {
+		st.add(&sc.shards[si].stats)
+	}
+	return res, st, nil
+}
+
+// ClassifySparseStats is ClassifySparse returning the underlying
+// retrieval's pruning counters alongside the label.
+func (db *DB) ClassifySparseStats(query *vecmath.Sparse, k int, metric Metric) (string, PruneStats, error) {
+	var st PruneStats
+	if query.Dim() != db.dim {
+		return "", st, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
+	}
+	sc := db.scratch.Get()
+	defer db.scratch.Put(sc)
+	hits, err := db.topkWith(sc, query, nil, k, metric, db.workers, sc.hits[:0])
+	if err != nil {
+		return "", st, err
+	}
+	sc.hits = hits
+	for si := range sc.shards {
+		st.add(&sc.shards[si].stats)
+	}
+	return voteLabel(hits, sc.voteMap()), st, nil
 }

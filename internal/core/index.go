@@ -36,7 +36,7 @@ type Index struct {
 // NewIndex creates an empty inverted index over the given dimension.
 func NewIndex(dim int) (*Index, error) {
 	if dim < 1 {
-		return nil, fmt.Errorf("core: index dimension %d must be >= 1", dim)
+		return nil, &ConfigError{Param: "index dimension", Value: dim, Min: 1}
 	}
 	return &Index{dim: dim, ids: make([][]int32, dim), ws: make([][]float64, dim)}, nil
 }

@@ -686,6 +686,12 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 	if err := bp.validate(sup, blockDims); err != nil {
 		return nil, err
 	}
+	// validate just recomputed every block's maxAbsW; derive the pruning
+	// bounds from them (and the rows' cached norms) exactly as seal-time
+	// compression would, so a loaded segment prunes like a freshly sealed
+	// one.
+	bp.buildDimBound()
+	bp.setNormBounds(rows)
 	return bp, nil
 }
 

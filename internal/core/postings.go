@@ -98,6 +98,55 @@ type blockPostings struct {
 	// vals[id] aliases signature id's sparse value array (no copy; the
 	// one weight store is the canonical signature data).
 	vals [][]float64
+	// dimBound[d] is max over dimension d's blocks of maxAbsW — the
+	// directory-level bound the threshold-pruned walk (prune.go) uses to
+	// rank query dims by worst-case contribution |q_d|·dimBound[d]
+	// without touching a descriptor. Zero for dims with no postings.
+	dimBound []float64
+	// minNorm2 / minPosNorm2 are the smallest (respectively smallest
+	// positive) cached squared signature norm in the segment: the
+	// newcomer-score bounds of the pruned walk. A dot-product upper bound
+	// turns into a metric-score bound through the norm that maximizes the
+	// score — the smallest norm for the Euclidean distance, the smallest
+	// positive norm for the cosine (zero-norm signatures score an exact 0,
+	// which any non-negative dot bound already dominates). Both are +Inf
+	// when no signature qualifies.
+	minNorm2    float64
+	minPosNorm2 float64
+}
+
+// buildDimBound (re)derives the directory-level bounds from the block
+// descriptors; callers invoke it whenever the descriptors' maxAbsW are
+// final (seal-time compression, splice, snapshot load).
+func (bp *blockPostings) buildDimBound() {
+	if cap(bp.dimBound) < bp.dim {
+		bp.dimBound = make([]float64, bp.dim)
+	}
+	bp.dimBound = bp.dimBound[:bp.dim]
+	for d := 0; d < bp.dim; d++ {
+		m := 0.0
+		for bi := bp.dir[d]; bi < bp.dir[d+1]; bi++ {
+			if w := bp.blocks[bi].maxAbsW; w > m {
+				m = w
+			}
+		}
+		bp.dimBound[d] = m
+	}
+}
+
+// setNormBounds derives the newcomer-score norm bounds from the covered
+// signatures' cached squared norms.
+func (bp *blockPostings) setNormBounds(rows []Signature) {
+	bp.minNorm2, bp.minPosNorm2 = math.Inf(1), math.Inf(1)
+	for j := range rows {
+		n2 := rows[j].W.Norm2()
+		if n2 < bp.minNorm2 {
+			bp.minNorm2 = n2
+		}
+		if n2 > 0 && n2 < bp.minPosNorm2 {
+			bp.minPosNorm2 = n2
+		}
+	}
 }
 
 // compressIndex re-encodes a flat index into the block-compressed form.
@@ -171,6 +220,8 @@ func compressIndex(ix *Index, rows []Signature) *blockPostings {
 		}
 	}
 	bp.dir[ix.dim] = int32(len(bp.blocks))
+	bp.buildDimBound()
+	bp.setNormBounds(rows)
 	return bp
 }
 
@@ -249,6 +300,14 @@ func spliceBlockPostings(dim int, parts []*blockPostings, offsets []int32) *bloc
 		}
 	}
 	out.dir[dim] = int32(len(out.blocks))
+	out.buildDimBound()
+	// The merged newcomer bounds are the tightest over the parts: the
+	// merged range is exactly the union of the parts' ranges.
+	out.minNorm2, out.minPosNorm2 = math.Inf(1), math.Inf(1)
+	for _, p := range parts {
+		out.minNorm2 = math.Min(out.minNorm2, p.minNorm2)
+		out.minPosNorm2 = math.Min(out.minPosNorm2, p.minPosNorm2)
+	}
 	return out
 }
 
@@ -426,6 +485,7 @@ func (bp *blockPostings) memBytes() int64 {
 		int64(cap(bp.blob)) +
 		int64(cap(bp.blocks))*blockDescSize +
 		int64(cap(bp.dir))*4 +
+		int64(cap(bp.dimBound))*8 +
 		int64(cap(bp.vals))*24
 }
 

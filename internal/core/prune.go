@@ -1,0 +1,524 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/vecmath"
+)
+
+// Threshold-pruned retrieval (maxscore/WAND family) over the
+// block-compressed posting layout. The unpruned indexed walk decodes
+// every block whose dimension appears in the query — O(corpus) work per
+// query no matter how selective the query is. The pruned walk uses the
+// bounds PR 5's descriptors already pay for (per-block maxAbsW, lifted
+// to a per-dim directory bound at seal time) to spend work only where
+// the top-k outcome can still change:
+//
+//  1. The query dims present in the segment are ranked by worst-case
+//     contribution |q_d|·dimBound[d] and suffix-summed in that order.
+//     Once the heap is full, the first suffix whose remaining mass
+//     provably cannot lift any untouched candidate past the heap root
+//     splits the dims into an essential prefix and a skippable tail.
+//  2. Essential dims accumulate as usual (ascending dim order, tracking
+//     which candidates were touched); inside them, an individual block
+//     is skipped when even adding its |q_d|·maxAbsW to every remaining
+//     bound cannot change the outcome (block-max pruning).
+//  3. Touched candidates whose partial dot plus the remaining bound
+//     cannot displace the root are dropped; the survivors are rescored
+//     with the canonical merge-walk dot (Sparse.Dot) — the exact float
+//     sequence the scan path computes — and offered normally. Untouched
+//     candidates are covered wholesale by step 1's bound.
+//
+// Bound arithmetic only ever *filters*; every score that reaches the
+// heap is the canonical one, so exact mode (theta == 1) is bit-identical
+// to the scan at any segment layout, shard count, or worker count — see
+// DESIGN-PERF.md Layer 7 for the full exactness argument, including why
+// pruneEps absorbs the float non-associativity between the bound sums
+// and the canonical dot. theta < 1 shrinks the remainder bounds before
+// comparison (opt-in approximate mode): blocks and candidates whose
+// possible contribution is small relative to the threshold get dropped
+// early, trading a bounded recall loss for speed.
+//
+// The walk prunes against the shard heap's root, so it only engages
+// once the heap is full; topkShard seeds the heap with a strided
+// sample of min(k, len) shard candidates (scored canonically) before
+// the segment walk, which makes the very first — often the largest,
+// post-compaction — segment prunable too, with a threshold that is
+// already near its final value for batch-clustered corpora.
+
+// pruneTailSlack tightens the skippable-tail budget: after the cutoff
+// proves a suffix skippable, the essential prefix keeps growing until
+// the remaining tail mass is below 1/pruneTailSlack of the displacement
+// threshold, and individually skipped blocks are held to the same
+// budget. Skipping is sound at any budget (a skipped mass is always a
+// provable non-displacer); the slack exists for the *rescoring* filter:
+// every touched candidate is pre-filtered against its partial dot plus
+// the total skipped mass, so a tail that is barely below the threshold
+// would let nearly every candidate through to a full merge-walk dot —
+// the filter only bites when the skipped mass is small relative to the
+// threshold. Accumulating a few more cheap posting blocks to keep the
+// tail tiny is the difference between rescoring ~k candidates and
+// rescoring the whole segment.
+const pruneTailSlack = 16
+
+// pruneMinRows is the default shard-size floor below which the pruned
+// walk is not attempted: seeding the heap costs up to k strided
+// canonical dots plus probeBlocks decoded blocks of canonical dots, so
+// on a shard with fewer rows than that the seed pass alone costs more
+// than the plain walk it is meant to undercut (a 100-signature sealed
+// store measured ~4× slower pruned than plain). Pruning exists for the
+// large-corpus regime; tiny shards take the plain sealed walk, whose
+// results are bit-identical anyway. Tests lower db.pruneFloor to keep
+// the equivalence sweeps exercising the pruned path on small fixtures.
+const pruneMinRows = 512
+
+// pruneRowFloor returns the active shard-size floor (db.pruneFloor,
+// defaulting to pruneMinRows when unset).
+func (db *DB) pruneRowFloor() int {
+	if db.pruneFloor != 0 {
+		return db.pruneFloor
+	}
+	return pruneMinRows
+}
+
+// pruneEps is the relative slack added to every remainder bound before
+// it is compared against the heap root. The bound sums (suffix sums of
+// per-dim bounds, partial dots) and the canonical rescoring dot
+// accumulate the same magnitudes in different orders, so they can
+// disagree by a few ULPs per term — bounded by ~n·2^-53 relative to the
+// summed magnitudes, which is below 1e-10 for any realistic support
+// size (even 10^5 terms). 1e-9 of slack keeps every filter decision on
+// the safe (looser) side; slack only ever admits extra candidates to
+// the exact rescoring, never drops one.
+const pruneEps = 1e-9
+
+// pruneScratch is the per-shard working state of the pruned walk; like
+// the accumulator it is pooled per worker, so steady-state queries do
+// not allocate.
+type pruneScratch struct {
+	// slots/bound: query-support positions with postings in this segment
+	// (ascending dim order) and their impact bounds |q_d|·dimBound[d].
+	slots []int32
+	bound []float64
+	// ord permutes slots into descending impact order; suffix[i] is the
+	// impact mass of ord[i:] (suffix[len] == 0).
+	ord    []int32
+	suffix []float64
+	// ess marks the essential slots (the descending-impact prefix that
+	// must be accumulated).
+	ess []bool
+	// touched/stamp/epoch track which segment-local candidates received
+	// at least one posting, so rescoring visits exactly those.
+	touched []int32
+	stamp   []uint32
+	epoch   uint32
+	sorter  impactSorter
+	// seeds holds the shard rows offered by the seed passes (ascending),
+	// which every later offer loop must exclude. seedsTmp is the merge
+	// buffer probeSeed splices its run into.
+	seeds    []int32
+	seedsTmp []int32
+}
+
+// impactSorter orders ord by descending impact bound, ties toward the
+// lower slot — a total order, so the essential prefix is deterministic.
+// It is a stored sort.Interface so sorting allocates nothing.
+type impactSorter struct {
+	ord   []int32
+	bound []float64
+}
+
+func (s *impactSorter) Len() int { return len(s.ord) }
+func (s *impactSorter) Less(a, b int) bool {
+	x, y := s.bound[s.ord[a]], s.bound[s.ord[b]]
+	if x != y {
+		return x > y
+	}
+	return s.ord[a] < s.ord[b]
+}
+func (s *impactSorter) Swap(a, b int) { s.ord[a], s.ord[b] = s.ord[b], s.ord[a] }
+
+// SetPruned routes indexed queries through the threshold-pruned walk
+// (the default) or forces the plain accumulate-everything indexed walk,
+// for A/B comparison; exact-mode results are bit-identical either way.
+func (db *DB) SetPruned(on bool) { db.noPrune = !on }
+
+// Pruned reports whether indexed queries use the threshold-pruned walk.
+func (db *DB) Pruned() bool { return !db.noPrune }
+
+// SetPruneTheta sets the approximate-mode relaxation: remainder bounds
+// are scaled by theta before being compared against the heap root.
+// theta == 1 (the default) is exact; theta in (0, 1) prunes more
+// aggressively with a bounded recall loss. Values outside (0, 1] are
+// clamped to 1.
+func (db *DB) SetPruneTheta(theta float64) {
+	if !(theta > 0 && theta <= 1) {
+		theta = 1
+	}
+	db.pruneTheta = theta
+}
+
+// PruneTheta returns the active approximate-mode relaxation (1 = exact).
+func (db *DB) PruneTheta() float64 {
+	if db.pruneTheta == 0 {
+		return 1
+	}
+	return db.pruneTheta
+}
+
+// seedHeap offers min(k, len) candidates sampled at a fixed stride
+// across the whole shard to the heap with their canonical scores,
+// recording the sampled rows (ascending) in ps.seeds so every later
+// offer loop can exclude them — no candidate is offered twice. It
+// exists so the pruned walk has a full heap — a displacement threshold
+// — before the very first segment; striding the sample (rather than
+// taking the leading rows) matters because real corpora arrive in
+// workload batches, so a spread sample almost always contains a few
+// same-class near neighbors of the query and the threshold starts near
+// its final value. The sample depends only on the shard length, never
+// on the segment layout, and the seeds are scored canonically — the
+// kept set stays layout-independent and bit-identical.
+func seedHeap(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
+	n := len(sh.sigs)
+	warm := k
+	if warm > n {
+		warm = n
+	}
+	ps.seeds = ps.seeds[:0]
+	cosine := metric.kind == metricKindCosine
+	for i := 0; i < warm; i++ {
+		j := i * n / warm
+		ps.seeds = append(ps.seeds, int32(j))
+		dot := query.Dot(sh.sigs[j].W)
+		var score float64
+		if cosine {
+			score = cosineDotScore(dot, qNorm2, sh.norms[j])
+		} else {
+			score = euclideanDotScore(dot, qNorm2, sh.norms[j])
+		}
+		h.offer(k, sh.gids[j], score)
+	}
+	return ps.seeds
+}
+
+// probeBlocks bounds how many posting blocks probeSeed decodes.
+const probeBlocks = 2
+
+// probeSeed sharpens the seed threshold with a query-adaptive sample:
+// the strided sample bounds the threshold by chance (k spread draws
+// rarely include near neighbors when the query's workload class is a
+// sliver of the corpus), so this pass finds the single highest-impact
+// posting list for the query across the shard's sealed segments —
+// max |q_d|·dimBound[d], the list a near neighbor is most likely to
+// sit in — decodes its first blocks, and offers those candidates
+// canonically. For batch-clustered signatures that list belongs to the
+// query's own class, so the heap root starts near its final value and
+// even the largest segment prunes on first contact. Seed choice cannot
+// affect results — every candidate is scored canonically and offered
+// exactly once, and the heap's (score, index) total order makes the
+// kept set walk-order-independent — so probing is a pure threshold
+// accelerator. Returns the updated (sorted) seed list.
+func (db *DB) probeSeed(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
+	idx, val := query.Support(), query.Values()
+	var bestSeg *segment
+	bestDim, best := -1, 0.0
+	for _, sg := range sh.segs {
+		if sg.blocks == nil {
+			continue
+		}
+		bp := sg.blocks
+		for s, d := range idx {
+			if bp.dir[d] == bp.dir[d+1] {
+				continue
+			}
+			if imp := math.Abs(val[s]) * bp.dimBound[d]; imp > best {
+				best, bestSeg, bestDim = imp, sg, int(d)
+			}
+		}
+	}
+	if bestSeg == nil {
+		return ps.seeds
+	}
+	base := len(ps.seeds) // the sorted strided run
+	bp := bestSeg.blocks
+	cosine := metric.kind == metricKindCosine
+	var sc postingScratch
+	lo, hi := bp.dir[bestDim], bp.dir[bestDim+1]
+	if hi-lo > probeBlocks {
+		hi = lo + probeBlocks
+	}
+	for bi := lo; bi < hi; bi++ {
+		ids, _ := bp.decodeBlock(&bp.blocks[bi], &sc)
+		for _, id := range ids {
+			j := bestSeg.start + int(id)
+			if seedContains(ps.seeds[:base], int32(j)) {
+				continue
+			}
+			ps.seeds = append(ps.seeds, int32(j))
+			dot := query.Dot(sh.sigs[j].W)
+			var score float64
+			if cosine {
+				score = cosineDotScore(dot, qNorm2, sh.norms[j])
+			} else {
+				score = euclideanDotScore(dot, qNorm2, sh.norms[j])
+			}
+			h.offer(k, sh.gids[j], score)
+		}
+	}
+	if len(ps.seeds) == base {
+		return ps.seeds
+	}
+	// Merge the two sorted runs (strided, probe) so exclusion stays a
+	// single ascending cursor; the runs are disjoint by the contains
+	// check above. The old backing array becomes the next merge buffer.
+	a, b := ps.seeds[:base], ps.seeds[base:]
+	if cap(ps.seedsTmp) < len(ps.seeds) {
+		ps.seedsTmp = make([]int32, 0, 2*len(ps.seeds))
+	}
+	out := ps.seedsTmp[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	ps.seedsTmp = ps.seeds[:0]
+	ps.seeds = out
+	return ps.seeds
+}
+
+// seedContains reports whether the sorted seed list holds shard row j.
+func seedContains(seeds []int32, j int32) bool {
+	lo, hi := 0, len(seeds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seeds[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(seeds) && seeds[lo] == j
+}
+
+// prunedSegment runs the threshold-pruned walk over one sealed segment,
+// offering every candidate that could still belong to the top k. It
+// reports false — leaving the heap untouched — when no dim can be
+// proven skippable, in which case the caller runs the plain indexed
+// walk (the bounds would all be checked and none would fire, so the
+// plain fused kernels are strictly faster). seeds holds the shard rows
+// already offered by seedHeap (ascending); the caller guarantees the
+// heap is full.
+func (db *DB) prunedSegment(sh *dbShard, sg *segment, ss *shardScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2, theta float64, seeds []int32) bool {
+	bp := sg.blocks
+	ps := &ss.prune
+	idx, val := query.Support(), query.Values()
+	cosine := metric.kind == metricKindCosine
+
+	// Impact bounds of the query dims present in this segment.
+	ps.slots, ps.bound, ps.ord = ps.slots[:0], ps.bound[:0], ps.ord[:0]
+	totalBlk := 0
+	for s, d := range idx {
+		lo, hi := bp.dir[d], bp.dir[d+1]
+		if lo == hi {
+			continue
+		}
+		ps.ord = append(ps.ord, int32(len(ps.slots)))
+		ps.slots = append(ps.slots, int32(s))
+		ps.bound = append(ps.bound, math.Abs(val[s])*bp.dimBound[d])
+		totalBlk += int(hi - lo)
+	}
+	m := len(ps.slots)
+	ss.stats.DimsConsidered += int64(m)
+	ss.stats.BlocksConsidered += int64(totalBlk)
+
+	// Descending-impact order and suffix mass.
+	ps.sorter.ord, ps.sorter.bound = ps.ord, ps.bound
+	sort.Sort(&ps.sorter)
+	if cap(ps.suffix) < m+1 {
+		ps.suffix = make([]float64, m+1)
+	}
+	ps.suffix = ps.suffix[:m+1]
+	ps.suffix[m] = 0
+	for i := m - 1; i >= 0; i-- {
+		ps.suffix[i] = ps.suffix[i+1] + ps.bound[ps.ord[i]]
+	}
+
+	// canSkip reports whether NO candidate whose unaccumulated dot mass
+	// is at most rem can displace the heap root: the dot bound becomes a
+	// score bound through the norm that maximizes the score, and only a
+	// strictly-worse bound is conclusive (an equal score could still
+	// displace through the smaller-gid tie-break). The heap root is read
+	// live, but no offer happens until rescoring, after every canSkip
+	// decision — the threshold is constant while bounds are evaluated.
+	canSkip := func(rem float64) bool {
+		if cosine {
+			return cosineDotScore(rem, qNorm2, bp.minPosNorm2) < h.score[0]
+		}
+		return euclideanDotScore(rem, qNorm2, bp.minNorm2) > h.score[0]
+	}
+
+	// Essential cutoff: the first suffix (the whole support included, at
+	// i == m, covering candidates with no query overlap at all) whose
+	// mass cannot displace the root. No such suffix means nothing in
+	// this segment is provably skippable.
+	cut := -1
+	for i := 0; i <= m; i++ {
+		if canSkip(theta * ps.suffix[i] * (1 + pruneEps)) {
+			cut = i
+			break
+		}
+	}
+	if cut < 0 {
+		return false
+	}
+	// A zero cut covers the whole segment — nothing to accumulate.
+	// Otherwise extend the essential prefix until the tail is far below
+	// the threshold (see pruneTailSlack), so the rescoring filter is
+	// tight enough to keep full-dot rescores near k — then bail to the
+	// plain walk unless the skippable tail covers a meaningful share of
+	// the segment's posting blocks: the touch-tracked kernel is slower
+	// per posting than the fused one, so a walk that decodes nearly
+	// everything anyway should decode it the fast way.
+	if cut > 0 {
+		for cut < m && !canSkip(theta*ps.suffix[cut]*pruneTailSlack*(1+pruneEps)) {
+			cut++
+		}
+		tailBlk := 0
+		for i := cut; i < m; i++ {
+			d := idx[ps.slots[ps.ord[i]]]
+			tailBlk += int(bp.dir[d+1] - bp.dir[d])
+		}
+		if 4*tailBlk < totalBlk {
+			return false
+		}
+	}
+	ss.stats.SegmentsPruned++
+	ss.stats.Candidates += int64(bp.n)
+	ss.stats.DimsSkipped += int64(m - cut)
+
+	if cap(ps.ess) < m {
+		ps.ess = make([]bool, m)
+	}
+	ps.ess = ps.ess[:m]
+	for i := range ps.ess {
+		ps.ess[i] = false
+	}
+	for i := 0; i < cut; i++ {
+		ps.ess[ps.ord[i]] = true
+	}
+
+	// Touch-tracked accumulation over the essential dims, in ascending
+	// dim order (slots were built ascending). skipped accumulates the
+	// impact bounds of individually skipped blocks: a candidate sits in
+	// at most one block per dim, so its unaccumulated mass is bounded by
+	// the skippable-tail suffix plus the skipped-block total.
+	acc := &ss.acc
+	acc.Reset(bp.n)
+	if cap(ps.stamp) < bp.n {
+		ps.stamp = make([]uint32, bp.n)
+		ps.epoch = 0
+	}
+	ps.stamp = ps.stamp[:bp.n]
+	ps.epoch++
+	if ps.epoch == 0 {
+		// Epoch wrap: clear the full capacity so pre-wrap stamps cannot
+		// alias the fresh epoch (same discipline as the accumulator).
+		full := ps.stamp[:cap(ps.stamp)]
+		for i := range full {
+			full[i] = 0
+		}
+		ps.epoch = 1
+	}
+	ps.touched = ps.touched[:0]
+	skipped := 0.0
+	for p := 0; p < m; p++ {
+		s := ps.slots[p]
+		d := idx[s]
+		if !ps.ess[p] {
+			ss.stats.BlocksSkipped += int64(bp.dir[d+1] - bp.dir[d])
+			continue
+		}
+		qv := val[s]
+		aq := math.Abs(qv)
+		for bi := bp.dir[d]; bi < bp.dir[d+1]; bi++ {
+			bd := &bp.blocks[bi]
+			if bd.maxAbsW == 0 {
+				ss.stats.BlocksSkipped++
+				continue
+			}
+			if bb := aq * bd.maxAbsW; canSkip(theta * (ps.suffix[cut] + skipped + bb) * pruneTailSlack * (1 + pruneEps)) {
+				skipped += bb
+				ss.stats.BlocksSkipped++
+				continue
+			}
+			bp.accumBlockTouch(qv, bd, acc, ps)
+		}
+	}
+
+	// Rescore the touched candidates: drop those whose partial dot plus
+	// the remainder bound cannot displace the root (the same predicate
+	// offer would decide with, against a bound that dominates the exact
+	// score), then offer the survivors' canonical scores. The extra
+	// pruneEps·suffix[0] absorbs the float drift between the essential
+	// partial sums and the canonical merge-walk dot. Untouched
+	// candidates were covered wholesale by the cutoff/block checks.
+	rem := theta*(ps.suffix[cut]+skipped)*(1+pruneEps) + pruneEps*(ps.suffix[0]+skipped)
+	rs, ri := h.score[0], h.idx[0]
+	for _, id := range ps.touched {
+		j := sg.start + int(id)
+		gid := sh.gids[j]
+		ub := acc.Get(int(id)) + rem
+		var score float64
+		if cosine {
+			if b := cosineDotScore(ub, qNorm2, sh.norms[j]); b < rs || (b == rs && gid > ri) {
+				continue
+			}
+			if seedContains(seeds, int32(j)) {
+				continue // already offered canonically by seedHeap
+			}
+			ss.stats.CandidatesScored++
+			score = cosineDotScore(query.Dot(sh.sigs[j].W), qNorm2, sh.norms[j])
+			if score < rs || (score == rs && gid > ri) {
+				continue
+			}
+		} else {
+			if b := euclideanDotScore(ub, qNorm2, sh.norms[j]); b > rs || (b == rs && gid > ri) {
+				continue
+			}
+			if seedContains(seeds, int32(j)) {
+				continue // already offered canonically by seedHeap
+			}
+			ss.stats.CandidatesScored++
+			score = euclideanDotScore(query.Dot(sh.sigs[j].W), qNorm2, sh.norms[j])
+			if score > rs || (score == rs && gid > ri) {
+				continue
+			}
+		}
+		h.offer(k, gid, score)
+		rs, ri = h.score[0], h.idx[0]
+	}
+	return true
+}
+
+// accumBlockTouch is the pruned walk's block kernel: decodeBlock into
+// the scratch, accumulate, and record first touches so rescoring can
+// enumerate exactly the candidates with a nonzero partial sum.
+func (bp *blockPostings) accumBlockTouch(qv float64, bd *blockDesc, acc *vecmath.Accumulator, ps *pruneScratch) {
+	var sc postingScratch
+	ids, ws := bp.decodeBlock(bd, &sc)
+	for k, id := range ids {
+		acc.Add(id, qv*ws[k])
+		if ps.stamp[id] != ps.epoch {
+			ps.stamp[id] = ps.epoch
+			ps.touched = append(ps.touched, id)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// buildPrunedDB assembles a DB in one of the sweep's storage layouts:
+// "sealed" (everything block-compressed), "mixed" (sealed prefix plus a
+// flat active tail), or "compacted" (tier policy enabled while
+// ingesting, so the sealed run is a merge history).
+func buildPrunedDB(t *testing.T, sigs []Signature, shards, workers, segSize int, layout string) *DB {
+	t.Helper()
+	db, err := NewShardedDB(sigs[0].Dim(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small fixtures sit under the production shard-size floor; lower it
+	// so the sweep actually exercises the pruned walk.
+	db.pruneFloor = 1
+	db.SetWorkers(workers)
+	db.SetSegmentSize(segSize)
+	if layout == "compacted" {
+		if err := db.SetCompactionPolicy(CompactionPolicy{TierFanout: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut := len(sigs)
+	if layout == "mixed" {
+		cut = len(sigs) * 3 / 4
+	}
+	if err := db.AddAll(sigs[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	db.Seal()
+	if err := db.AddAll(sigs[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// requireSameHits asserts bit-identical retrieval results (same DocIDs,
+// float-equal scores, same order).
+func requireSameHits(t *testing.T, ctx string, got, want []SearchResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d hits, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Signature.DocID != want[i].Signature.DocID || got[i].Score != want[i].Score {
+			t.Fatalf("%s: hit %d = (%s, %v), want (%s, %v)",
+				ctx, i, got[i].Signature.DocID, got[i].Score, want[i].Signature.DocID, want[i].Score)
+		}
+	}
+}
+
+// TestPrunedTopKMatchesScan is the exact-mode property sweep: across
+// seeds, shard counts, worker counts, storage layouts, and both
+// indexable metrics, the threshold-pruned TopK/TopKBatch/Classify must
+// be bit-identical to the unpruned exhaustive scan. Duplicate
+// signatures force equal scores through the insertion-order tie-break,
+// the adversarial case for any bound-based skip.
+func TestPrunedTopKMatchesScan(t *testing.T) {
+	const dim, nnz, n, segSize = 150, 18, 400, 48
+	metrics := []Metric{CosineMetric(), EuclideanMetric()}
+	for seed := int64(1); seed <= 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sigs := randSigs(r, n, dim, nnz)
+		dup := sigs[11]
+		dup.DocID = "dup-11"
+		sigs = append(sigs, dup)
+		queries := make([]*vecmath.Sparse, 4)
+		for qi := range queries {
+			queries[qi] = randSigs(r, 1, dim, nnz)[0].W
+		}
+		// One query probes far outside the corpus distribution so heaps
+		// fill with poor scores (weak thresholds, little pruning).
+		queries[3] = sigs[0].W
+
+		// Scan reference: single shard, index and pruning off.
+		ref, err := NewDB(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.SetIndexed(false)
+		if err := ref.AddAll(sigs); err != nil {
+			t.Fatal(err)
+		}
+
+		for _, metric := range metrics {
+			for _, k := range []int{1, 7, 40} {
+				want := make([][]SearchResult, len(queries))
+				wantLabel := make([]string, len(queries))
+				for qi, q := range queries {
+					if want[qi], err = ref.TopKSparse(q, k, metric); err != nil {
+						t.Fatal(err)
+					}
+					if wantLabel[qi], err = ref.ClassifySparse(q, k, metric); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, shards := range []int{1, 3, 4} {
+					for _, workers := range []int{1, 4} {
+						for _, layout := range []string{"sealed", "mixed", "compacted"} {
+							ctx := fmt.Sprintf("seed=%d metric=%s k=%d shards=%d workers=%d layout=%s",
+								seed, metric.Name, k, shards, workers, layout)
+							db := buildPrunedDB(t, sigs, shards, workers, segSize, layout)
+							for qi, q := range queries {
+								got, err := db.TopKSparse(q, k, metric)
+								if err != nil {
+									t.Fatal(err)
+								}
+								requireSameHits(t, ctx+" TopKSparse", got, want[qi])
+							}
+							batch, err := db.TopKBatch(queries, k, metric)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for qi := range queries {
+								requireSameHits(t, ctx+" TopKBatch", batch[qi], want[qi])
+							}
+							labels, err := db.ClassifyBatch(queries, k, metric)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for qi := range queries {
+								if labels[qi] != wantLabel[qi] {
+									t.Fatalf("%s: ClassifyBatch[%d] = %q, want %q", ctx, qi, labels[qi], wantLabel[qi])
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// clusterSigs builds batch-clustered signatures in the regime the
+// pruned walk targets (and real tf-idf signatures live in): each
+// workload class owns a few high-weight dims, every signature shares a
+// pool of low-weight common dims, and classes arrive in contiguous
+// batches.
+func clusterSigs(r *rand.Rand, n, dim, classSize int) []Signature {
+	const classDims, commonPool = 12, 30
+	out := make([]Signature, n)
+	for i := range out {
+		class := i / classSize
+		cr := rand.New(rand.NewSource(999983*int64(class) + 7))
+		v := vecmath.NewVector(dim)
+		for j := 0; j < classDims; j++ {
+			v[commonPool+cr.Intn(dim-commonPool)] = 0.5 + 0.5*r.Float64()
+		}
+		for d := 0; d < commonPool; d++ {
+			if r.Float64() < 0.7 {
+				v[d] = 0.02 + 0.04*r.Float64()
+			}
+		}
+		out[i] = SignatureFromDense(fmt.Sprintf("d%d", i), fmt.Sprintf("c%d", class), v)
+	}
+	return out
+}
+
+// TestPruneStatsCounters checks that the pruned walk actually skips
+// work on a sealed store and that the counters expose it coherently —
+// while the results stay identical to the unpruned indexed walk. The
+// corpus is batch-clustered (clusterSigs): on shapeless uniform data
+// the walk's profitability check correctly falls back to the plain
+// kernels, so this is the corpus where the counters must light up.
+func TestPruneStatsCounters(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sigs := clusterSigs(r, 3000, 200, 250)
+	for _, metric := range []Metric{CosineMetric(), EuclideanMetric()} {
+		db, err := NewShardedDB(200, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.SetSegmentSize(256)
+		if err := db.AddAll(sigs); err != nil {
+			t.Fatal(err)
+		}
+		db.Seal()
+		q := sigs[1234].W // a class-4 member: its class postings dominate
+		hits, st, err := db.TopKSparseStats(q, 5, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Segments == 0 || st.SegmentsPruned == 0 {
+			t.Fatalf("%s: no pruned segments: %+v", metric.Name, st)
+		}
+		if st.BlocksSkipped == 0 && st.DimsSkipped == 0 {
+			t.Fatalf("%s: pruning fired but skipped nothing: %+v", metric.Name, st)
+		}
+		if st.CandidatesScored >= st.Candidates {
+			t.Fatalf("%s: rescored %d of %d covered candidates — no saving", metric.Name, st.CandidatesScored, st.Candidates)
+		}
+		db.SetPruned(false)
+		want, err := db.TopKSparse(q, 5, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameHits(t, metric.Name+" pruned vs unpruned", hits, want)
+		if _, st2, err := db.TopKSparseStats(q, 5, metric); err != nil {
+			t.Fatal(err)
+		} else if st2.SegmentsPruned != 0 {
+			t.Fatalf("%s: SetPruned(false) still pruned: %+v", metric.Name, st2)
+		}
+		db.SetPruned(true)
+		if label, st3, err := db.ClassifySparseStats(q, 5, metric); err != nil {
+			t.Fatal(err)
+		} else {
+			if st3.SegmentsPruned == 0 {
+				t.Fatalf("%s: classify path reported no pruning: %+v", metric.Name, st3)
+			}
+			wantLabel, err := db.ClassifySparse(q, 5, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if label != wantLabel {
+				t.Fatalf("%s: ClassifySparseStats label %q, want %q", metric.Name, label, wantLabel)
+			}
+		}
+	}
+}
+
+// TestPruneThetaRecall pins the approximate mode: theta < 1 may drop
+// true neighbors, but recall@k against the exact result must stay above
+// a floor, and theta outside (0, 1] must clamp back to exact.
+func TestPruneThetaRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sigs := randSigs(r, 2000, 200, 20)
+	db, err := NewShardedDB(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(256)
+	if err := db.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	db.Seal()
+	const k, nq = 10, 20
+	for _, metric := range []Metric{CosineMetric(), EuclideanMetric()} {
+		overlap, total := 0, 0
+		for qi := 0; qi < nq; qi++ {
+			q := randSigs(r, 1, 200, 20)[0].W
+			db.SetPruneTheta(1)
+			exact, err := db.TopKSparse(q, k, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db.SetPruneTheta(0.5)
+			approx, err := db.TopKSparse(q, k, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[string]bool, len(approx))
+			for _, h := range approx {
+				got[h.Signature.DocID] = true
+			}
+			for _, h := range exact {
+				total++
+				if got[h.Signature.DocID] {
+					overlap++
+				}
+			}
+		}
+		recall := float64(overlap) / float64(total)
+		if recall < 0.5 {
+			t.Fatalf("%s: recall@%d = %.3f below floor 0.5", metric.Name, k, recall)
+		}
+		t.Logf("%s: theta=0.5 recall@%d = %.3f", metric.Name, k, recall)
+	}
+	db.SetPruneTheta(0)
+	if got := db.PruneTheta(); got != 1 {
+		t.Fatalf("PruneTheta after SetPruneTheta(0) = %v, want clamp to 1", got)
+	}
+	db.SetPruneTheta(1.7)
+	if got := db.PruneTheta(); got != 1 {
+		t.Fatalf("PruneTheta after SetPruneTheta(1.7) = %v, want clamp to 1", got)
+	}
+	db.SetPruneTheta(math.NaN())
+	if got := db.PruneTheta(); got != 1 {
+		t.Fatalf("PruneTheta after SetPruneTheta(NaN) = %v, want clamp to 1", got)
+	}
+}
+
+// TestCompactionPolicyBoundsSegments drives continuous ingestion
+// through the tier policy and asserts the sealed-segment count stays
+// within the tier budget at every point of the stream — while retrieval
+// remains bit-identical to an unpolicied store.
+func TestCompactionPolicyBoundsSegments(t *testing.T) {
+	const dim, nnz, n, segSize, fanout = 120, 12, 6000, 32, 3
+	r := rand.New(rand.NewSource(9))
+	sigs := randSigs(r, n, dim, nnz)
+	db, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(segSize)
+	if err := db.SetCompactionPolicy(CompactionPolicy{TierFanout: fanout}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.SetSegmentSize(segSize)
+
+	budget := func(perShard int) int {
+		// After policyCompact, every adjacent same-tier run holds fewer
+		// than F segments; tiers range up to log_F(perShard/segSize)+1.
+		tiers := 2
+		for bound := segSize * fanout; bound <= perShard; bound *= fanout {
+			tiers++
+		}
+		return (fanout - 1) * tiers
+	}
+	query := randSigs(r, 1, dim, nnz)[0].W
+	for i, s := range sigs {
+		if err := db.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Add(s); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%500 == 0 || i == len(sigs)-1 {
+			perShard := (i + 1 + 1) / 2
+			for si := 0; si < 2; si++ {
+				sealed := 0
+				for _, sg := range db.shards[si].segs {
+					if sg.sealed {
+						sealed++
+					}
+				}
+				if max := budget(perShard); sealed > max {
+					t.Fatalf("after %d adds: shard %d holds %d sealed segments, budget %d", i+1, si, sealed, max)
+				}
+			}
+			got, err := db.TopKSparse(query, 10, EuclideanMetric())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.TopKSparse(query, 10, EuclideanMetric())
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameHits(t, fmt.Sprintf("after %d adds", i+1), got, want)
+		}
+	}
+	if db.Segments() >= plain.Segments() {
+		t.Fatalf("policy store holds %d segments, unpolicied %d — policy never merged", db.Segments(), plain.Segments())
+	}
+}
+
+// TestConfigErrors pins the typed validation of the construction and
+// configuration knobs.
+func TestConfigErrors(t *testing.T) {
+	var ce *ConfigError
+	if _, err := NewShardedDB(0, 1); !errors.As(err, &ce) || ce.Param != "dimension" || ce.Value != 0 {
+		t.Fatalf("NewShardedDB(0, 1) = %v, want dimension ConfigError", err)
+	}
+	if _, err := NewShardedDB(5, 0); !errors.As(err, &ce) || ce.Param != "shard count" || ce.Value != 0 {
+		t.Fatalf("NewShardedDB(5, 0) = %v, want shard-count ConfigError", err)
+	}
+	if _, err := NewShardedDB(5, -3); !errors.As(err, &ce) || ce.Value != -3 {
+		t.Fatalf("NewShardedDB(5, -3) = %v, want shard-count ConfigError", err)
+	}
+	if _, err := NewIndex(0); !errors.As(err, &ce) || ce.Param != "index dimension" {
+		t.Fatalf("NewIndex(0) = %v, want index-dimension ConfigError", err)
+	}
+
+	db, err := NewDB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, -5} {
+		db.SetSegmentSize(bad)
+		if got := db.SegmentSize(); got != DefaultSegmentSize {
+			t.Fatalf("SegmentSize after SetSegmentSize(%d) = %d, want clamp to %d", bad, got, DefaultSegmentSize)
+		}
+	}
+	db.SetSegmentSize(7)
+	if got := db.SegmentSize(); got != 7 {
+		t.Fatalf("SegmentSize = %d, want 7", got)
+	}
+
+	for _, bad := range []int{1, -2} {
+		if err := db.SetCompactionPolicy(CompactionPolicy{TierFanout: bad}); !errors.As(err, &ce) || ce.Value != bad {
+			t.Fatalf("SetCompactionPolicy(%d) = %v, want ConfigError", bad, err)
+		}
+	}
+	if err := db.SetCompactionPolicy(CompactionPolicy{TierFanout: 4}); err != nil {
+		t.Fatalf("SetCompactionPolicy(4) = %v", err)
+	}
+	if got := db.CompactionPolicy().TierFanout; got != 4 {
+		t.Fatalf("CompactionPolicy().TierFanout = %d, want 4", got)
+	}
+	if err := db.SetCompactionPolicy(CompactionPolicy{}); err != nil {
+		t.Fatalf("SetCompactionPolicy(zero) = %v, want disabled ok", err)
+	}
+}

@@ -119,6 +119,22 @@ func (db *DB) Segments() int {
 	return n
 }
 
+// SealedSegments returns the sealed segment count across all shards —
+// the number the compaction policy bounds under continuous ingestion
+// (Segments minus SealedSegments is the active-segment count, at most
+// one per shard).
+func (db *DB) SealedSegments() int {
+	n := 0
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			if sg.sealed {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // DirtySegments returns how many segments would be rewritten by the next
 // SaveDir to the current save directory — the incremental-save cost in
 // segments. A DB never saved (or saved to a different directory) counts
@@ -169,6 +185,7 @@ func (db *DB) Seal() {
 		sh := &db.shards[si]
 		if sg := sh.activeSegment(); sg != nil && sg.len() > 0 {
 			sg.seal(sh)
+			db.policyCompact(sh)
 		}
 	}
 }
@@ -206,25 +223,7 @@ func (db *DB) compactShard(sh *dbShard) {
 			i++
 			continue
 		}
-		// Splice the run [i, j): adjacent segments cover adjacent id
-		// ranges, so rebasing each part's blocks by its range offset
-		// keeps every posting list ascending — descriptor edits plus
-		// byte-stream copies, no varint is decoded and nothing is
-		// re-scored. The merged segment takes a fresh id so its file
-		// never collides with the ones it replaces.
-		merged := sh.segs[i]
-		parts := make([]*blockPostings, 0, j-i)
-		offsets := make([]int32, 0, j-i)
-		for _, sg := range sh.segs[i:j] {
-			parts = append(parts, sg.blocks)
-			offsets = append(offsets, int32(sg.start-merged.start))
-			merged.end = sg.end
-		}
-		merged.blocks = spliceBlockPostings(db.dim, parts, offsets)
-		merged.id = db.nextSeg
-		db.nextSeg++
-		merged.dirty = true
-		out = append(out, merged)
+		out = append(out, db.mergeRun(sh, i, j))
 		i = j
 	}
 	// Drop the tail references so merged-away segments can be collected.
@@ -232,4 +231,117 @@ func (db *DB) compactShard(sh *dbShard) {
 		sh.segs[k] = nil
 	}
 	sh.segs = out
+}
+
+// mergeRun splices the adjacent sealed segments sh.segs[i:j) into one,
+// reusing sh.segs[i] as the merged segment and returning it; the caller
+// rebuilds the shard's segment slice. Adjacent segments cover adjacent
+// id ranges, so rebasing each part's blocks by its range offset keeps
+// every posting list ascending — descriptor edits plus byte-stream
+// copies, no varint is decoded and nothing is re-scored. The merged
+// segment takes a fresh id so its file never collides with the ones it
+// replaces, and it is fully built (postings, bounds, range) before the
+// caller links it into the segment run — a query never sees a
+// half-merged segment.
+func (db *DB) mergeRun(sh *dbShard, i, j int) *segment {
+	merged := sh.segs[i]
+	parts := make([]*blockPostings, 0, j-i)
+	offsets := make([]int32, 0, j-i)
+	for _, sg := range sh.segs[i:j] {
+		parts = append(parts, sg.blocks)
+		offsets = append(offsets, int32(sg.start-merged.start))
+		merged.end = sg.end
+	}
+	merged.blocks = spliceBlockPostings(db.dim, parts, offsets)
+	merged.id = db.nextSeg
+	db.nextSeg++
+	merged.dirty = true
+	return merged
+}
+
+// CompactionPolicy configures background size-tiered compaction: with
+// TierFanout F >= 2, a segment of length n sits in tier
+// floor(log_F(max(1, n / segmentSize))), and whenever F adjacent sealed
+// segments of one tier accumulate they are merged into (at most) one
+// segment of the next. Triggered on every seal (the segment-size roll
+// in Add, or an explicit Seal), the policy keeps each shard's sealed
+// count at O(F · log_F(N / segmentSize)) under continuous ingestion —
+// no manual Compact calls — which also keeps the pruned walk's
+// per-segment directory bounds over few, large segments instead of many
+// loose ones. The zero value (TierFanout 0) disables the policy.
+type CompactionPolicy struct {
+	// TierFanout is F above: how many same-tier segments trigger a
+	// merge, and the tier width ratio. 0 disables; 1 is rejected
+	// (single-segment "merges" would loop); >= 2 enables.
+	TierFanout int
+}
+
+// SetCompactionPolicy installs (or, with the zero value, removes) the
+// background compaction policy. Merging only ever splices sealed
+// posting lists — query results are bit-identical with any policy.
+func (db *DB) SetCompactionPolicy(p CompactionPolicy) error {
+	if p.TierFanout != 0 && p.TierFanout < 2 {
+		return &ConfigError{Param: "compaction tier fan-out", Value: p.TierFanout, Min: 2}
+	}
+	db.policy = p
+	return nil
+}
+
+// CompactionPolicy returns the active policy (zero value = disabled).
+func (db *DB) CompactionPolicy() CompactionPolicy { return db.policy }
+
+// tierOf returns the size tier of a segment of n records under fan-out
+// f: tier t spans [segSize·f^t, segSize·f^(t+1)).
+func (db *DB) tierOf(n, f int) int {
+	t := 0
+	for bound := db.SegmentSize() * f; n >= bound; bound *= f {
+		t++
+	}
+	return t
+}
+
+// policyCompact enforces the tier policy on one shard after a seal:
+// while any run of TierFanout adjacent same-tier sealed segments
+// exists, merge its leftmost TierFanout members and rescan — a merge
+// can promote its output a tier and complete a run there, so the loop
+// cascades until every tier holds fewer than TierFanout adjacent
+// segments. Each iteration shrinks the segment count, so it terminates.
+func (db *DB) policyCompact(sh *dbShard) {
+	f := db.policy.TierFanout
+	if f < 2 {
+		return
+	}
+	for {
+		i, j := db.findTierRun(sh, f)
+		if i < 0 {
+			return
+		}
+		db.mergeRun(sh, i, j)
+		// Close the gap [i+1, j) left by the merged-away segments,
+		// dropping the tail references so they can be collected.
+		copy(sh.segs[i+1:], sh.segs[j:])
+		n := len(sh.segs) - (j - i - 1)
+		for x := n; x < len(sh.segs); x++ {
+			sh.segs[x] = nil
+		}
+		sh.segs = sh.segs[:n]
+	}
+}
+
+// findTierRun returns the leftmost [i, i+F) window of adjacent sealed
+// segments sharing a size tier, or (-1, -1) when none exists. Only the
+// sealed prefix is scanned — an active tail never merges.
+func (db *DB) findTierRun(sh *dbShard, f int) (int, int) {
+	for i := 0; i < len(sh.segs) && sh.segs[i].sealed; {
+		t := db.tierOf(sh.segs[i].len(), f)
+		j := i + 1
+		for j < len(sh.segs) && sh.segs[j].sealed && db.tierOf(sh.segs[j].len(), f) == t {
+			j++
+		}
+		if j-i >= f {
+			return i, i + f
+		}
+		i = j
+	}
+	return -1, -1
 }
