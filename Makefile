@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-smoke fmt
+.PHONY: check build crossbuild vet test race bench bench-smoke fmt
 
 ## check: the tier-1 gate — what CI runs.
-check: vet build test race
+check: vet build crossbuild test race
 
 build:
 	$(GO) build ./...
+
+## crossbuild: compile for a non-linux GOOS so the portable mmap
+## fallback (mapfile_fallback.go) stays buildable, not just the linux
+## fast path the tests exercise.
+crossbuild:
+	GOOS=darwin $(GO) build ./...
 
 vet:
 	$(GO) vet ./...

@@ -97,6 +97,7 @@ func classify(w io.Writer, sigs []fmeter.Signature, k, dim int, saveDB string) e
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	var unlabeled []fmeter.Signature
 	for _, s := range sigs {
 		if s.Label == "" {

@@ -17,10 +17,11 @@ import (
 // posting-list headline of the postings PR. It reports, on the
 // micro-corpus shapes, the resident index bytes of the flat
 // (active-segment) layout against the sealed block-compressed layout,
-// TopK latency over both (comparable with BenchmarkDBTopKIndexed in
-// BENCH_indexed.json — same corpus, same query, same k), and the cold
-// snapshot-load cost of the v2.1 mapped-postings path against the
-// rebuild path and the v1 single-file rewrite.
+// TopK latency over both plus the mmap-served layout (comparable with
+// BenchmarkDBTopKIndexed in BENCH_indexed.json — same corpus, same
+// query, same k), and the cold snapshot-load cost of the v2.1 path —
+// mmap-served and heap-resident — against the rebuild path and the v1
+// single-file rewrite.
 type postRecord struct {
 	Timestamp  string     `json:"timestamp"`
 	GoMaxProcs int        `json:"gomaxprocs"`
@@ -49,17 +50,27 @@ type postCorpus struct {
 }
 
 // postColdLoad compares cold-open costs for the same signatures:
-// LoadDir over sealed v2.1 records (postings mapped and validated, no
-// inverted-index rebuild), LoadDir over unsealed records (no postings
-// section — the rebuild path every load used to take), and the v1
-// single-file ReadSnapshot baseline.
+// LoadDirMapped over sealed v2.1 records (postings served off the file
+// mapping), resident LoadDir over the same directory (postings copied
+// onto the heap), LoadDir over unsealed records (no postings section —
+// the rebuild path every load used to take), and the v1 single-file
+// ReadSnapshot baseline. The residency fields split the posting
+// footprint of each open mode into heap and page-cache bytes.
 type postColdLoad struct {
-	MappedNs     float64 `json:"v21_mapped_ns"`
-	MappedBytes  int64   `json:"v21_mapped_dir_bytes"`
+	MmapNs       float64 `json:"v21_mmap_ns"`
+	ResidentNs   float64 `json:"v21_resident_ns"`
+	SealedBytes  int64   `json:"v21_sealed_dir_bytes"`
 	RebuildNs    float64 `json:"v21_rebuild_ns"`
 	RebuildBytes int64   `json:"v21_rebuild_dir_bytes"`
 	V1Ns         float64 `json:"v1_snapshot_ns"`
 	V1Bytes      int64   `json:"v1_snapshot_bytes"`
+	// Posting-structure residency after opening the sealed directory.
+	ResidentIndexBytes int64 `json:"resident_index_bytes"`
+	MmapHeapBytes      int64 `json:"mmap_heap_index_bytes"`
+	MmapMappedBytes    int64 `json:"mmap_mapped_bytes"`
+	// First TopK immediately after a cold mapped open — open plus the
+	// query that faults the needed posting pages in.
+	MmapFirstQueryNs float64 `json:"mmap_first_query_ns"`
 }
 
 // runPostBench measures the posting-compression trajectory and writes
@@ -73,8 +84,8 @@ func runPostBench(path string, stderr io.Writer) error {
 
 	// TopK on the exact BenchmarkDBTopKIndexed shape from
 	// BENCH_indexed.json (100 docs, ~250 nnz, one shard), flat vs
-	// compressed: the compression must not buy its memory with query
-	// latency.
+	// compressed vs mapped: neither the compression nor serving blobs
+	// off the page cache may buy its memory with query latency.
 	{
 		c, err := microCorpus(100, 250)
 		if err != nil {
@@ -85,19 +96,7 @@ func runPostBench(path string, stderr io.Writer) error {
 			return err
 		}
 		query := sigs[0].W
-		for _, sealed := range []bool{false, true} {
-			db, err := core.NewDB(sigs[0].Dim())
-			if err != nil {
-				return err
-			}
-			if err := db.AddAll(sigs); err != nil {
-				return err
-			}
-			layout := "flat"
-			if sealed {
-				db.Seal()
-				layout = "compressed"
-			}
+		benchTopK := func(db *core.DB, layout string) {
 			for _, metric := range []core.Metric{core.EuclideanMetric(), core.CosineMetric()} {
 				name := fmt.Sprintf("BenchmarkDBTopKPostings/%s/%s", layout, metric.Name)
 				res := testing.Benchmark(func(b *testing.B) {
@@ -112,6 +111,41 @@ func runPostBench(path string, stderr io.Writer) error {
 				fmt.Fprintf(stderr, "%-48s %12.0f ns/op %8d B/op %6d allocs/op\n",
 					name, rec.Benchmarks[name].NsPerOp, rec.Benchmarks[name].BytesPerOp, rec.Benchmarks[name].AllocsPerOp)
 			}
+		}
+		var sealedDB *core.DB
+		for _, sealed := range []bool{false, true} {
+			db, err := core.NewDB(sigs[0].Dim())
+			if err != nil {
+				return err
+			}
+			if err := db.AddAll(sigs); err != nil {
+				return err
+			}
+			layout := "flat"
+			if sealed {
+				db.Seal()
+				layout = "compressed"
+				sealedDB = db
+			}
+			benchTopK(db, layout)
+		}
+		// Mapped layout: the sealed store round-tripped through SaveDir
+		// and reopened with postings served off the file mapping.
+		microTmp, err := os.MkdirTemp("", "fmeter-postbench-micro-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(microTmp)
+		if err := sealedDB.SaveDir(microTmp); err != nil {
+			return err
+		}
+		mdb, err := core.LoadDirMapped(microTmp)
+		if err != nil {
+			return err
+		}
+		benchTopK(mdb, "mapped")
+		if err := mdb.Close(); err != nil {
+			return err
 		}
 	}
 
@@ -159,21 +193,73 @@ func runPostBench(path string, stderr io.Writer) error {
 	}
 	defer os.RemoveAll(tmp)
 
-	// Cold load, mapped: sealed segments persist their compressed
-	// blocks, so LoadDir validates and maps them instead of rebuilding.
-	mappedDir := filepath.Join(tmp, "mapped")
-	if err := db.SaveDir(mappedDir); err != nil {
+	// Cold load over sealed segments: the persisted compressed blocks
+	// are validated and either copied onto the heap (resident LoadDir)
+	// or served in place off a read-only file mapping (LoadDirMapped).
+	sealedDir := filepath.Join(tmp, "sealed")
+	if err := db.SaveDir(sealedDir); err != nil {
 		return err
 	}
-	rec.ColdLoad.MappedBytes = dirBytes(mappedDir)
+	rec.ColdLoad.SealedBytes = dirBytes(sealedDir)
 	res := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.LoadDir(mappedDir); err != nil {
+			rdb, err := core.LoadDir(sealedDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rdb.Close()
+		}
+	})
+	rec.ColdLoad.ResidentNs = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	res = testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mdb, err := core.LoadDirMapped(sealedDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mdb.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	rec.ColdLoad.MappedNs = float64(res.T.Nanoseconds()) / float64(res.N)
+	rec.ColdLoad.MmapNs = float64(res.T.Nanoseconds()) / float64(res.N)
+
+	// Residency split and cold first query: after a mapped open the
+	// posting blobs live in the page cache, not the heap.
+	{
+		rdb, err := core.LoadDir(sealedDir)
+		if err != nil {
+			return err
+		}
+		rec.ColdLoad.ResidentIndexBytes = rdb.IndexBytes()
+		rdb.Close()
+		query := sigs[0].W
+		res = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mdb, err := core.LoadDirMapped(sealedDir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mdb.TopKSparse(query, 10, core.EuclideanMetric()); err != nil {
+					b.Fatal(err)
+				}
+				if err := mdb.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec.ColdLoad.MmapFirstQueryNs = float64(res.T.Nanoseconds()) / float64(res.N)
+		mdb, err := core.LoadDirMapped(sealedDir)
+		if err != nil {
+			return err
+		}
+		rec.ColdLoad.MmapHeapBytes = mdb.IndexBytes()
+		rec.ColdLoad.MmapMappedBytes = mdb.MappedBytes()
+		if err := mdb.Close(); err != nil {
+			return err
+		}
+	}
 
 	// Cold load, rebuild: the same signatures saved from unsealed
 	// (active) segments carry no postings section, so LoadDir takes the
@@ -190,9 +276,11 @@ func runPostBench(path string, stderr io.Writer) error {
 	rec.ColdLoad.RebuildBytes = dirBytes(rebuildDir)
 	res = testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.LoadDir(rebuildDir); err != nil {
+			rdb, err := core.LoadDir(rebuildDir)
+			if err != nil {
 				b.Fatal(err)
 			}
+			rdb.Close()
 		}
 	})
 	rec.ColdLoad.RebuildNs = float64(res.T.Nanoseconds()) / float64(res.N)
@@ -229,10 +317,13 @@ func runPostBench(path string, stderr io.Writer) error {
 	})
 	rec.ColdLoad.V1Ns = float64(res.T.Nanoseconds()) / float64(res.N)
 
-	fmt.Fprintf(stderr, "cold load: v2.1 mapped %.1f ms (%d B on disk), rebuild %.1f ms (%d B), v1 %.1f ms (%d B)\n",
-		rec.ColdLoad.MappedNs/1e6, rec.ColdLoad.MappedBytes,
+	fmt.Fprintf(stderr, "cold load: v2.1 mmap %.2f ms (first query %.2f ms), resident %.1f ms (%d B on disk), rebuild %.1f ms (%d B), v1 %.1f ms (%d B)\n",
+		rec.ColdLoad.MmapNs/1e6, rec.ColdLoad.MmapFirstQueryNs/1e6,
+		rec.ColdLoad.ResidentNs/1e6, rec.ColdLoad.SealedBytes,
 		rec.ColdLoad.RebuildNs/1e6, rec.ColdLoad.RebuildBytes,
 		rec.ColdLoad.V1Ns/1e6, rec.ColdLoad.V1Bytes)
+	fmt.Fprintf(stderr, "residency: resident index %d B heap vs mapped %d B heap + %d B page cache\n",
+		rec.ColdLoad.ResidentIndexBytes, rec.ColdLoad.MmapHeapBytes, rec.ColdLoad.MmapMappedBytes)
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -46,6 +46,10 @@ type pruneScale struct {
 	Docs          int     `json:"docs"`
 	IngestSeconds float64 `json:"ingest_seconds"`
 	IndexBytes    int64   `json:"index_bytes"`
+	// HeapInuseBytes is runtime.MemStats.HeapInuse after a GC at this
+	// rung — the whole process's live heap (signatures + postings +
+	// scratch), the footprint a mapped-mode deployment avoids growing.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
 
 	// Segment trajectory under the compaction policy: the sealed count
 	// observed while ingesting up to this rung never exceeded
@@ -262,11 +266,15 @@ func runPruneBench(path string, scale int, stderr io.Writer) error {
 			sealedMax = s
 		}
 		ingest := time.Since(start).Seconds()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
 
 		sc := pruneScale{
 			Docs:                  docs,
 			IngestSeconds:         ingest,
 			IndexBytes:            db.IndexBytes(),
+			HeapInuseBytes:        ms.HeapInuse,
 			Segments:              db.Segments(),
 			SealedSegments:        db.SealedSegments(),
 			SealedMaxDuringIngest: sealedMax,
@@ -274,8 +282,9 @@ func runPruneBench(path string, scale int, stderr io.Writer) error {
 			TopK:                  make(map[string]microBench),
 			ThetaRecall:           make(map[string]float64),
 		}
-		fmt.Fprintf(stderr, "== %d signatures: %d segments (%d sealed, budget %d), %.1f MiB postings ==\n",
-			docs, sc.Segments, sc.SealedSegments, sc.TierBudget, float64(sc.IndexBytes)/(1<<20))
+		fmt.Fprintf(stderr, "== %d signatures: %d segments (%d sealed, budget %d), %.1f MiB postings, %.1f MiB heap in use ==\n",
+			docs, sc.Segments, sc.SealedSegments, sc.TierBudget,
+			float64(sc.IndexBytes)/(1<<20), float64(sc.HeapInuseBytes)/(1<<20))
 
 		for _, metric := range metrics {
 			exact := make([][]core.SearchResult, nProbe)

@@ -97,6 +97,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	for _, s := range sigs {
 		if err := db.Add(s); err != nil {
 			return err

@@ -79,6 +79,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer db.Close()
 	for _, s := range historySigs {
 		if err := db.Add(s); err != nil {
 			return err

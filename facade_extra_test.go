@@ -370,6 +370,7 @@ func TestSaveOpenDBFacade(t *testing.T) {
 	if err := db.AddAll(rest); err != nil {
 		t.Fatal(err)
 	}
+	db.Seal()
 	want, err := db.TopKSparse(query.W, 3, EuclideanMetric())
 	if err != nil {
 		t.Fatal(err)
@@ -398,6 +399,32 @@ func TestSaveOpenDBFacade(t *testing.T) {
 	}
 	if err := SaveDB(dir, back); err != nil {
 		t.Fatal(err)
+	}
+
+	// WithMapped serves the directory's postings off file mappings —
+	// same hits, blob bytes off-heap, and Close retires the store.
+	mdb, err := OpenDB(dir, WithMapped(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mdb.MappedBytes() <= 0 {
+		t.Fatalf("mapped open reports %d mapped bytes", mdb.MappedBytes())
+	}
+	gotM, err := mdb.TopKSparse(query.W, 3, EuclideanMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if gotM[i].Signature.DocID != want[i].Signature.DocID || gotM[i].Score != want[i].Score {
+			t.Fatalf("mapped hit %d differs from resident", i)
+		}
+	}
+	if err := mdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var cfgErr *ConfigError
+	if _, err := mdb.TopKSparse(query.W, 3, EuclideanMetric()); !errors.As(err, &cfgErr) {
+		t.Fatalf("query after Close = %v, want *ConfigError", err)
 	}
 
 	// OpenDB also reads single-file v1 snapshots.

@@ -179,6 +179,7 @@ type perfOpts struct {
 	noPrune    bool
 	pruneTheta float64
 	tierFanout int
+	mapped     bool
 }
 
 // WithWorkers bounds the helper's worker-pool fan-out: 0 (the default)
@@ -236,6 +237,18 @@ func WithPruneTheta(theta float64) Option { return func(o *perfOpts) { o.pruneTh
 func WithCompactionPolicy(tierFanout int) Option {
 	return func(o *perfOpts) { o.tierFanout = tierFanout }
 }
+
+// WithMapped makes OpenDB serve sealed posting lists directly off
+// read-only mappings of the snapshot's segment files instead of copying
+// them onto the heap: cold opens skip the big read, the page cache owns
+// the bytes (so corpora larger than RAM stay queryable), and results
+// are bit-identical to a resident open. All integrity checks (per-file
+// CRC, manifest cross-checks, structural validation) still run. Call
+// db.Close() when done to release the mappings, and do not modify or
+// delete the snapshot files underneath a mapped DB. On platforms
+// without mmap support the option silently degrades to the resident
+// read path. Only meaningful for OpenDB on a v2 snapshot directory.
+func WithMapped(on bool) Option { return func(o *perfOpts) { o.mapped = on } }
 
 func applyOpts(opts []Option) perfOpts {
 	var o perfOpts
@@ -460,6 +473,15 @@ func NewDB(dim int, opts ...Option) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	return configureDB(db, o)
+}
+
+// configureDB applies the perf options shared by NewDB and OpenDB to a
+// constructed or loaded database. With zero-value options every setter
+// is a keep-the-default no-op, so plain opens behave exactly as before.
+// On error the DB is closed first, so a mapped load never leaks its
+// file mappings.
+func configureDB(db *DB, o perfOpts) (*DB, error) {
 	db.SetWorkers(o.workers)
 	db.SetIndexed(!o.noIndex)
 	db.SetSegmentSize(o.segSize)
@@ -469,6 +491,7 @@ func NewDB(dim int, opts ...Option) (*DB, error) {
 	}
 	if o.tierFanout > 0 {
 		if err := db.SetCompactionPolicy(core.CompactionPolicy{TierFanout: o.tierFanout}); err != nil {
+			db.Close()
 			return nil, err
 		}
 	}
@@ -507,21 +530,34 @@ func SaveDB(path string, db *DB) error { return db.SaveDir(path) }
 // OpenDB loads a database saved by SaveDB (a v2 snapshot directory) or
 // by WriteDBSnapshot (a single v1 snapshot file) — the format is
 // detected from the path. Corrupt v2 directories fail with a typed
-// *SnapshotError naming the offending file.
-func OpenDB(path string) (*DB, error) {
+// *SnapshotError naming the offending file. Options tune the loaded
+// store like NewDB's do; WithMapped additionally serves a directory
+// snapshot's posting lists off read-only file mappings (page cache
+// instead of heap — call db.Close() to release them), and WithShards
+// re-shards a v1 single-file snapshot on load.
+func OpenDB(path string, opts ...Option) (*DB, error) {
+	o := applyOpts(opts)
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	if fi.IsDir() {
-		return core.LoadDir(path)
+		db, err := core.LoadDirOpts(path, core.LoadOptions{MapPostings: o.mapped})
+		if err != nil {
+			return nil, err
+		}
+		return configureDB(db, o)
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return core.ReadSnapshot(f, 0)
+	db, err := core.ReadSnapshot(f, o.shards)
+	if err != nil {
+		return nil, err
+	}
+	return configureDB(db, o)
 }
 
 // WriteDBSnapshot / ReadDBSnapshot persist a signature database in the

@@ -166,17 +166,30 @@ func (e *DimensionError) Error() string {
 // compaction fan-out below 2). It is a typed error so callers can
 // distinguish a bad knob from runtime failures.
 type ConfigError struct {
-	// Param names the offending parameter ("dimension", "shard count").
+	// Param names the offending parameter ("dimension", "shard count")
+	// or, for usage errors, the misused object ("database").
 	Param string
 	// Value is the rejected value.
 	Value int
 	// Min is the smallest accepted value.
 	Min int
+	// Msg, when non-empty, replaces the range text: the error is a
+	// usage violation (an operation on a closed database) rather than
+	// an out-of-range knob.
+	Msg string
 }
 
 // Error implements error.
 func (e *ConfigError) Error() string {
+	if e.Msg != "" {
+		return "core: " + e.Msg
+	}
 	return fmt.Sprintf("core: %s %d must be >= %d", e.Param, e.Value, e.Min)
+}
+
+// errClosed is the typed error every operation on a closed DB returns.
+func errClosed() error {
+	return &ConfigError{Param: "database", Msg: "operation on closed database"}
 }
 
 // ErrEmptyDB is returned by similarity queries against a database with no
@@ -238,6 +251,9 @@ type DB struct {
 	// saveDir is the directory the last SaveDir wrote to; segment dirty
 	// bits are relative to it (saving elsewhere rewrites everything).
 	saveDir string
+	// closed marks a DB whose Close ran: segment mappings are released
+	// and every query or mutation returns a typed *ConfigError.
+	closed  bool
 	shards  []dbShard
 	scratch *percpu.Pool[*dbScratch]
 }
@@ -305,6 +321,9 @@ func (db *DB) Dim() int { return db.dim }
 // An active segment that reaches the segment size is sealed and the
 // next Add opens a fresh one.
 func (db *DB) Add(sig Signature) error {
+	if db.closed {
+		return errClosed()
+	}
 	if sig.W == nil {
 		return fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
 	}
@@ -340,8 +359,13 @@ func (db *DB) Add(sig Signature) error {
 // posting structure — flat arrays for active segments, compressed
 // blocks for sealed ones. It is the number BENCH_postings.json tracks:
 // sealing a store shrinks it by the id-compression and weight-sharing
-// factor while queries stay bit-identical.
+// factor while queries stay bit-identical. Blobs served off segment
+// file mappings (LoadDirMapped) are not heap and not counted here —
+// see MappedBytes.
 func (db *DB) IndexBytes() int64 {
+	if db.closed {
+		return 0
+	}
 	var b int64
 	for si := range db.shards {
 		for _, sg := range db.shards[si].segs {
@@ -349,6 +373,51 @@ func (db *DB) IndexBytes() int64 {
 		}
 	}
 	return b
+}
+
+// MappedBytes returns how many posting-blob bytes are served off
+// read-only segment-file mappings (page cache, not heap) — non-zero
+// only after LoadDirMapped, and shrinking as Compact splices mapped
+// segments into heap copies. IndexBytes + MappedBytes is the full
+// posting footprint; the split is the mapped-mode residency headline.
+func (db *DB) MappedBytes() int64 {
+	if db.closed {
+		return 0
+	}
+	var b int64
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			b += sg.postings().mappedBytes()
+		}
+	}
+	return b
+}
+
+// Close releases every segment-file mapping deterministically and marks
+// the database closed: any later query or mutation returns a typed
+// *ConfigError instead of touching released memory. Closing a never-
+// mapped DB just marks it closed. Close is idempotent and returns the
+// first release error (the DB is marked closed regardless). Close is a
+// mutation — do not run it concurrently with queries.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var first error
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			if err := sg.releaseMap(); err != nil && first == nil {
+				first = err
+			}
+			// Drop the posting structures: queries are guarded by the
+			// closed flag, and a mapped blob must never be reachable
+			// once its mapping is gone.
+			sg.blocks = nil
+			sg.index = nil
+		}
+	}
+	return first
 }
 
 // IndexPostings returns the total posting-entry count across all
@@ -620,6 +689,11 @@ func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metr
 // hits and votes there) check out exactly one scratch for the whole
 // operation.
 func (db *DB) topkWith(sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
+	if db.closed {
+		// Closed means the segment mappings are gone: a walk would read
+		// unmapped memory. Fail with the typed usage error instead.
+		return nil, errClosed()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: k %d must be >= 1", k)
 	}

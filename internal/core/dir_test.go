@@ -329,23 +329,28 @@ func TestDirCorruptionMatrix(t *testing.T) {
 			}
 		}
 	}
-	// mustFailNaming asserts LoadDir fails with a *SnapshotError naming
-	// the expected file.
+	// mustFailNaming asserts both the resident and mapped loaders fail
+	// with a *SnapshotError naming the expected file.
 	mustFailNaming := func(tag, file string) {
 		t.Helper()
-		got, err := LoadDir(dir)
-		if err == nil {
-			t.Fatalf("%s: LoadDir succeeded", tag)
-		}
-		if got != nil {
-			t.Fatalf("%s: LoadDir returned a DB alongside the error", tag)
-		}
-		var snapErr *SnapshotError
-		if !errors.As(err, &snapErr) {
-			t.Fatalf("%s: error %v is not a *SnapshotError", tag, err)
-		}
-		if filepath.Base(snapErr.Path) != file {
-			t.Fatalf("%s: error names %s, want %s", tag, snapErr.Path, file)
+		for _, ld := range []struct {
+			mode string
+			load func(string) (*DB, error)
+		}{{"resident", LoadDir}, {"mapped", LoadDirMapped}} {
+			got, err := ld.load(dir)
+			if err == nil {
+				t.Fatalf("%s/%s: load succeeded", tag, ld.mode)
+			}
+			if got != nil {
+				t.Fatalf("%s/%s: load returned a DB alongside the error", tag, ld.mode)
+			}
+			var snapErr *SnapshotError
+			if !errors.As(err, &snapErr) {
+				t.Fatalf("%s/%s: error %v is not a *SnapshotError", tag, ld.mode, err)
+			}
+			if filepath.Base(snapErr.Path) != file {
+				t.Fatalf("%s/%s: error names %s, want %s", tag, ld.mode, snapErr.Path, file)
+			}
 		}
 	}
 

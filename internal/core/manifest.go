@@ -135,6 +135,9 @@ type manifestSegment struct {
 // (compaction inputs) and abandoned temp files are removed after the new
 // manifest is durable.
 func (db *DB) SaveDir(path string) error {
+	if db.closed {
+		return errClosed()
+	}
 	if db.dim > maxSnapshotDim {
 		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
 	}
@@ -351,6 +354,24 @@ func syncDir(path string) error {
 	return d.Sync()
 }
 
+// LoadOptions tunes how LoadDirOpts materializes a snapshot directory.
+type LoadOptions struct {
+	// MapPostings serves sealed segments' postings blobs out of
+	// read-only memory mappings of their segment files instead of heap
+	// copies: cold opens stop copying postings bytes, resident heap
+	// drops to signature rows plus descriptors, and the OS pages cold
+	// posting blocks in and out on demand — the larger-than-RAM-corpus
+	// mode. Validation is unchanged (CRC, manifest cross-check, and the
+	// full postings bijection all run against the mapped bytes before
+	// any query can see them), and queries are bit-identical to a heap
+	// load. On platforms without mmap support, or when a mapping fails,
+	// the load silently degrades to the heap read path segment by
+	// segment. A mapped DB must be released with Close; mutating the
+	// mapped files (or their filesystem) behind a live mapping is
+	// undefined, so keep the snapshot directory owned by the DB.
+	MapPostings bool
+}
+
 // LoadDir loads a v2 snapshot directory written by SaveDir. Every
 // segment file's CRC is verified against both its own footer and the
 // manifest before any record is parsed; corruption, truncation, or a
@@ -358,7 +379,16 @@ func syncDir(path string) error {
 // partially loaded database. All loaded segments are sealed — the next
 // Add opens a fresh active segment — and the DB remembers the directory,
 // so an immediate SaveDir back to it rewrites nothing but the manifest.
-func LoadDir(path string) (*DB, error) {
+func LoadDir(path string) (*DB, error) { return LoadDirOpts(path, LoadOptions{}) }
+
+// LoadDirMapped is LoadDir with MapPostings: sealed postings are served
+// off read-only mappings of the segment files (see LoadOptions).
+func LoadDirMapped(path string) (*DB, error) {
+	return LoadDirOpts(path, LoadOptions{MapPostings: true})
+}
+
+// LoadDirOpts is LoadDir under explicit options.
+func LoadDirOpts(path string, opts LoadOptions) (*DB, error) {
 	mpath := filepath.Join(path, manifestName)
 	raw, err := os.ReadFile(mpath)
 	if err != nil {
@@ -387,22 +417,28 @@ func LoadDir(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// From here on the DB may hold live segment mappings; every failure
+	// path must release them (Close) before discarding it.
+	fail := func(err error) (*DB, error) {
+		db.Close()
+		return nil, err
+	}
 	seen := make(map[uint64]bool)
 	for si, list := range m.Segments {
 		sh := &db.shards[si]
 		for _, ent := range list {
 			if seen[ent.ID] {
-				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d listed twice", ent.ID)}
+				return fail(&SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d listed twice", ent.ID)})
 			}
 			seen[ent.ID] = true
 			if ent.ID >= m.NextSeg {
-				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d >= next_segment %d", ent.ID, m.NextSeg)}
+				return fail(&SnapshotError{Path: mpath, Err: fmt.Errorf("segment id %d >= next_segment %d", ent.ID, m.NextSeg)})
 			}
 			if ent.File != segmentFileName(ent.ID) {
-				return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("segment %d file %q, want %q", ent.ID, ent.File, segmentFileName(ent.ID))}
+				return fail(&SnapshotError{Path: mpath, Err: fmt.Errorf("segment %d file %q, want %q", ent.ID, ent.File, segmentFileName(ent.ID))})
 			}
-			if err := db.loadSegmentFile(path, si, sh, ent); err != nil {
-				return nil, err
+			if err := db.loadSegmentFile(path, si, sh, ent, opts); err != nil {
+				return fail(err)
 			}
 		}
 		// The round-robin inverse: shard si must hold exactly the gids
@@ -412,7 +448,7 @@ func LoadDir(path string) (*DB, error) {
 			want = (m.Count - si + m.Shards - 1) / m.Shards
 		}
 		if len(sh.sigs) != want {
-			return nil, &SnapshotError{Path: mpath, Err: fmt.Errorf("shard %d holds %d records, want %d of %d total", si, len(sh.sigs), want, m.Count)}
+			return fail(&SnapshotError{Path: mpath, Err: fmt.Errorf("shard %d holds %d records, want %d of %d total", si, len(sh.sigs), want, m.Count)})
 		}
 	}
 	db.total = m.Count
@@ -422,38 +458,62 @@ func LoadDir(path string) (*DB, error) {
 }
 
 // loadSegmentFile verifies and parses one segment file, appending its
-// records to shard si as a sealed segment.
-func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegment) error {
+// records to shard si as a sealed segment. With opts.MapPostings the
+// file is memory-mapped instead of read: every validation below runs
+// against the mapped bytes, signature rows are still decoded onto the
+// heap (they outlive any one segment layout), but the postings blob is
+// aliased straight into the read-only mapping — the segment keeps the
+// mapping handle and owns its lifetime (released by Close, or by
+// Compact when the blob is spliced into a heap copy). A failed mapping
+// silently falls back to the heap read path.
+func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegment, opts LoadOptions) error {
 	path := filepath.Join(dir, ent.File)
-	raw, err := os.ReadFile(path)
-	if err != nil {
+	var mf *mapFile
+	var raw []byte
+	if opts.MapPostings {
+		if m, err := mapOpen(path); err == nil {
+			mf = m
+			raw = m.bytes()
+		}
+	}
+	if raw == nil {
+		r, err := os.ReadFile(path)
+		if err != nil {
+			return &SnapshotError{Path: path, Err: err}
+		}
+		raw = r
+	}
+	// Any failure below discards the whole load: release the mapping
+	// before the error can orphan it.
+	fail := func(err error) error {
+		mf.close()
 		return &SnapshotError{Path: path, Err: err}
 	}
 	if len(raw) < segHeaderSize+4 {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("truncated: %d bytes, need at least %d", len(raw), segHeaderSize+4)}
+		return fail(fmt.Errorf("truncated: %d bytes, need at least %d", len(raw), segHeaderSize+4))
 	}
 	body, foot := raw[:len(raw)-4], raw[len(raw)-4:]
 	le := binary.LittleEndian
 	crc := crc32.ChecksumIEEE(body)
 	if got := le.Uint32(foot); got != crc {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("CRC mismatch: footer %08x, body computes %08x", got, crc)}
+		return fail(fmt.Errorf("CRC mismatch: footer %08x, body computes %08x", got, crc))
 	}
 	if crc != ent.CRC32 {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("CRC %08x does not match manifest's %08x", crc, ent.CRC32)}
+		return fail(fmt.Errorf("CRC %08x does not match manifest's %08x", crc, ent.CRC32))
 	}
 	if string(body[:4]) != segMagic {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("bad segment magic %q", body[:4])}
+		return fail(fmt.Errorf("bad segment magic %q", body[:4]))
 	}
 	version := le.Uint16(body[4:6])
 	if version != segVersion && version != segVersionBlocks {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("unsupported segment version %d (have %d and %d)", version, segVersion, segVersionBlocks)}
+		return fail(fmt.Errorf("unsupported segment version %d (have %d and %d)", version, segVersion, segVersionBlocks))
 	}
 	if d := le.Uint32(body[6:10]); int(d) != db.dim {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("dimension %d, manifest says %d", d, db.dim)}
+		return fail(fmt.Errorf("dimension %d, manifest says %d", d, db.dim))
 	}
 	count := le.Uint32(body[10:14])
 	if int(count) != ent.Records {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d, manifest says %d", count, ent.Records)}
+		return fail(fmt.Errorf("record count %d, manifest says %d", count, ent.Records))
 	}
 	// A v1 record is at least 6 bytes (two empty strings + uint32 nnz), a
 	// v2.1 record at least 3 (three uvarints), so a count beyond this
@@ -463,31 +523,51 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 		minRecord = 3
 	}
 	if int64(count) > int64(len(body)-segHeaderSize)/minRecord {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("record count %d exceeds file capacity", count)}
+		return fail(fmt.Errorf("record count %d exceeds file capacity", count))
 	}
 	sg := &segment{id: ent.ID, start: len(sh.sigs), end: len(sh.sigs), sealed: true, crc: crc, saved: true}
-	br := bytes.NewReader(body[segHeaderSize:])
-	var flags byte
-	if version == segVersionBlocks {
-		b, err := br.ReadByte()
-		if err != nil {
-			return &SnapshotError{Path: path, Err: fmt.Errorf("flags: %w", noEOF(err))}
+	if version == segVersion {
+		// v1 record body: the original stream encoding, decoded through
+		// the same reader the v1 snapshot path uses. No postings section
+		// exists, so a mapping buys nothing — fall through to the heap
+		// rebuild below and release it.
+		br := bytes.NewReader(body[segHeaderSize:])
+		for i := 0; i < int(count); i++ {
+			sig, err := readSigRecord(br, db.dim)
+			if err != nil {
+				return fail(fmt.Errorf("record %d: %w", i, err))
+			}
+			sh.gids = append(sh.gids, len(sh.sigs)*len(db.shards)+si)
+			sh.sigs = append(sh.sigs, sig)
+			sh.norms = append(sh.norms, sig.W.Norm2())
+			sg.end++
 		}
-		flags = b
-		if flags&^segFlagPostings != 0 {
-			return &SnapshotError{Path: path, Err: fmt.Errorf("unknown segment flags %#02x", flags)}
+		if br.Len() != 0 {
+			return fail(fmt.Errorf("%d trailing bytes after record %d", br.Len(), count))
 		}
+		if err := db.rebuildSegmentPostings(sh, sg); err != nil {
+			mf.close()
+			return err
+		}
+		mf.close()
+		sh.segs = append(sh.segs, sg)
+		return nil
 	}
+	// v2.1 record body, decoded with the direct byte cursor (no reader
+	// indirection on the half-million-uvarint hot path of a cold open).
+	cur := byteCursor{b: body[segHeaderSize:]}
+	flags, err := cur.byte()
+	if err != nil {
+		return fail(fmt.Errorf("flags: %w", err))
+	}
+	if flags&^segFlagPostings != 0 {
+		return fail(fmt.Errorf("unknown segment flags %#02x", flags))
+	}
+	var arena sigArena
 	for i := 0; i < int(count); i++ {
-		var sig Signature
-		var err error
-		if version == segVersionBlocks {
-			sig, err = readSigRecordV2(br, db.dim)
-		} else {
-			sig, err = readSigRecord(br, db.dim)
-		}
+		sig, err := readSigRecordV2(&cur, db.dim, &arena)
 		if err != nil {
-			return &SnapshotError{Path: path, Err: fmt.Errorf("record %d: %w", i, err)}
+			return fail(fmt.Errorf("record %d: %w", i, err))
 		}
 		sh.gids = append(sh.gids, len(sh.sigs)*len(db.shards)+si)
 		sh.sigs = append(sh.sigs, sig)
@@ -496,29 +576,46 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 	}
 	rows := sh.sigs[sg.start:sg.end]
 	if flags&segFlagPostings != 0 {
-		bp, err := readPostingsSection(br, rows, db.dim)
+		bp, err := readPostingsSection(&cur, rows, db.dim, mf != nil)
 		if err != nil {
-			return &SnapshotError{Path: path, Err: fmt.Errorf("postings: %w", err)}
+			return fail(fmt.Errorf("postings: %w", err))
 		}
 		sg.blocks = bp
 	} else {
-		// No persisted postings (a v1 file, or a segment saved while
-		// still active): rebuild the inverted index from the rows and
-		// compress it — the one path that still pays the posting-by-
-		// posting rebuild.
-		ix, err := NewIndex(db.dim)
-		if err != nil {
+		if err := db.rebuildSegmentPostings(sh, sg); err != nil {
+			mf.close()
 			return err
 		}
-		for _, sig := range rows {
-			ix.Add(sig.W)
-		}
-		sg.blocks = compressIndex(ix, rows)
 	}
-	if br.Len() != 0 {
-		return &SnapshotError{Path: path, Err: fmt.Errorf("%d trailing bytes after record %d", br.Len(), count)}
+	if rest := len(cur.b) - cur.pos; rest != 0 {
+		return fail(fmt.Errorf("%d trailing bytes after record %d", rest, count))
+	}
+	if sg.blocks != nil && sg.blocks.blobMapped {
+		// The blob aliases the mapping: the segment owns the handle from
+		// here (Close/Compact release it). Without a kept alias the
+		// mapping has served its purpose — drop it now.
+		sg.mf = mf
+	} else {
+		mf.close()
 	}
 	sh.segs = append(sh.segs, sg)
+	return nil
+}
+
+// rebuildSegmentPostings rebuilds a loaded segment's posting lists from
+// its rows and compresses them — the path for bodies that carry no
+// postings section (v1 files, or segments saved while still active),
+// the one load that still pays the posting-by-posting rebuild.
+func (db *DB) rebuildSegmentPostings(sh *dbShard, sg *segment) error {
+	ix, err := NewIndex(db.dim)
+	if err != nil {
+		return err
+	}
+	rows := sh.sigs[sg.start:sg.end]
+	for _, sig := range rows {
+		ix.Add(sig.W)
+	}
+	sg.blocks = compressIndex(ix, rows)
 	return nil
 }
 
@@ -580,6 +677,53 @@ func writePostingsSection(bw *bufio.Writer, bp *blockPostings) error {
 	return err
 }
 
+// byteCursor is a direct cursor over a CRC-verified segment body — the
+// allocation-free, indirection-free reader of the cold-open hot path
+// (half a million uvarints decode through it on the benchmark corpus).
+// Truncation surfaces as io.ErrUnexpectedEOF, like the stream readers.
+type byteCursor struct {
+	b   []byte
+	pos int
+}
+
+// byte consumes one byte.
+func (c *byteCursor) byte() (byte, error) {
+	if c.pos >= len(c.b) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := c.b[c.pos]
+	c.pos++
+	return v, nil
+}
+
+// uvarint consumes one unsigned varint.
+func (c *byteCursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.pos:])
+	if n <= 0 {
+		if n == 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("varint overflows a 64-bit integer")
+	}
+	c.pos += n
+	return v, nil
+}
+
+// take consumes n bytes, returning them as a capacity-clamped alias of
+// the underlying body (callers copy what they keep — unless the body is
+// a mapping they own, the mapped-postings case).
+func (c *byteCursor) take(n int) ([]byte, error) {
+	if n > len(c.b)-c.pos {
+		return nil, io.ErrUnexpectedEOF
+	}
+	s := c.b[c.pos : c.pos+n : c.pos+n]
+	c.pos += n
+	return s, nil
+}
+
+// rem returns the unconsumed byte count.
+func (c *byteCursor) rem() int { return len(c.b) - c.pos }
+
 // readPostingsSection parses and fully validates a postings section
 // against the already-decoded rows. Structural damage (bad varint,
 // truncated blob, out-of-range ids or ordinals, a posting that names a
@@ -590,7 +734,12 @@ func writePostingsSection(bw *bufio.Writer, bp *blockPostings) error {
 // support sizes, every posting mapping to a distinct in-range
 // (id, ordinal) whose support entry names the posting's dimension, the
 // section is a bijection onto the signatures' non-zeros.
-func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPostings, error) {
+//
+// With aliasBlob the blob is not copied: it aliases the cursor's bytes
+// (a read-only mapping whose lifetime the caller manages), and the
+// returned blockPostings is marked blobMapped. Validation is identical
+// either way — it runs against the very bytes queries will read.
+func readPostingsSection(cur *byteCursor, rows []Signature, dim int, aliasBlob bool) (*blockPostings, error) {
 	n := len(rows)
 	sup := make([][]int32, n)
 	vals := make([][]float64, n)
@@ -600,23 +749,23 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 		vals[j] = s.W.Values()
 		totalNNZ += int64(s.W.NNZ())
 	}
-	nPost, err := binary.ReadUvarint(br)
+	nPost, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("posting count: %w", noEOF(err))
+		return nil, fmt.Errorf("posting count: %w", err)
 	}
 	if int64(nPost) != totalNNZ {
 		return nil, fmt.Errorf("posting count %d, signatures hold %d non-zeros", nPost, totalNNZ)
 	}
-	blobLen, err := binary.ReadUvarint(br)
+	blobLen, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("blob length: %w", noEOF(err))
+		return nil, fmt.Errorf("blob length: %w", err)
 	}
-	if blobLen > uint64(br.Len()) {
-		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", blobLen, br.Len())
+	if blobLen > uint64(cur.rem()) {
+		return nil, fmt.Errorf("blob length %d exceeds remaining %d bytes", blobLen, cur.rem())
 	}
-	nDims, err := binary.ReadUvarint(br)
+	nDims, err := cur.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("dimension count: %w", noEOF(err))
+		return nil, fmt.Errorf("dimension count: %w", err)
 	}
 	if nDims > uint64(dim) {
 		return nil, fmt.Errorf("%d posting dimensions exceed dimension %d", nDims, dim)
@@ -626,9 +775,9 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 	var blockDims []int32
 	d := -1
 	for t := uint64(0); t < nDims; t++ {
-		gap, err := binary.ReadUvarint(br)
+		gap, err := cur.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("dimension gap: %w", noEOF(err))
+			return nil, fmt.Errorf("dimension gap: %w", err)
 		}
 		if gap >= uint64(dim) {
 			return nil, fmt.Errorf("posting dimension gap %d outside dimension %d", gap, dim)
@@ -638,31 +787,31 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 			return nil, fmt.Errorf("posting dimension %d outside dimension %d", nd, dim)
 		}
 		d = int(nd)
-		bc, err := binary.ReadUvarint(br)
+		bc, err := cur.uvarint()
 		if err != nil {
-			return nil, fmt.Errorf("dimension %d block count: %w", d, noEOF(err))
+			return nil, fmt.Errorf("dimension %d block count: %w", d, err)
 		}
 		if bc == 0 || bc > nPost {
 			return nil, fmt.Errorf("dimension %d lists %d blocks", d, bc)
 		}
 		for b := uint64(0); b < bc; b++ {
-			first, err := binary.ReadUvarint(br)
+			first, err := cur.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("dimension %d block %d first id: %w", d, b, noEOF(err))
+				return nil, fmt.Errorf("dimension %d block %d first id: %w", d, b, err)
 			}
 			if first >= uint64(n) {
 				return nil, fmt.Errorf("dimension %d block %d first id %d outside segment of %d", d, b, first, n)
 			}
-			cnt, err := binary.ReadUvarint(br)
+			cnt, err := cur.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("dimension %d block %d count: %w", d, b, noEOF(err))
+				return nil, fmt.Errorf("dimension %d block %d count: %w", d, b, err)
 			}
 			if cnt < 1 || cnt > postingBlockSize {
 				return nil, fmt.Errorf("dimension %d block %d count %d outside [1, %d]", d, b, cnt, postingBlockSize)
 			}
-			ow, err := binary.ReadUvarint(br)
+			ow, err := cur.uvarint()
 			if err != nil {
-				return nil, fmt.Errorf("dimension %d block %d ordinal width: %w", d, b, noEOF(err))
+				return nil, fmt.Errorf("dimension %d block %d ordinal width: %w", d, b, err)
 			}
 			if ow != 1 && ow != 2 && ow != 4 {
 				return nil, fmt.Errorf("dimension %d block %d ordinal width %d not 1, 2, or 4", d, b, ow)
@@ -679,9 +828,15 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 		}
 		bp.dir[x] = int32(bi)
 	}
-	bp.blob = make([]byte, blobLen)
-	if _, err := io.ReadFull(br, bp.blob); err != nil {
-		return nil, fmt.Errorf("blob: %w", noEOF(err))
+	blob, err := cur.take(int(blobLen))
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	if aliasBlob {
+		bp.blob = blob
+		bp.blobMapped = true
+	} else {
+		bp.blob = append(make([]byte, 0, len(blob)), blob...)
 	}
 	if err := bp.validate(sup, blockDims); err != nil {
 		return nil, err
@@ -695,23 +850,39 @@ func readPostingsSection(br *bytes.Reader, rows []Signature, dim int) (*blockPos
 	return bp, nil
 }
 
-// validate walks the blob once, assigning each block's offset and
-// max-|weight| while checking every posting: varints must decode inside
-// the blob, ids must stay in range and strictly ascend within a
-// dimension (across its blocks too), and each ordinal must point at the
-// support entry of exactly this dimension. The blob must be consumed
-// exactly.
+// validate walks the blob once, assigning each block's offset while
+// checking every posting: varints must decode inside the blob, ids must
+// stay in range and strictly ascend within a dimension (across its
+// blocks too), and each ordinal must point at the support entry of
+// exactly this dimension. The blob must be consumed exactly, and every
+// support entry must be referenced exactly once. A second sequential
+// pass then fills each block's max-|weight|.
+//
+// The per-posting check exploits the format's dual sort order: blocks
+// sweep dimensions ascending, supports are dimension-sorted, and a
+// signature holds at most one posting per dimension — so a valid file
+// consumes each signature's support entries in ascending ordinal order.
+// Staging each signature's next expected (ordinal, dimension, weight)
+// in compact arrays turns the two random per-posting lookups into
+// L1-resident reads plus one sequential per-signature advance; this is
+// equivalent to checking sup[sid][ord] == d posting by posting (either
+// both accept a file or both reject it) and is what makes cold opens
+// fast enough to serve mapped segments on demand.
 func (bp *blockPostings) validate(sup [][]int32, blockDims []int32) error {
-	pos := 0
-	uv := func() (uint64, error) {
-		v, m := binary.Uvarint(bp.blob[pos:])
-		if m <= 0 {
-			return 0, fmt.Errorf("bad varint at postings blob byte %d", pos)
+	n := bp.n
+	cur := make([]int32, n)     // next expected ordinal per signature
+	nextDim := make([]int32, n) // sup[sid][cur[sid]], -1 when exhausted
+	for j := 0; j < n; j++ {
+		if len(sup[j]) > 0 {
+			nextDim[j] = sup[j][0]
+		} else {
+			nextDim[j] = -1
 		}
-		pos += m
-		return v, nil
 	}
+	blob := bp.blob
+	pos := 0
 	var ids [postingBlockSize]int32
+	var ordv [postingBlockSize]uint32
 	prevDim := int32(-1)
 	lastID := int64(-1)
 	var total int64
@@ -729,57 +900,107 @@ func (bp *blockPostings) validate(sup [][]int32, blockDims []int32) error {
 		cnt := int(bd.count)
 		ids[0] = int32(id)
 		for k := 1; k < cnt; k++ {
-			gap, err := uv()
-			if err != nil {
-				return err
+			var gap uint64
+			if pos < len(blob) && blob[pos] < 0x80 {
+				gap = uint64(blob[pos])
+				pos++
+			} else {
+				v, m := binary.Uvarint(blob[pos:])
+				if m <= 0 {
+					return fmt.Errorf("bad varint at postings blob byte %d", pos)
+				}
+				gap, pos = v, pos+m
 			}
 			// Bound the gap before accumulating: a 64-bit uvarint must
 			// not wrap the id sum past the range check below.
-			if gap >= uint64(bp.n) {
-				return fmt.Errorf("dimension %d posting id gap %d outside segment of %d", d, gap, bp.n)
+			if gap >= uint64(n) {
+				return fmt.Errorf("dimension %d posting id gap %d outside segment of %d", d, gap, n)
 			}
 			id += 1 + int64(gap)
-			if id >= int64(bp.n) {
-				return fmt.Errorf("dimension %d posting id %d outside segment of %d", d, id, bp.n)
+			if id >= int64(n) {
+				return fmt.Errorf("dimension %d posting id %d outside segment of %d", d, id, n)
 			}
 			ids[k] = int32(id)
 		}
 		bd.idLen = uint16(pos - int(bd.off))
 		lastID = id
-		if pos+cnt*int(bd.ordW) > len(bp.blob) {
+		if pos+cnt*int(bd.ordW) > len(blob) {
 			return fmt.Errorf("dimension %d ordinal stream truncated at blob byte %d", d, pos)
 		}
-		maxW := 0.0
-		for k := 0; k < cnt; k++ {
-			var ord uint64
-			switch bd.ordW {
-			case 1:
-				ord = uint64(bp.blob[pos])
-			case 2:
-				ord = uint64(bp.blob[pos]) | uint64(bp.blob[pos+1])<<8
-			default:
-				ord = uint64(bp.blob[pos]) | uint64(bp.blob[pos+1])<<8 | uint64(bp.blob[pos+2])<<16 | uint64(bp.blob[pos+3])<<24
+		// Decode the fixed-width ordinal stream into a scratch array with
+		// per-width loops, hoisting the width switch and blob bounds
+		// checks out of the per-posting check loop below.
+		ords := blob[pos : pos+cnt*int(bd.ordW)]
+		pos += len(ords)
+		switch bd.ordW {
+		case 1:
+			for k := 0; k < cnt; k++ {
+				ordv[k] = uint32(ords[k])
 			}
-			pos += int(bd.ordW)
-			sid := ids[k]
-			if ord >= uint64(len(sup[sid])) {
-				return fmt.Errorf("dimension %d posting for id %d ordinal %d outside support of %d", d, sid, ord, len(sup[sid]))
+		case 2:
+			for k := 0; k < cnt; k++ {
+				ordv[k] = uint32(ords[2*k]) | uint32(ords[2*k+1])<<8
 			}
-			if sup[sid][ord] != d {
-				return fmt.Errorf("posting (dimension %d, id %d) ordinal %d names dimension %d", d, sid, ord, sup[sid][ord])
-			}
-			if a := math.Abs(bp.vals[sid][ord]); a > maxW {
-				maxW = a
+		default:
+			for k := 0; k < cnt; k++ {
+				ordv[k] = uint32(ords[4*k]) | uint32(ords[4*k+1])<<8 | uint32(ords[4*k+2])<<16 | uint32(ords[4*k+3])<<24
 			}
 		}
-		bd.maxAbsW = maxW
+		for k := 0; k < cnt; k++ {
+			ord := uint64(ordv[k])
+			sid := ids[k]
+			o := cur[sid]
+			if ord != uint64(o) {
+				if ord >= uint64(len(sup[sid])) {
+					return fmt.Errorf("dimension %d posting for id %d ordinal %d outside support of %d", d, sid, ord, len(sup[sid]))
+				}
+				return fmt.Errorf("dimension %d posting for id %d ordinal %d out of order (expected %d)", d, sid, ord, o)
+			}
+			if nextDim[sid] != d {
+				return fmt.Errorf("posting (dimension %d, id %d) ordinal %d names dimension %d", d, sid, ord, nextDim[sid])
+			}
+			o++
+			cur[sid] = o
+			if int(o) < len(sup[sid]) {
+				nextDim[sid] = sup[sid][o]
+			} else {
+				nextDim[sid] = -1
+			}
+		}
 		total += int64(cnt)
 	}
-	if pos != len(bp.blob) {
-		return fmt.Errorf("%d trailing bytes in postings blob", len(bp.blob)-pos)
+	if pos != len(blob) {
+		return fmt.Errorf("%d trailing bytes in postings blob", len(blob)-pos)
 	}
 	if total != bp.nPostings {
 		return fmt.Errorf("blocks hold %d postings, header says %d", total, bp.nPostings)
+	}
+	for j := 0; j < n; j++ {
+		if int(cur[j]) != len(sup[j]) {
+			return fmt.Errorf("signature %d: %d of %d support entries referenced by postings", j, cur[j], len(sup[j]))
+		}
+	}
+	// Second pass: block max-|weight|, folded signature-major so the
+	// support/value reads stream sequentially and the directory probes
+	// ascend (supports are dimension-sorted). The bijection just proven
+	// maps each (signature, ordinal) to the unique posting block of that
+	// dimension covering the id, so this folds exactly the multiset of
+	// weights the posting walk visits — and max is order-independent, so
+	// the result matches folding per posting in walk order bit for bit.
+	for j := 0; j < n; j++ {
+		sj := sup[j]
+		vj := bp.vals[j]
+		for o := range sj {
+			d := sj[o]
+			bi := int(bp.dir[d])
+			hi := int(bp.dir[d+1])
+			for bi+1 < hi && int32(j) >= bp.blocks[bi+1].firstID {
+				bi++
+			}
+			if a := math.Abs(vj[o]); a > bp.blocks[bi].maxAbsW {
+				bp.blocks[bi].maxAbsW = a
+			}
+		}
 	}
 	return nil
 }

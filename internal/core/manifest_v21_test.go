@@ -83,7 +83,9 @@ func rewriteSegment(t *testing.T, dir, name string, body []byte) {
 // count, an overlong (bad) varint, a truncated block stream, and an
 // ordinal that names the wrong dimension. A plain CRC mismatch on the
 // postings bytes is checked too. Every case yields a *SnapshotError
-// naming the segment file and loads nothing.
+// naming the segment file and loads nothing — under both the resident
+// loader and LoadDirMapped, since the mapped path runs the identical
+// validation against the mapped bytes.
 func TestV21PostingsCorruptionMatrix(t *testing.T) {
 	r := rand.New(rand.NewSource(211))
 	const dim, nnz, n = 40, 7, 9
@@ -121,21 +123,30 @@ func TestV21PostingsCorruptionMatrix(t *testing.T) {
 			}
 		}
 	}
+	loaders := []struct {
+		mode string
+		load func(string) (*DB, error)
+	}{
+		{"resident", LoadDir},
+		{"mapped", LoadDirMapped},
+	}
 	mustFail := func(tag string) {
 		t.Helper()
-		got, err := LoadDir(dir)
-		if err == nil {
-			t.Fatalf("%s: LoadDir succeeded", tag)
-		}
-		if got != nil {
-			t.Fatalf("%s: LoadDir returned a DB alongside the error", tag)
-		}
-		var snapErr *SnapshotError
-		if !errors.As(err, &snapErr) {
-			t.Fatalf("%s: error %v is not a *SnapshotError", tag, err)
-		}
-		if filepath.Base(snapErr.Path) != segName {
-			t.Fatalf("%s: error names %s, want %s", tag, snapErr.Path, segName)
+		for _, ld := range loaders {
+			got, err := ld.load(dir)
+			if err == nil {
+				t.Fatalf("%s/%s: load succeeded", tag, ld.mode)
+			}
+			if got != nil {
+				t.Fatalf("%s/%s: load returned a DB alongside the error", tag, ld.mode)
+			}
+			var snapErr *SnapshotError
+			if !errors.As(err, &snapErr) {
+				t.Fatalf("%s/%s: error %v is not a *SnapshotError", tag, ld.mode, err)
+			}
+			if filepath.Base(snapErr.Path) != segName {
+				t.Fatalf("%s/%s: error names %s, want %s", tag, ld.mode, snapErr.Path, segName)
+			}
 		}
 		restore()
 	}
@@ -377,7 +388,7 @@ func TestReadSigRecordV2Bounds(t *testing.T) {
 	buf.WriteByte(0) // empty docID
 	buf.WriteByte(0) // empty label
 	buf.Write(binary.AppendUvarint(nil, 1<<63))
-	if _, err := readSigRecordV2(bytes.NewReader(buf.Bytes()), 10); err == nil {
+	if _, err := readSigRecordV2(&byteCursor{b: buf.Bytes()}, 10, &sigArena{}); err == nil {
 		t.Fatal("2^63 nnz should fail")
 	}
 	buf.Reset()
@@ -385,7 +396,7 @@ func TestReadSigRecordV2Bounds(t *testing.T) {
 	buf.WriteByte(0)
 	buf.Write(binary.AppendUvarint(nil, 1))       // nnz = 1
 	buf.Write(binary.AppendUvarint(nil, 1<<63+7)) // gap wraps int64
-	if _, err := readSigRecordV2(bytes.NewReader(buf.Bytes()), 10); err == nil {
+	if _, err := readSigRecordV2(&byteCursor{b: buf.Bytes()}, 10, &sigArena{}); err == nil {
 		t.Fatal("overflowing support gap should fail")
 	}
 }

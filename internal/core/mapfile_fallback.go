@@ -1,0 +1,26 @@
+//go:build !linux
+
+package core
+
+import "errors"
+
+// errNoMmap makes mapOpen fail on platforms without a memory-mapping
+// implementation, which is exactly the silent-degradation contract:
+// LoadDirOpts{MapPostings: true} falls back to the heap read path and
+// the DB behaves identically, just without the page-cache residency win.
+var errNoMmap = errors.New("core: memory-mapped segments unsupported on this platform")
+
+// mapFile is the portable stand-in for the Linux mmap handle; it is
+// never constructed on these platforms (mapOpen always fails).
+type mapFile struct {
+	data []byte
+}
+
+// mapOpen reports memory mapping as unsupported.
+func mapOpen(path string) (*mapFile, error) { return nil, errNoMmap }
+
+// bytes returns the mapped contents (never reached: no mapFile exists).
+func (m *mapFile) bytes() []byte { return m.data }
+
+// close is a no-op on platforms without mappings.
+func (m *mapFile) close() error { return nil }

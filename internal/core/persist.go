@@ -169,6 +169,9 @@ const (
 // format. Dimensions beyond the format's bound are rejected here, at
 // write time, so a snapshot that serializes is always loadable.
 func (db *DB) WriteSnapshot(w io.Writer) error {
+	if db.closed {
+		return errClosed()
+	}
 	if db.dim > maxSnapshotDim {
 		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
 	}
@@ -300,30 +303,74 @@ func writeSigRecordV2(bw *bufio.Writer, s Signature) error {
 }
 
 // readSigRecordV2 parses one signature record written by
-// writeSigRecordV2. Truncation surfaces as io.ErrUnexpectedEOF, like
-// readSigRecord.
-func readSigRecordV2(br byteScanner, dim int) (Signature, error) {
-	docID, err := readSnapString(br)
-	if err != nil {
-		return Signature{}, noEOF(err)
+// writeSigRecordV2, decoding straight off the verified segment body via
+// the byte cursor (segment bodies are always fully in memory — read or
+// mapped — and the per-byte reader indirection used to dominate cold
+// opens). The decoded strings and weight arrays are always heap copies:
+// a signature must outlive the body it was decoded from, which may be a
+// mapping released by Compact or Close. Truncation surfaces as
+// io.ErrUnexpectedEOF, like readSigRecord.
+// sigArena hands out idx/val backing in large pointer-free chunks so a
+// segment decode does a handful of allocations instead of two zeroed
+// makes per record (~4000 on a bench-sized segment — the malloc path
+// was costing more than the decode itself). Chunks retired by take stay
+// alive through the slices carved from them; nothing is freed early.
+type sigArena struct {
+	idx []int32
+	val []float64
+}
+
+func (a *sigArena) take(n int) ([]int32, []float64) {
+	if n > len(a.idx) {
+		c := n
+		if c < 1<<16 {
+			c = 1 << 16
+		}
+		a.idx = make([]int32, c)
+		a.val = make([]float64, c)
 	}
-	label, err := readSnapString(br)
+	idx, val := a.idx[:n:n], a.val[:n:n]
+	a.idx, a.val = a.idx[n:], a.val[n:]
+	return idx, val
+}
+
+func readSigRecordV2(c *byteCursor, dim int, ar *sigArena) (Signature, error) {
+	docID, err := readCursorString(c)
 	if err != nil {
-		return Signature{}, noEOF(err)
+		return Signature{}, err
 	}
-	nnz, err := binary.ReadUvarint(br)
+	label, err := readCursorString(c)
 	if err != nil {
-		return Signature{}, noEOF(err)
+		return Signature{}, err
+	}
+	nnz, err := c.uvarint()
+	if err != nil {
+		return Signature{}, err
 	}
 	if nnz > uint64(dim) {
 		return Signature{}, fmt.Errorf("nnz %d exceeds dimension %d", nnz, dim)
 	}
-	idx := make([]int32, nnz)
+	idx, val := ar.take(int(nnz))
+	// The gap loop runs once per stored non-zero — half a million times
+	// on a bench-sized segment — so decode off locals with a single-byte
+	// fast path (gaps in tf-idf supports are overwhelmingly < 128)
+	// instead of paying a method call and re-slice per varint.
+	b, pos := c.b, c.pos
 	prev := int64(-1)
 	for k := range idx {
-		gap, err := binary.ReadUvarint(br)
-		if err != nil {
-			return Signature{}, noEOF(err)
+		var gap uint64
+		if pos < len(b) && b[pos] < 0x80 {
+			gap = uint64(b[pos])
+			pos++
+		} else {
+			v, m := binary.Uvarint(b[pos:])
+			if m <= 0 {
+				if m == 0 {
+					return Signature{}, io.ErrUnexpectedEOF
+				}
+				return Signature{}, fmt.Errorf("varint overflows a 64-bit integer")
+			}
+			gap, pos = v, pos+m
 		}
 		// Bound the gap before accumulating: a 64-bit uvarint must not
 		// wrap the index sum (dim is capped well below 2^31).
@@ -337,20 +384,46 @@ func readSigRecordV2(br byteScanner, dim int) (Signature, error) {
 		idx[k] = int32(i)
 		prev = i
 	}
-	val := make([]float64, nnz)
-	le := binary.LittleEndian
-	var rec [8]byte
-	for k := range val {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return Signature{}, noEOF(err)
-		}
-		val[k] = math.Float64frombits(le.Uint64(rec[:]))
-	}
-	w, err := vecmath.SparseFromSorted(dim, idx, val)
+	c.pos = pos
+	raw, err := c.take(int(nnz) * 8)
 	if err != nil {
 		return Signature{}, err
 	}
+	le := binary.LittleEndian
+	norm2 := 0.0
+	for k := range val {
+		v := math.Float64frombits(le.Uint64(raw[k*8:]))
+		if v == 0 {
+			return Signature{}, fmt.Errorf("explicit zero at sparse index %d", idx[k])
+		}
+		val[k] = v
+		norm2 += v * v
+	}
+	// The loops above enforced every SparseFromSorted invariant (strict
+	// ascent, range, no zeros) and accumulated the norm in index order,
+	// so the trusted constructor is exact — and skips a third full pass
+	// over the support.
+	w := vecmath.SparseFromSortedTrusted(dim, idx, val, norm2)
 	return Signature{DocID: docID, Label: label, W: w}, nil
+}
+
+// readCursorString reads one uvarint-length-prefixed string from the
+// cursor, bounding the length like readSnapString. The returned string
+// is a copy — safe to keep after the cursor's body (possibly a mapping)
+// is released.
+func readCursorString(c *byteCursor) (string, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotString {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	b, err := c.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // readSnapString reads one uvarint-length-prefixed string, bounding the

@@ -27,8 +27,13 @@ type postings interface {
 	// memBytes returns the resident heap footprint of the posting
 	// structure (backing-array capacities included), the number
 	// IndexBytes aggregates and BENCH_postings.json compares flat vs
-	// compressed.
+	// compressed. Memory-mapped bytes are excluded — they are page
+	// cache, not heap; see mappedBytes.
 	memBytes() int64
+	// mappedBytes returns how many of the structure's bytes alias a
+	// read-only file mapping instead of the heap (zero for every form
+	// but a mapped-load blockPostings).
+	mappedBytes() int64
 }
 
 // postingBlockSize is the compressed-block capacity: posting lists are
@@ -92,9 +97,15 @@ type blockPostings struct {
 	dim       int
 	n         int   // signatures covered (the accumulator size)
 	nPostings int64 // total posting entries
-	dir       []int32
-	blocks    []blockDesc
-	blob      []byte
+	dir    []int32
+	blocks []blockDesc
+	blob   []byte
+	// blobMapped marks blob as an alias into a read-only segment-file
+	// mapping (LoadOptions.MapPostings) rather than a heap allocation:
+	// memBytes excludes it, mappedBytes reports it, and the owning
+	// segment's mapFile handle decides when the bytes go away (splice
+	// copies them to the heap first; Close releases them for good).
+	blobMapped bool
 	// vals[id] aliases signature id's sparse value array (no copy; the
 	// one weight store is the canonical signature data).
 	vals [][]float64
@@ -479,14 +490,28 @@ func (bp *blockPostings) postingCount() int64 { return bp.nPostings }
 
 // memBytes implements postings: blob + descriptors + directory + the
 // per-signature value-slice table (24 bytes each — the headers only;
-// the values themselves belong to the signatures).
+// the values themselves belong to the signatures). A mapped blob is
+// page cache, not heap, so it is excluded here and reported by
+// mappedBytes instead.
 func (bp *blockPostings) memBytes() int64 {
-	return int64(unsafe.Sizeof(*bp)) +
-		int64(cap(bp.blob)) +
+	b := int64(unsafe.Sizeof(*bp)) +
 		int64(cap(bp.blocks))*blockDescSize +
 		int64(cap(bp.dir))*4 +
 		int64(cap(bp.dimBound))*8 +
 		int64(cap(bp.vals))*24
+	if !bp.blobMapped {
+		b += int64(cap(bp.blob))
+	}
+	return b
+}
+
+// mappedBytes implements postings: the blob length when it aliases a
+// segment-file mapping, zero for heap-backed blocks.
+func (bp *blockPostings) mappedBytes() int64 {
+	if bp.blobMapped {
+		return int64(len(bp.blob))
+	}
+	return 0
 }
 
 // dots implements postings for the flat form.
@@ -512,3 +537,6 @@ func (ix *Index) memBytes() int64 {
 	}
 	return b
 }
+
+// mappedBytes implements postings: the flat form is always heap-backed.
+func (ix *Index) mappedBytes() int64 { return 0 }

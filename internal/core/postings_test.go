@@ -325,7 +325,7 @@ func TestCompressedTopKPropertySweep(t *testing.T) {
 
 		for _, shards := range []int{1, 3, 4} {
 			for _, workers := range []int{1, 4} {
-				for _, mode := range []string{"sealed", "mixed", "compacted"} {
+				for _, mode := range []string{"sealed", "mixed", "compacted", "mapped"} {
 					db, err := NewShardedDB(dim, shards)
 					if err != nil {
 						t.Fatal(err)
@@ -347,6 +347,20 @@ func TestCompressedTopKPropertySweep(t *testing.T) {
 						db.Seal()
 						db.SetSegmentSize(DefaultSegmentSize)
 						db.Compact()
+					case "mapped":
+						// Seal, snapshot, and reload with postings served
+						// off the file mapping — bit-identical walk required.
+						db.Seal()
+						dir := t.TempDir()
+						if err := db.SaveDir(dir); err != nil {
+							t.Fatal(err)
+						}
+						if db, err = LoadDirMapped(dir); err != nil {
+							t.Fatal(err)
+						}
+						mdb := db
+						t.Cleanup(func() { mdb.Close() })
+						db.SetWorkers(workers)
 					}
 					tag := fmt.Sprintf("seed=%d shards=%d workers=%d mode=%s segs=%d",
 						seed, shards, workers, mode, db.Segments())

@@ -12,8 +12,10 @@ import (
 
 // buildPrunedDB assembles a DB in one of the sweep's storage layouts:
 // "sealed" (everything block-compressed), "mixed" (sealed prefix plus a
-// flat active tail), or "compacted" (tier policy enabled while
-// ingesting, so the sealed run is a merge history).
+// flat active tail), "compacted" (tier policy enabled while ingesting,
+// so the sealed run is a merge history), or "mapped" (the sealed store
+// round-tripped through SaveDir and reloaded with postings served off
+// read-only file mappings).
 func buildPrunedDB(t *testing.T, sigs []Signature, shards, workers, segSize int, layout string) *DB {
 	t.Helper()
 	db, err := NewShardedDB(sigs[0].Dim(), shards)
@@ -40,6 +42,20 @@ func buildPrunedDB(t *testing.T, sigs []Signature, shards, workers, segSize int,
 	db.Seal()
 	if err := db.AddAll(sigs[cut:]); err != nil {
 		t.Fatal(err)
+	}
+	if layout == "mapped" {
+		dir := t.TempDir()
+		if err := db.SaveDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		mdb, err := LoadDirMapped(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mdb.Close() })
+		mdb.pruneFloor = 1
+		mdb.SetWorkers(workers)
+		return mdb
 	}
 	return db
 }
@@ -106,7 +122,7 @@ func TestPrunedTopKMatchesScan(t *testing.T) {
 				}
 				for _, shards := range []int{1, 3, 4} {
 					for _, workers := range []int{1, 4} {
-						for _, layout := range []string{"sealed", "mixed", "compacted"} {
+						for _, layout := range []string{"sealed", "mixed", "compacted", "mapped"} {
 							ctx := fmt.Sprintf("seed=%d metric=%s k=%d shards=%d workers=%d layout=%s",
 								seed, metric.Name, k, shards, workers, layout)
 							db := buildPrunedDB(t, sigs, shards, workers, segSize, layout)

@@ -55,6 +55,25 @@ type segment struct {
 	// (recorded in the manifest so a tampered file is caught even when
 	// its own footer was recomputed).
 	crc uint32
+	// mf is the read-only mapping of the segment's file when the
+	// postings blob was mapped rather than copied (LoadDirMapped):
+	// blocks.blob aliases it. The segment owns the handle — it is
+	// released when the blob stops being served from it (a compaction
+	// splice copies the bytes to the heap) or when the DB closes. Nil
+	// for heap-backed segments.
+	mf *mapFile
+}
+
+// releaseMap releases the segment's file mapping, if any. The caller
+// must guarantee the mapped blob is no longer reachable from queries
+// (the segment was spliced away, or the DB is closing). Idempotent.
+func (sg *segment) releaseMap() error {
+	if sg.mf == nil {
+		return nil
+	}
+	err := sg.mf.close()
+	sg.mf = nil
+	return err
 }
 
 // len returns the segment's record count.
@@ -181,6 +200,9 @@ func (db *DB) appendSegment(sh *dbShard) (*segment, error) {
 // zero-length sealed segment into the manifest and every later
 // compaction run for no data at all.
 func (db *DB) Seal() {
+	if db.closed {
+		return
+	}
 	for si := range db.shards {
 		sh := &db.shards[si]
 		if sg := sh.activeSegment(); sg != nil && sg.len() > 0 {
@@ -198,6 +220,9 @@ func (db *DB) Seal() {
 // segments are rewritten by the next SaveDir and their old files
 // removed.
 func (db *DB) Compact() {
+	if db.closed {
+		return
+	}
 	for si := range db.shards {
 		db.compactShard(&db.shards[si])
 	}
@@ -253,6 +278,13 @@ func (db *DB) mergeRun(sh *dbShard, i, j int) *segment {
 		merged.end = sg.end
 	}
 	merged.blocks = spliceBlockPostings(db.dim, parts, offsets)
+	// The splice copied every part's blob bytes onto the heap, so input
+	// segments' file mappings (mapped loads) serve nothing anymore —
+	// release them now, before the inputs are dropped from the shard's
+	// segment run, or the mappings would outlive their last reference.
+	for _, sg := range sh.segs[i:j] {
+		sg.releaseMap()
+	}
 	merged.id = db.nextSeg
 	db.nextSeg++
 	merged.dirty = true

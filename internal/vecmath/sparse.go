@@ -79,6 +79,17 @@ func SparseFromSorted(dim int, idx []int32, val []float64) (*Sparse, error) {
 	return s, nil
 }
 
+// SparseFromSortedTrusted is SparseFromSorted for decoders that have
+// already enforced the invariants inline — strictly ascending in-range
+// indices, no explicit zeros — and accumulated the squared norm in
+// index order (so the cached norm is bit-identical to SparseFromSorted
+// computing it). It takes ownership of both slices and validates
+// nothing; callers that cannot prove the invariants must use
+// SparseFromSorted.
+func SparseFromSortedTrusted(dim int, idx []int32, val []float64, norm2 float64) *Sparse {
+	return &Sparse{dim: dim, idx: idx, val: val, norm2: norm2}
+}
+
 // MapToSparse converts a map-based SparseVector into the array form,
 // dropping explicit zeros so the result honors the minimal-support
 // invariant.
