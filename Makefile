@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build crossbuild vet test race bench bench-smoke fmt
+.PHONY: check build crossbuild vet test race stress bench bench-smoke fmt
 
 ## check: the tier-1 gate — what CI runs.
 check: vet build crossbuild test race
@@ -26,6 +26,17 @@ race:
 		./internal/crossval/ ./internal/cluster/ ./internal/core/ \
 		./internal/vecmath/ ./internal/experiments/ ./internal/percpu/
 
+## stress: the concurrency property sweep (interleaved
+## Add/Seal/Compact/TopK/Classify vs serialized execution against each
+## pinned epoch view) and the SaveDir/LoadDir fault-injection matrices,
+## under the race detector with iteration counts elevated via
+## FMETER_STRESS. This is the long-soak proof behind the concurrent
+## read/write contract; CI runs it on every push.
+stress:
+	FMETER_STRESS=1 $(GO) test -race -count=1 -timeout 20m ./internal/core/ \
+		-run 'TestConcurrent|TestCloseUnderLoad|TestSaveDir|TestLoadDirFault' -v
+	$(GO) test -race -count=1 ./internal/daemon/
+
 ## bench: the full reproduction benchmark harness.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem .
@@ -42,7 +53,10 @@ bench:
 ## mapped vs rebuild vs v1, and BENCH_pruned.json for the pruning
 ## scaling ladder: TopK pruned vs unpruned vs theta=0.5 at
 ## 10k/100k/1M signatures plus the sealed-segment trajectory under the
-## tier policy) so future PRs can compare like against like.
+## tier policy, and BENCH_concurrent.json for the mixed read/write
+## benchmark: TopK p50/p99 read-only vs under a fixed-rate concurrent
+## writer with live seals and tier compactions) so future PRs can
+## compare like against like.
 ## `fmeter-bench -index=on|off` reproduces the scan/index comparison
 ## from the CLI and `-prune=on|off` the pruned/plain sealed walk;
 ## `-cpuprofile`/`-memprofile` wrap any run in pprof.
@@ -53,6 +67,7 @@ bench-smoke:
 	$(GO) run ./cmd/fmeter-bench -segjson BENCH_segments.json
 	$(GO) run ./cmd/fmeter-bench -postjson BENCH_postings.json
 	$(GO) run ./cmd/fmeter-bench -prunejson BENCH_pruned.json
+	$(GO) run ./cmd/fmeter-bench -mixedjson BENCH_concurrent.json
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// mixedRecord is the BENCH_concurrent.json artifact: query latency
+// under concurrent ingestion. The epoch-view DB promises that writers
+// never block readers; this benchmark prices the promise by measuring
+// TopK p50/p99 twice over the same store — first read-only, then while
+// a writer ingests at a fixed rate (with seals and tier compactions
+// firing as segments roll) — so the two latency columns are directly
+// comparable.
+type mixedRecord struct {
+	Timestamp   string `json:"timestamp"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	N           int    `json:"n_preloaded"`
+	Shards      int    `json:"shards"`
+	SegmentSize int    `json:"segment_size"`
+	TierFanout  int    `json:"tier_fanout"`
+	K           int    `json:"k"`
+	// WriterTargetPerSec is the configured ingest rate; AchievedPerSec
+	// what the paced writer actually sustained (they diverge only if the
+	// machine cannot keep up).
+	WriterTargetPerSec   int      `json:"writer_target_per_sec"`
+	WriterAchievedPerSec float64  `json:"writer_achieved_per_sec"`
+	WritesDuringMixed    int64    `json:"writes_during_mixed"`
+	SegmentsAfter        int      `json:"segments_after"`
+	ReadOnly             mixedLat `json:"read_only"`
+	Mixed                mixedLat `json:"mixed"`
+}
+
+// mixedLat is one measurement phase's query-latency summary.
+type mixedLat struct {
+	Queries    int     `json:"queries"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// percentile returns the p-quantile of sorted latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// measureQueries runs single-threaded TopK queries against db for d,
+// timing each one. Single-threaded on purpose: per-query latency, not
+// throughput, is what writer interference would show up in.
+func measureQueries(db *core.DB, queries []*vecmath.Sparse, k int, d time.Duration) (mixedLat, error) {
+	lats := make([]float64, 0, 1<<14)
+	var sum float64
+	deadline := time.Now().Add(d)
+	for qi := 0; time.Now().Before(deadline); qi++ {
+		t0 := time.Now()
+		if _, err := db.TopKSparse(queries[qi%len(queries)], k, core.CosineMetric()); err != nil {
+			return mixedLat{}, err
+		}
+		us := time.Since(t0).Seconds() * 1e6
+		lats = append(lats, us)
+		sum += us
+	}
+	sort.Float64s(lats)
+	return mixedLat{
+		Queries:    len(lats),
+		MeanMicros: sum / float64(len(lats)),
+		P50Micros:  percentile(lats, 0.50),
+		P99Micros:  percentile(lats, 0.99),
+	}, nil
+}
+
+// runMixedBench measures query latency with and without a fixed-rate
+// concurrent writer and writes the JSON record.
+func runMixedBench(path string, stderr io.Writer) error {
+	const (
+		n         = 3000 // preloaded store
+		pool      = 2500 // signatures reserved for the writer (never wraps)
+		shards    = 4
+		segSize   = 256
+		fanout    = 4
+		k         = 10
+		rate      = 1000 // writer target, signatures/second
+		phase     = 1500 * time.Millisecond
+		nnzPerDoc = 250
+	)
+	c, err := microCorpus(n+pool, nnzPerDoc)
+	if err != nil {
+		return err
+	}
+	sigs, _, err := c.Signatures()
+	if err != nil {
+		return err
+	}
+	db, err := core.NewShardedDB(sigs[0].Dim(), shards)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.SetSegmentSize(segSize)
+	if err := db.SetCompactionPolicy(core.CompactionPolicy{TierFanout: fanout}); err != nil {
+		return err
+	}
+	if err := db.AddAll(sigs[:n]); err != nil {
+		return err
+	}
+	db.Seal()
+
+	queries := make([]*vecmath.Sparse, 64)
+	for i := range queries {
+		queries[i] = sigs[i].W
+	}
+
+	rec := mixedRecord{
+		Timestamp:          time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		N:                  n,
+		Shards:             shards,
+		SegmentSize:        segSize,
+		TierFanout:         fanout,
+		K:                  k,
+		WriterTargetPerSec: rate,
+	}
+
+	// Phase 1: the read-only baseline.
+	if rec.ReadOnly, err = measureQueries(db, queries, k, phase); err != nil {
+		return err
+	}
+
+	// Phase 2: same queries while a paced writer ingests behind the
+	// epoch views (seals and tier compactions fire as segments roll).
+	stop := make(chan struct{})
+	writerDone := make(chan error, 1)
+	var writes atomic.Int64
+	writerStart := time.Now()
+	go func() {
+		period := time.Second / time.Duration(rate)
+		for i := 0; i < pool; i++ {
+			select {
+			case <-stop:
+				writerDone <- nil
+				return
+			default:
+			}
+			if err := db.Add(sigs[n+i]); err != nil {
+				writerDone <- err
+				return
+			}
+			writes.Add(1)
+			if d := time.Until(writerStart.Add(time.Duration(i+1) * period)); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		writerDone <- nil
+	}()
+	mixed, qerr := measureQueries(db, queries, k, phase)
+	close(stop)
+	writerElapsed := time.Since(writerStart).Seconds()
+	if werr := <-writerDone; werr != nil {
+		return fmt.Errorf("mixedbench: writer: %w", werr)
+	}
+	if qerr != nil {
+		return qerr
+	}
+	rec.Mixed = mixed
+	rec.WritesDuringMixed = writes.Load()
+	rec.WriterAchievedPerSec = float64(rec.WritesDuringMixed) / writerElapsed
+	rec.SegmentsAfter = db.Segments()
+
+	fmt.Fprintf(stderr, "mixed workload: %d sigs preloaded, shards=%d segsize=%d fanout=%d, writer %d/s\n",
+		n, shards, segSize, fanout, rate)
+	fmt.Fprintf(stderr, "  read-only  %6d queries  p50 %7.1f us  p99 %7.1f us\n",
+		rec.ReadOnly.Queries, rec.ReadOnly.P50Micros, rec.ReadOnly.P99Micros)
+	fmt.Fprintf(stderr, "  mixed      %6d queries  p50 %7.1f us  p99 %7.1f us  (%d writes @ %.0f/s)\n",
+		rec.Mixed.Queries, rec.Mixed.P50Micros, rec.Mixed.P99Micros, rec.WritesDuringMixed, rec.WriterAchievedPerSec)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "concurrent-query record written to %s\n", path)
+	return nil
+}

@@ -8,6 +8,18 @@
 // Usage:
 //
 //	fmeterd -workload dbench -intervals 360 -interval 10s -log run.jsonl
+//
+// With -db the daemon additionally maintains a live signature database:
+// the first -warmup intervals fit the tf-idf model, then every further
+// interval is embedded and ingested into the DB while it stays fully
+// queryable (the epoch-view concurrency contract), with periodic
+// crash-safe snapshots to the -db directory:
+//
+//	fmeterd -workload dbench -intervals 360 -db /var/lib/fmeter/db -warmup 20 -save-every 60
+//
+// Transient debugfs read failures are retried with jittered backoff
+// (-read-retries/-read-backoff) and an interval that stays unreadable is
+// skipped with a counted warning instead of killing the daemon.
 package main
 
 import (
@@ -38,12 +50,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed         = fs.Int64("seed", 1, "random seed")
 		logPath      = fs.String("log", "-", "JSONL signature log, - for stdout")
 		statusEvery  = fs.Int("status-every", 30, "print a status line every N intervals (0 disables)")
+		dbDir        = fs.String("db", "", "maintain a live signature DB in this snapshot directory (ingests every post-warmup interval)")
+		warmup       = fs.Int("warmup", 20, "with -db: intervals collected to fit the tf-idf model before live ingestion")
+		saveEvery    = fs.Int("save-every", 60, "with -db: snapshot the DB every N ingested intervals (0 = only at exit)")
+		readRetries  = fs.Int("read-retries", 3, "retries per failed debugfs counter read before skipping the interval")
+		readBackoff  = fs.Duration("read-backoff", 10*time.Millisecond, "base backoff before a counter-read retry (jittered, doubles per attempt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *intervals < 1 {
 		return fmt.Errorf("-intervals must be >= 1")
+	}
+	if *dbDir != "" && (*warmup < 2 || *warmup >= *intervals) {
+		return fmt.Errorf("-warmup must be in [2, intervals) when -db is set, have %d of %d", *warmup, *intervals)
 	}
 
 	var spec fmeter.WorkloadSpec
@@ -96,23 +116,81 @@ func run(args []string, stdout, stderr io.Writer) error {
 		out = f
 	}
 
+	sys.SetRetryPolicy(fmeter.RetryPolicy{Retries: *readRetries, Backoff: *readBackoff, Jitter: 0.5})
+	sys.SetCollectorWarnf(func(format string, a ...any) {
+		fmt.Fprintf(stderr, "[fmeterd] "+format+"\n", a...)
+	})
+
 	start := time.Now()
 	var totalCalls uint64
-	// Collect one interval at a time so each document hits the log as
-	// soon as it exists — the daemon's whole point is continuous,
-	// crash-surviving logging (§1: post-mortem analysis).
-	for i := 0; i < *intervals; i++ {
-		docs, err := sys.Collect(spec, 1, *interval, out)
-		if err != nil {
-			return fmt.Errorf("interval %d: %w", i, err)
-		}
-		totalCalls += docs[0].Total()
+	status := func(i int) {
 		if *statusEvery > 0 && (i+1)%*statusEvery == 0 {
 			fmt.Fprintf(stderr, "[fmeterd] %d/%d intervals, %d calls counted, wall %v\n",
 				i+1, *intervals, totalCalls, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	fmt.Fprintf(stderr, "[fmeterd] done: %d intervals of %v (%s), %d kernel function calls\n",
-		*intervals, *interval, spec.Name, totalCalls)
+
+	// Collect one interval at a time so each document hits the log as
+	// soon as it exists — the daemon's whole point is continuous,
+	// crash-surviving logging (§1: post-mortem analysis).
+	warm := *intervals
+	if *dbDir != "" {
+		warm = *warmup
+	}
+	var warmDocs []*fmeter.Document
+	for i := 0; i < warm; i++ {
+		docs, err := sys.Collect(spec, 1, *interval, out)
+		if err != nil {
+			return fmt.Errorf("interval %d: %w", i, err)
+		}
+		if len(docs) == 1 { // an unreadable interval is skipped, not fatal
+			totalCalls += docs[0].Total()
+			if *dbDir != "" {
+				warmDocs = append(warmDocs, docs[0])
+			}
+		}
+		status(i)
+	}
+
+	if *dbDir != "" {
+		// Fit the vector space on the warmup corpus, seed the live DB with
+		// it, then stream every further interval into the DB while it
+		// remains queryable (and periodically snapshot it crash-safely).
+		sigs, model, err := fmeter.BuildSignatures(warmDocs, sys.Dim())
+		if err != nil {
+			return fmt.Errorf("fitting warmup model: %w", err)
+		}
+		db, err := fmeter.NewDB(sys.Dim(), fmeter.WithShards(2))
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		if err := db.AddAll(sigs); err != nil {
+			return err
+		}
+		ingested := 0
+		for i := warm; i < *intervals; i++ {
+			added, err := sys.CollectStream(spec, 1, *interval, model, db, out)
+			if err != nil {
+				return fmt.Errorf("interval %d: %w", i, err)
+			}
+			ingested += added
+			if *saveEvery > 0 && ingested > 0 && ingested%*saveEvery == 0 {
+				if err := fmeter.SaveDB(*dbDir, db); err != nil {
+					return fmt.Errorf("snapshotting db: %w", err)
+				}
+			}
+			status(i)
+		}
+		if err := fmeter.SaveDB(*dbDir, db); err != nil {
+			return fmt.Errorf("snapshotting db: %w", err)
+		}
+		fmt.Fprintf(stderr, "[fmeterd] db %s: %d signatures (%d warmup + %d streamed)\n",
+			*dbDir, db.Len(), len(sigs), ingested)
+	}
+
+	st := sys.CollectorStats()
+	fmt.Fprintf(stderr, "[fmeterd] done: %d intervals of %v (%s), %d kernel function calls, %d read retries, %d intervals skipped\n",
+		*intervals, *interval, spec.Name, totalCalls, st.Retries, st.SkippedIntervals)
 	return nil
 }

@@ -83,3 +83,47 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestDaemonLiveDBStreaming(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-workload", "scp", "-intervals", "6", "-interval", "5s",
+		"-db", dir, "-warmup", "2", "-save-every", "2", "-status-every", "0",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every interval, warmup and streamed alike, hits the JSONL log.
+	docs, err := fmeter.ReadDocuments(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 6 {
+		t.Fatalf("logged docs = %d, want 6", len(docs))
+	}
+	// The snapshot directory holds the full live DB: warmup + streamed.
+	db, err := fmeter.OpenDB(dir)
+	if err != nil {
+		t.Fatalf("opening live DB snapshot: %v", err)
+	}
+	defer db.Close()
+	if db.Len() != 6 {
+		t.Fatalf("db.Len() = %d, want 6 (2 warmup + 4 streamed)", db.Len())
+	}
+	if !strings.Contains(errBuf.String(), "db "+dir) {
+		t.Errorf("missing db summary line: %q", errBuf.String())
+	}
+}
+
+func TestDaemonRejectsBadWarmup(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	for _, args := range [][]string{
+		{"-db", "x", "-intervals", "5", "-warmup", "1"},
+		{"-db", "x", "-intervals", "5", "-warmup", "5"},
+	} {
+		if err := run(args, &out, &errBuf); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -621,3 +621,59 @@ func TestPruningFacade(t *testing.T) {
 		t.Fatalf("WithCompactionPolicy(1) = %v, want ConfigError", err)
 	}
 }
+
+func TestCollectStreamFacade(t *testing.T) {
+	sys, err := New(Config{Seed: 71, NumCPU: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sys.Collect(DbenchWorkload(), 5, 5*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs, model, err := BuildSignatures(warm, sys.Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(sys.Dim(), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AddAll(sigs); err != nil {
+		t.Fatal(err)
+	}
+	sys.SetRetryPolicy(RetryPolicy{Retries: 2, Backoff: time.Millisecond, Jitter: 0.5})
+	var log bytes.Buffer
+	added, err := sys.CollectStream(DbenchWorkload(), 3, 5*time.Second, model, db, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("added = %d, want 3", added)
+	}
+	if db.Len() != len(sigs)+3 {
+		t.Fatalf("db.Len() = %d, want %d", db.Len(), len(sigs)+3)
+	}
+	docs, err := ReadDocuments(&log)
+	if err != nil || len(docs) != 3 {
+		t.Fatalf("stream log holds %d docs (%v), want 3", len(docs), err)
+	}
+	if st := sys.CollectorStats(); st.Retries != 0 || st.SkippedIntervals != 0 {
+		t.Fatalf("clean stream reported degradation: %+v", st)
+	}
+	// Vanilla tracer has no collector: streaming fails cleanly and the
+	// policy/stat helpers are no-ops.
+	vsys, err := New(Config{Seed: 1, Tracer: TracerVanilla})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vsys.SetRetryPolicy(RetryPolicy{})
+	vsys.SetCollectorWarnf(nil)
+	if _, err := vsys.CollectStream(ScpWorkload(), 1, time.Second, model, db, nil); err == nil {
+		t.Fatal("CollectStream without the Fmeter tracer should fail")
+	}
+	if st := vsys.CollectorStats(); st != (CollectorStats{}) {
+		t.Fatalf("vanilla stats = %+v", st)
+	}
+}

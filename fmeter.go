@@ -106,6 +106,12 @@ type (
 	WorkloadSpec = workload.Spec
 	// DriverVariant selects a myri10ge driver scenario (Table 5).
 	DriverVariant = driver.Variant
+	// RetryPolicy governs the collector's handling of transient debugfs
+	// read failures (see System.SetRetryPolicy).
+	RetryPolicy = daemon.RetryPolicy
+	// CollectorStats are the collector's degradation counters: reads
+	// that needed a retry, intervals skipped after retries ran out.
+	CollectorStats = daemon.Stats
 )
 
 // Driver variants of the paper's subtle-behaviour experiment.
@@ -391,6 +397,60 @@ func (s *System) Collect(spec WorkloadSpec, n int, interval time.Duration, w io.
 	return s.col.CollectSeries(spec.Name, spec.Name, n, interval, body, w)
 }
 
+// CollectStream runs the logging daemon for n intervals and feeds each
+// interval straight into a live signature database: every document is
+// embedded through the fitted tf-idf model, L2-normalized, and Added to
+// db the moment its interval ends. The DB's epoch-view concurrency
+// contract makes this safe while other goroutines query db — the
+// always-on serving posture (collect once to fit the model, then stream
+// forever). Intervals whose counter reads stay unavailable through the
+// retry schedule are skipped with a counted warning (CollectorStats)
+// instead of killing the run. Returns the number of signatures added.
+// Requires the Fmeter tracer.
+func (s *System) CollectStream(spec WorkloadSpec, n int, interval time.Duration, model *Model, db *DB, w io.Writer) (int, error) {
+	if s.col == nil {
+		return 0, fmt.Errorf("fmeter: CollectStream requires the Fmeter tracer, have %v", s.cfg.Tracer)
+	}
+	run, err := workload.NewRunner(s.eng, spec, s.cfg.Seed+101)
+	if err != nil {
+		return 0, err
+	}
+	body := func(d time.Duration) error {
+		_, err := run.RunInterval(d)
+		return err
+	}
+	return s.col.CollectStream(spec.Name, spec.Name, n, interval, body, model, db, w)
+}
+
+// SetRetryPolicy replaces the collector's schedule for transient
+// debugfs read failures: each failed read retries Retries more times
+// behind jittered exponential backoff, and an interval still
+// unavailable after that is skipped with a counted warning rather than
+// aborting the collection. Retries <= 0 restores fail-fast reads.
+// Requires the Fmeter tracer (a no-op otherwise).
+func (s *System) SetRetryPolicy(p RetryPolicy) {
+	if s.col != nil {
+		s.col.SetRetryPolicy(p)
+	}
+}
+
+// SetCollectorWarnf installs the sink for the collector's counted
+// warnings (retries, skipped intervals); a daemon typically passes
+// log.Printf. nil silences them.
+func (s *System) SetCollectorWarnf(fn func(format string, args ...any)) {
+	if s.col != nil {
+		s.col.SetWarnf(fn)
+	}
+}
+
+// CollectorStats returns the collector's degradation counters so far.
+func (s *System) CollectorStats() CollectorStats {
+	if s.col == nil {
+		return CollectorStats{}
+	}
+	return s.col.Stats()
+}
+
 // RunOp executes a catalog operation in a closed loop and returns the
 // virtual elapsed kernel time — the micro-benchmark primitive of Table 1.
 func (s *System) RunOp(name string, times int) (time.Duration, error) {
@@ -463,6 +523,15 @@ func BuildSignatures(docs []*Document, dim int) ([]Signature, *Model, error) {
 // split the store over N shards (bounding TopK's scan fan-out) and
 // WithWorkers to bound the scan worker pool; query results are identical
 // at any setting.
+//
+// The database is safe for fully concurrent use: queries pin an
+// immutable epoch view and run against it without blocking writers,
+// while Add/AddAll/Seal/Compact/SaveDB serialize among themselves and
+// publish atomically. A query that pinned its view before a concurrent
+// write returns exactly what a serialized execution against that state
+// would — bit-identical, under any interleaving. db.Close() drains
+// in-flight queries before releasing resources; operations arriving
+// after Close return a typed *ConfigError.
 func NewDB(dim int, opts ...Option) (*DB, error) {
 	o := applyOpts(opts)
 	shards := o.shards
@@ -525,6 +594,12 @@ func SignatureFromDense(docID, label string, v Vector) Signature {
 // operator database saves in O(new data), and a crash mid-save never
 // corrupts the previous snapshot. This is the path-based save every CLI
 // should use instead of hand-rolled os.Create writes.
+//
+// SaveDB runs safely while other goroutines query or ingest: it
+// persists the committed state at the moment it acquires the writer
+// lock, and it never deletes a replaced segment file while any
+// in-flight query's pinned view can still reach it (removal is
+// deferred to the last reader draining).
 func SaveDB(path string, db *DB) error { return db.SaveDir(path) }
 
 // OpenDB loads a database saved by SaveDB (a v2 snapshot directory) or

@@ -1,0 +1,571 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// stressN scales iteration counts: the default keeps `go test` quick,
+// FMETER_STRESS=1 (the `make stress` entry point) elevates everything.
+func stressN(normal, stressed int) int {
+	if os.Getenv("FMETER_STRESS") != "" {
+		return stressed
+	}
+	return normal
+}
+
+// refResults precomputes, for every store prefix length n in [0, N],
+// the serialized-execution answer of each query: TopK hits and the
+// classify label a quiescent DB holding exactly sigs[:n] returns. The
+// reference DB is single-shard, default layout — the bit-identical-at-
+// any-layout guarantee (property-swept elsewhere) makes it a valid
+// reference for every sharding, sealing, compaction, and mapped/
+// resident combination the concurrent sweep runs.
+type refResults struct {
+	hits   [][][]SearchResult // [n][qi]
+	labels [][]string         // [n][qi]
+}
+
+func buildRef(t *testing.T, sigs []Signature, queries []*vecmath.Sparse, k int, metric Metric) *refResults {
+	t.Helper()
+	ref := &refResults{
+		hits:   make([][][]SearchResult, len(sigs)+1),
+		labels: make([][]string, len(sigs)+1),
+	}
+	rdb, err := NewDB(sigs[0].Dim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n <= len(sigs); n++ {
+		if n > 0 {
+			if err := rdb.Add(sigs[n-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref.hits[n] = make([][]SearchResult, len(queries))
+		ref.labels[n] = make([]string, len(queries))
+		if n == 0 {
+			continue
+		}
+		for qi, q := range queries {
+			hits, err := rdb.TopKSparse(q, k, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.hits[n][qi] = hits
+			label, err := rdb.ClassifySparse(q, k, metric)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.labels[n][qi] = label
+		}
+	}
+	return ref
+}
+
+// sameHits reports bit-identity: same hit sequence, same DocIDs, same
+// score bits.
+func sameHits(a, b []SearchResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Signature.DocID != b[i].Signature.DocID ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConcurrentInterleavingSweep is the serialized-equivalence
+// property sweep: goroutines interleave Add/AddAll/Seal/Compact/
+// SaveDir/config flips with TopK/TopKBatch/Classify*/Stats queries
+// under every layout axis (shards × workers × segment size × policy
+// compaction × mapped/resident), and every query result must be
+// bit-identical to a serialized execution against the store prefix its
+// pinned view froze. Run under -race this is the epoch-view safety
+// proof: no torn reads, no result a quiescent DB could not produce.
+func TestConcurrentInterleavingSweep(t *testing.T) {
+	const dim, nnz, k = 48, 10, 7
+	nSigs := stressN(300, 1200)
+	readerIters := stressN(400, 4000)
+	r := rand.New(rand.NewSource(11))
+	sigs := randSigs(r, nSigs, dim, nnz)
+	queryRows := randSigs(r, 4, dim, nnz)
+	queries := make([]*vecmath.Sparse, len(queryRows))
+	for i := range queryRows {
+		queries[i] = queryRows[i].W
+	}
+
+	combos := []struct {
+		name    string
+		shards  int
+		workers int
+		segSize int
+		fanout  int
+		mapped  bool
+		metric  Metric
+	}{
+		{"1shard-seq-cosine", 1, -1, 64, 0, false, CosineMetric()},
+		{"3shard-par-tiered-cosine", 3, 0, 32, 2, false, CosineMetric()},
+		{"2shard-par-euclidean", 2, 2, 48, 0, false, EuclideanMetric()},
+		{"2shard-mapped-euclidean", 2, 2, 48, 0, true, EuclideanMetric()},
+		{"3shard-mapped-tiered-cosine", 3, 0, 32, 2, true, CosineMetric()},
+	}
+	for _, cb := range combos {
+		cb := cb
+		t.Run(cb.name, func(t *testing.T) {
+			ref := buildRef(t, sigs, queries, k, cb.metric)
+
+			var db *DB
+			dir := t.TempDir()
+			start := 0
+			if cb.mapped {
+				// Mapped mode starts from a sealed, mapped prefix and
+				// streams the rest — compactions then splice mapped blobs
+				// away under pinned views (the deferred-reclaim path).
+				seed, err := NewShardedDB(dim, cb.shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seed.SetSegmentSize(cb.segSize)
+				start = nSigs / 2
+				if err := seed.AddAll(sigs[:start]); err != nil {
+					t.Fatal(err)
+				}
+				seed.Seal()
+				if err := seed.SaveDir(dir); err != nil {
+					t.Fatal(err)
+				}
+				if err := seed.Close(); err != nil {
+					t.Fatal(err)
+				}
+				if db, err = LoadDirMapped(dir); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				var err error
+				if db, err = NewShardedDB(dim, cb.shards); err != nil {
+					t.Fatal(err)
+				}
+			}
+			defer db.Close()
+			db.SetWorkers(cb.workers)
+			db.SetSegmentSize(cb.segSize)
+			db.setPruneFloor(1)
+			if cb.fanout > 0 {
+				if err := db.SetCompactionPolicy(CompactionPolicy{TierFanout: cb.fanout}); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// Writer: stream the remaining signatures with seals,
+			// compactions, incremental saves, and query-config flips
+			// interleaved — every mutation publishes a fresh view the
+			// readers race to pin.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				for i := start; i < nSigs; {
+					switch {
+					case i%41 == 0 && i+5 <= nSigs:
+						if err := db.AddAll(sigs[i : i+5]); err != nil {
+							t.Errorf("AddAll at %d: %v", i, err)
+							return
+						}
+						i += 5
+					default:
+						if err := db.Add(sigs[i]); err != nil {
+							t.Errorf("Add at %d: %v", i, err)
+							return
+						}
+						i++
+					}
+					switch {
+					case i%37 == 0:
+						db.Seal()
+					case i%53 == 0:
+						db.Compact()
+					case i%61 == 0:
+						if err := db.SaveDir(dir); err != nil {
+							t.Errorf("SaveDir at %d: %v", i, err)
+							return
+						}
+					case i%23 == 0:
+						db.SetPruned(i%46 == 0)
+					case i%29 == 0:
+						db.SetIndexed(i%58 == 0)
+					}
+				}
+			}()
+
+			running := func() bool {
+				select {
+				case <-done:
+					return false
+				default:
+					return true
+				}
+			}
+
+			// Reader A: exact serialized-equivalence. Pin a view, read
+			// the prefix length it froze, and demand the bit-identical
+			// reference answer for that exact prefix.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rr := rand.New(rand.NewSource(seed))
+					for it := 0; it < readerIters && running(); it++ {
+						qi := rr.Intn(len(queries))
+						v := db.pinView()
+						n := v.total
+						got, err := db.topk(v, queries[qi], nil, k, cb.metric, v.cfg.workers, nil)
+						db.unpinView(v)
+						if n == 0 {
+							if !errors.Is(err, ErrEmptyDB) {
+								t.Errorf("empty view: err=%v, want ErrEmptyDB", err)
+								return
+							}
+							continue
+						}
+						if err != nil {
+							t.Errorf("topk at prefix %d: %v", n, err)
+							return
+						}
+						if !sameHits(got, ref.hits[n][qi]) {
+							t.Errorf("query %d at pinned prefix %d diverges from serialized execution", qi, n)
+							return
+						}
+					}
+				}(int64(100 + g))
+			}
+
+			// Reader B: public batch path. The batch pins one view, so
+			// all results must agree with the reference at one single
+			// prefix inside the [before, after] Len window.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				out := make([][]SearchResult, len(queries))
+				for it := 0; it < readerIters && running(); it++ {
+					nLo := db.Len()
+					err := db.TopKBatchInto(queries, k, cb.metric, out)
+					nHi := db.Len()
+					if nLo == 0 && err != nil {
+						continue // raced the very first Add; empty view is legal
+					}
+					if err != nil {
+						t.Errorf("TopKBatchInto in [%d, %d]: %v", nLo, nHi, err)
+						return
+					}
+					found := false
+					for n := nLo; n <= nHi && !found; n++ {
+						ok := n > 0
+						for qi := range queries {
+							if ok && !sameHits(out[qi], ref.hits[n][qi]) {
+								ok = false
+							}
+						}
+						found = ok
+					}
+					if !found {
+						t.Errorf("batch result matches no serialized prefix in [%d, %d]", nLo, nHi)
+						return
+					}
+				}
+			}()
+
+			// Reader C: classify + stats paths; labels must match the
+			// reference at some prefix in the Len window.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rr := rand.New(rand.NewSource(7))
+				for it := 0; it < readerIters && running(); it++ {
+					qi := rr.Intn(len(queries))
+					nLo := db.Len()
+					var label string
+					var err error
+					if it%2 == 0 {
+						label, err = db.ClassifySparse(queries[qi], k, cb.metric)
+					} else {
+						label, _, err = db.ClassifySparseStats(queries[qi], k, cb.metric)
+					}
+					nHi := db.Len()
+					if nLo == 0 && err != nil {
+						continue
+					}
+					if err != nil {
+						t.Errorf("classify in [%d, %d]: %v", nLo, nHi, err)
+						return
+					}
+					found := false
+					for n := nLo; n <= nHi; n++ {
+						if n > 0 && label == ref.labels[n][qi] {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("label %q matches no serialized prefix in [%d, %d]", label, nLo, nHi)
+						return
+					}
+				}
+			}()
+
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			// Quiescent end state: the final view must be the full store.
+			if got := db.Len(); got != nSigs {
+				t.Fatalf("final Len %d, want %d", got, nSigs)
+			}
+			for qi, q := range queries {
+				got, err := db.TopKSparse(q, k, cb.metric)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameHits(got, ref.hits[nSigs][qi]) {
+					t.Fatalf("final query %d diverges from serialized execution", qi)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentWriters proves mutator-side serialization: concurrent
+// Add streams, seals, and compactions from many goroutines interleave
+// without losing a signature, and the final store answers exactly like
+// a serial build over the same multiset.
+func TestConcurrentWriters(t *testing.T) {
+	const dim, nnz, k, writers = 32, 8, 5, 4
+	perWriter := stressN(150, 1000)
+	r := rand.New(rand.NewSource(3))
+	all := randSigs(r, writers*perWriter, dim, nnz)
+	q := randSigs(r, 1, dim, nnz)[0].W
+
+	db, err := NewShardedDB(dim, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	db.SetSegmentSize(64)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := db.Add(all[w*perWriter+i]); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if i%50 == 0 {
+					db.Seal()
+				}
+				if i%70 == 0 {
+					db.Compact()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := db.Len(); got != len(all) {
+		t.Fatalf("Len %d after concurrent writers, want %d", got, len(all))
+	}
+	// The interleaving permutes insertion order, so scores (not order)
+	// must match a reference holding the same multiset: compare the hit
+	// score sets against a serial DB built in gid order of this one.
+	serial, err := NewDB(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serial.AddAll(db.All()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.TopKSparse(q, k, CosineMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.TopKSparse(q, k, CosineMetric())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameHits(got, want) {
+		t.Fatal("concurrently built store diverges from serial rebuild in its own insertion order")
+	}
+}
+
+// TestCloseUnderLoad closes a mapped DB while queries and an Add stream
+// are in flight: in-flight calls either complete normally against their
+// pinned views or fail with the typed *ConfigError, Close drains every
+// reader before releasing the segment mappings, each mapping is
+// released exactly once, and every call arriving after Close fails
+// typed. Run under -race.
+func TestCloseUnderLoad(t *testing.T) {
+	const dim, nnz, k = 32, 8, 5
+	nSeed := stressN(400, 1500)
+	r := rand.New(rand.NewSource(17))
+	sigs := randSigs(r, nSeed+nSeed, dim, nnz)
+	q := randSigs(r, 1, dim, nnz)[0].W
+
+	dir := t.TempDir()
+	seed, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.SetSegmentSize(64)
+	if err := seed.AddAll(sigs[:nSeed]); err != nil {
+		t.Fatal(err)
+	}
+	seed.Seal()
+	if err := seed.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadDirMapped(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := 0
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			if sg.mf != nil {
+				mapped++
+			}
+		}
+	}
+	if mapped == 0 {
+		t.Skip("platform without mmap support: no mappings to race against Close")
+	}
+	rel0 := mapReleaseCount.Load()
+
+	var typedLate, completed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Query load.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hits, err := db.TopKSparse(q, k, CosineMetric())
+				if err != nil {
+					var ce *ConfigError
+					if !errors.As(err, &ce) {
+						t.Errorf("in-flight query failed untyped: %v", err)
+						return
+					}
+					typedLate.Add(1)
+					return // closed: every later call fails too
+				}
+				if len(hits) != k {
+					t.Errorf("in-flight query returned %d hits, want %d", len(hits), k)
+					return
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	// Add stream.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := nSeed; i < len(sigs); i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Add(sigs[i]); err != nil {
+				var ce *ConfigError
+				if !errors.As(err, &ce) {
+					t.Errorf("in-flight Add failed untyped: %v", err)
+				} else {
+					typedLate.Add(1)
+				}
+				return
+			}
+			if i%100 == 0 {
+				db.Compact() // splice mapped blobs under load
+			}
+		}
+	}()
+
+	// Let the load establish, then close under it — concurrently from
+	// two goroutines, since Close must also be safe against itself.
+	for completed.Load() < 10 {
+		runtime.Gosched()
+	}
+	var errs [2]error
+	var cwg sync.WaitGroup
+	for c := 0; c < 2; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			errs[c] = db.Close()
+		}(c)
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("Close[%d]: %v", c, err)
+		}
+	}
+	if got := mapReleaseCount.Load() - rel0; got != int64(mapped) {
+		t.Fatalf("%d mapping releases across load+Compact+Close, want exactly %d", got, mapped)
+	}
+	// Late arrivals: every operation on the closed DB fails typed.
+	var ce *ConfigError
+	if _, err := db.TopKSparse(q, k, CosineMetric()); !errors.As(err, &ce) {
+		t.Fatalf("TopK after Close: %v, want *ConfigError", err)
+	}
+	if err := db.Add(sigs[0]); !errors.As(err, &ce) {
+		t.Fatalf("Add after Close: %v, want *ConfigError", err)
+	}
+	if err := db.SaveDir(dir); !errors.As(err, &ce) {
+		t.Fatalf("SaveDir after Close: %v, want *ConfigError", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := mapReleaseCount.Load() - rel0; got != int64(mapped) {
+		t.Fatalf("second Close changed release count to %d, want %d", got, mapped)
+	}
+	// The previous snapshot must still load: Close never touches disk.
+	re, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("reload after Close: %v", err)
+	}
+	re.Close()
+}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 	"repro/internal/percpu"
@@ -229,8 +231,24 @@ type SearchResult struct {
 //
 // Query-time working state (heaps, score accumulators, merge buffers,
 // vote counters) lives in a pool of per-worker scratch, so steady-state
-// queries do not allocate. A DB is not safe for concurrent mutation;
-// concurrent TopK/TopKBatch queries against a quiescent DB are safe.
+// queries do not allocate.
+//
+// Concurrency contract (epoch-pinned views, see view.go): queries
+// (TopK*, Classify*, Len, All, WriteSnapshot, the *Stats variants) may
+// run concurrently with each other AND with mutations. Each query pins
+// the current immutable view — the sealed segments plus a frozen
+// prefix of each shard's active segment — and computes exactly the
+// result a quiescent DB holding that view's signatures would return;
+// batch calls pin one view for the whole batch. Mutations (Add,
+// AddAll, Seal, Compact, SaveDir, Close, and every Set*) remain
+// single-writer: they serialize on an internal mutex, so concurrent
+// mutators are safe but take turns, and each publishes a new view
+// atomically when it completes. Resources a superseded view can still
+// reach (mmap'd posting blobs spliced by Compact, snapshot files
+// orphaned by SaveDir) are reclaimed only after the last reader of
+// that view drains; Close publishes a terminal view, waits for every
+// in-flight query to drain, releases all mappings exactly once, and
+// fails late arrivals with a typed *ConfigError.
 type DB struct {
 	dim     int
 	workers int
@@ -256,6 +274,28 @@ type DB struct {
 	closed  bool
 	shards  []dbShard
 	scratch *percpu.Pool[*dbScratch]
+
+	// mu serializes every mutation (and the writer-side accessors that
+	// read segment persistence state); queries never take it — they pin
+	// views (view.go).
+	mu sync.Mutex
+	// cur is the published view every query pins.
+	cur atomic.Pointer[dbView]
+	// reclMu guards the retirement queue, its condition variable, and
+	// the deferred-reclaim error; reclaim actions run under it.
+	reclMu       sync.Mutex
+	reclCond     *sync.Cond
+	pendingViews []*dbView
+	// closeErr records the first error out of a deferred mapping
+	// release, surfaced by Close after the drain.
+	closeErr error
+	// orphanErr records the first error out of a deferred orphan-file
+	// removal, surfaced by the next SaveDir that drains synchronously.
+	orphanErr error
+	// staleMaps collects segments whose mmap'd blobs a compaction
+	// spliced away; the next publish attaches their release as a
+	// reclaim action. Guarded by mu.
+	staleMaps []*segment
 }
 
 // dbShard holds the signatures routed to one shard alongside their
@@ -288,29 +328,51 @@ func NewShardedDB(dim, shards int) (*DB, error) {
 	db.scratch = percpu.NewPool(func() *dbScratch {
 		return &dbScratch{shards: make([]shardScratch, len(db.shards))}
 	})
+	db.reclCond = sync.NewCond(&db.reclMu)
+	db.cur.Store(db.buildViewLocked())
 	return db, nil
 }
 
 // SetWorkers bounds the worker-pool fan-out of TopK scans across shards
 // — and of TopKBatch across queries (parallel.Workers semantics: 0 =
 // one per CPU, <0 = sequential). The effective single-query parallelism
-// is min(workers, shards).
-func (db *DB) SetWorkers(n int) { db.workers = n }
+// is min(workers, shards). In-flight queries keep the setting they
+// pinned.
+func (db *DB) SetWorkers(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.workers = n
+	db.publishLocked()
+}
 
 // SetIndexed routes queries through the inverted index (the default) or
 // forces the exhaustive scan, for A/B comparison; results are identical
 // either way. The index itself is always maintained, so flipping back
-// is free.
-func (db *DB) SetIndexed(on bool) { db.noIndex = !on }
+// is free. In-flight queries keep the setting they pinned.
+func (db *DB) SetIndexed(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noIndex = !on
+	db.publishLocked()
+}
 
 // Indexed reports whether queries ride the inverted index.
-func (db *DB) Indexed() bool { return !db.noIndex }
+func (db *DB) Indexed() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return !db.noIndex
+}
 
 // Shards returns the shard count.
 func (db *DB) Shards() int { return len(db.shards) }
 
-// Len returns the number of stored signatures.
-func (db *DB) Len() int { return db.total }
+// Len returns the number of stored signatures in the current view.
+func (db *DB) Len() int {
+	v := db.pinView()
+	n := v.total
+	db.unpinView(v)
+	return n
+}
 
 // Dim returns the signature dimension.
 func (db *DB) Dim() int { return db.dim }
@@ -319,8 +381,13 @@ func (db *DB) Dim() int { return db.dim }
 // appending it to that shard's active segment (weights into the
 // segment's posting lists, squared norm into the shard's norm cache).
 // An active segment that reaches the segment size is sealed and the
-// next Add opens a fresh one.
+// next Add opens a fresh one. Add is safe to call concurrently with
+// queries (which keep the view they pinned) and with other mutators
+// (which serialize); the new signature is visible to every query that
+// starts after Add returns.
 func (db *DB) Add(sig Signature) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return errClosed()
 	}
@@ -330,12 +397,29 @@ func (db *DB) Add(sig Signature) error {
 	if sig.Dim() != db.dim {
 		return &DimensionError{What: fmt.Sprintf("signature %s", sig.DocID), Got: sig.Dim(), Want: db.dim}
 	}
-	sh := &db.shards[db.total%len(db.shards)]
+	si, resealed, err := db.addLocked(sig)
+	if err != nil {
+		return err
+	}
+	if resealed {
+		db.publishLocked(db.takeStaleActionsLocked()...)
+	} else {
+		db.publishAddLocked(si)
+	}
+	return nil
+}
+
+// addLocked appends one validated signature without publishing,
+// reporting the target shard and whether a seal (and possibly a policy
+// compaction) changed the segment structure. Caller holds db.mu and
+// publishes afterwards.
+func (db *DB) addLocked(sig Signature) (si int, resealed bool, err error) {
+	si = db.total % len(db.shards)
+	sh := &db.shards[si]
 	sg := sh.activeSegment()
 	if sg == nil {
-		var err error
 		if sg, err = db.appendSegment(sh); err != nil {
-			return err
+			return 0, false, err
 		}
 	}
 	sh.gids = append(sh.gids, db.total)
@@ -344,15 +428,36 @@ func (db *DB) Add(sig Signature) error {
 	sg.index.Add(sig.W)
 	sg.end++
 	sg.dirty = true
-	if sg.len() >= db.SegmentSize() {
+	if sg.len() >= db.segSizeLocked() {
 		sg.seal(sh)
 		// A roll is the compaction policy's trigger: merging here (not on
 		// a timer, not manually) keeps the sealed count bounded at every
 		// point of a continuous ingestion stream.
 		db.policyCompact(sh)
+		resealed = true
 	}
 	db.total++
-	return nil
+	return si, resealed, nil
+}
+
+// takeStaleActionsLocked wraps the segments whose mapped blobs were
+// spliced away since the last publish into one reclaim action: release
+// the mappings once no pinned view can reach the blobs. Caller holds
+// db.mu; the action runs under db.reclMu (see tryReclaim), where it may
+// record the first failure for Close to surface.
+func (db *DB) takeStaleActionsLocked() []func() {
+	if len(db.staleMaps) == 0 {
+		return nil
+	}
+	stale := db.staleMaps
+	db.staleMaps = nil
+	return []func(){func() {
+		for _, sg := range stale {
+			if err := sg.releaseMap(); err != nil && db.closeErr == nil {
+				db.closeErr = err
+			}
+		}
+	}}
 }
 
 // IndexBytes returns the resident heap footprint of every segment's
@@ -363,6 +468,8 @@ func (db *DB) Add(sig Signature) error {
 // file mappings (LoadDirMapped) are not heap and not counted here —
 // see MappedBytes.
 func (db *DB) IndexBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return 0
 	}
@@ -381,6 +488,8 @@ func (db *DB) IndexBytes() int64 {
 // segments into heap copies. IndexBytes + MappedBytes is the full
 // posting footprint; the split is the mapped-mode residency headline.
 func (db *DB) MappedBytes() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return 0
 	}
@@ -393,36 +502,65 @@ func (db *DB) MappedBytes() int64 {
 	return b
 }
 
-// Close releases every segment-file mapping deterministically and marks
-// the database closed: any later query or mutation returns a typed
-// *ConfigError instead of touching released memory. Closing a never-
-// mapped DB just marks it closed. Close is idempotent and returns the
-// first release error (the DB is marked closed regardless). Close is a
-// mutation — do not run it concurrently with queries.
+// Close marks the database closed, waits for every in-flight query to
+// drain off its pinned view, then releases every segment-file mapping
+// exactly once: any query or mutation arriving after Close begins
+// returns a typed *ConfigError instead of touching released memory,
+// while queries already in flight complete normally against the views
+// they pinned. Closing a never-mapped DB just marks it closed and
+// drains. Close is idempotent, safe to call concurrently with queries
+// and mutators, and returns the first release error (the DB is marked
+// closed regardless).
 func (db *DB) Close() error {
+	db.mu.Lock()
 	if db.closed {
-		return nil
+		db.mu.Unlock()
+		// A concurrent first Close may still be draining — wait with it
+		// so every caller returns only after the mappings are released.
+		return db.waitReclaimed()
 	}
 	db.closed = true
-	var first error
+	// Releases run as reclaim actions behind every already-queued one
+	// (a Compact's deferred splice release always precedes), once no
+	// pinned view can reach the mapped blobs.
+	rel := db.takeStaleActionsLocked()
 	for si := range db.shards {
 		for _, sg := range db.shards[si].segs {
-			if err := sg.releaseMap(); err != nil && first == nil {
-				first = err
+			if sg.mf != nil {
+				sg := sg
+				rel = append(rel, func() {
+					if err := sg.releaseMap(); err != nil && db.closeErr == nil {
+						db.closeErr = err
+					}
+				})
 			}
-			// Drop the posting structures: queries are guarded by the
-			// closed flag, and a mapped blob must never be reachable
-			// once its mapping is gone.
+			// Drop the posting structures from the writer state: a
+			// mapped blob must never be reachable once its mapping is
+			// gone, and the terminal view below carries no segments.
 			sg.blocks = nil
 			sg.index = nil
 		}
 	}
-	return first
+	// The terminal view keeps the signature rows (heap copies — Len and
+	// All still answer) but no segments, and fails every query with the
+	// typed closed error before it can walk anything.
+	nv := db.buildViewLocked()
+	for si := range nv.shards {
+		nv.shards[si].segs = nil
+	}
+	db.publishViewLocked(nv, rel)
+	db.mu.Unlock()
+	return db.waitReclaimed()
 }
 
 // IndexPostings returns the total posting-entry count across all
 // segments (one entry per stored non-zero weight).
 func (db *DB) IndexPostings() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0
+	}
 	var n int64
 	for si := range db.shards {
 		for _, sg := range db.shards[si].segs {
@@ -432,34 +570,48 @@ func (db *DB) IndexPostings() int64 {
 	return n
 }
 
-// AddAll stores a batch of signatures, validating each. On error the
-// database retains the signatures added before the offending one.
+// AddAll stores a batch of signatures, validating each, and publishes
+// them as one atomic step: a concurrent query sees either none of the
+// batch or a full prefix ending at the offending signature. On error
+// the database retains (and publishes) the signatures added before it.
 func (db *DB) AddAll(sigs []Signature) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed()
+	}
 	for _, s := range sigs {
-		if err := db.Add(s); err != nil {
-			return err
+		if s.W == nil {
+			return fmt.Errorf("core: signature %s has no weight vector", s.DocID)
+		}
+		if s.Dim() != db.dim {
+			return &DimensionError{What: fmt.Sprintf("signature %s", s.DocID), Got: s.Dim(), Want: db.dim}
 		}
 	}
-	return nil
+	var err error
+	for _, s := range sigs {
+		if _, _, err = db.addLocked(s); err != nil {
+			break
+		}
+	}
+	db.publishLocked(db.takeStaleActionsLocked()...)
+	return err
 }
 
-// All returns the stored signatures in insertion order. The slice is
-// freshly assembled from the shards; the signatures share storage with
-// the database and must not be mutated.
+// All returns the stored signatures of the current view in insertion
+// order. The slice is freshly assembled; the signatures share storage
+// with the database and must not be mutated.
 func (db *DB) All() []Signature {
-	out := make([]Signature, db.total)
-	for si := range db.shards {
-		sh := &db.shards[si]
-		for j, gid := range sh.gids {
-			out[gid] = sh.sigs[j]
+	v := db.pinView()
+	defer db.unpinView(v)
+	out := make([]Signature, v.total)
+	for si := range v.shards {
+		vs := &v.shards[si]
+		for j, gid := range vs.gids {
+			out[gid] = vs.sigs[j]
 		}
 	}
 	return out
-}
-
-// at returns the signature with the given global insertion index.
-func (db *DB) at(gid int) Signature {
-	return db.shards[gid%len(db.shards)].sigs[gid/len(db.shards)]
 }
 
 // dbScratch is the per-worker working state of one query evaluation:
@@ -599,7 +751,9 @@ func (db *DB) TopK(query vecmath.Vector, k int, metric Metric) ([]SearchResult, 
 	if query.Dim() != db.dim {
 		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
-	return db.topk(vecmath.DenseToSparse(query), query, k, metric, db.workers, nil)
+	v := db.pinView()
+	defer db.unpinView(v)
+	return db.topk(v, vecmath.DenseToSparse(query), query, k, metric, v.cfg.workers, nil)
 }
 
 // TopKSparse is TopK for a query already in canonical sparse form — the
@@ -608,7 +762,9 @@ func (db *DB) TopKSparse(query *vecmath.Sparse, k int, metric Metric) ([]SearchR
 	if query.Dim() != db.dim {
 		return nil, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
-	return db.topk(query, nil, k, metric, db.workers, nil)
+	v := db.pinView()
+	defer db.unpinView(v)
+	return db.topk(v, query, nil, k, metric, v.cfg.workers, nil)
 }
 
 // TopKBatch answers many queries in one call, fanning them over the
@@ -628,36 +784,39 @@ func (db *DB) TopKBatch(queries []*vecmath.Sparse, k int, metric Metric) ([][]Se
 // out[i] is overwritten (reusing its capacity) with query i's hits. With
 // warm capacity a steady-state batch allocates nothing. len(out) must
 // equal len(queries). On error out holds a mix of old and new results
-// and must not be interpreted.
+// and must not be interpreted. The whole batch pins one view, so every
+// result reflects the same store prefix even under concurrent writes.
 func (db *DB) TopKBatchInto(queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
 	if len(out) != len(queries) {
 		return fmt.Errorf("core: TopKBatchInto: %d result slots for %d queries", len(out), len(queries))
 	}
-	if parallel.Workers(db.workers) == 1 {
+	v := db.pinView()
+	defer db.unpinView(v)
+	if parallel.Workers(v.cfg.workers) == 1 {
 		// Sequential batch: direct calls keep the steady state at zero
 		// allocations (no closure, no worker bookkeeping).
 		for qi := range queries {
-			if err := db.batchQuery(qi, queries, k, metric, out); err != nil {
+			if err := db.batchQuery(v, qi, queries, k, metric, out); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return db.batchQueriesParallel(queries, k, metric, out)
+	return db.batchQueriesParallel(v, queries, k, metric, out)
 }
 
 // batchQueriesParallel fans batchQuery over the worker pool; split out
 // of TopKBatchInto so the closure exists only on the parallel path.
-func (db *DB) batchQueriesParallel(queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
-	return parallel.For(db.workers, len(queries), func(qi int) error {
-		return db.batchQuery(qi, queries, k, metric, out)
+func (db *DB) batchQueriesParallel(v *dbView, queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
+	return parallel.For(v.cfg.workers, len(queries), func(qi int) error {
+		return db.batchQuery(v, qi, queries, k, metric, out)
 	})
 }
 
 // batchQuery answers query qi into out[qi], reusing its capacity.
 // Shards are walked sequentially inside each query; the batch
 // parallelism is the query fan-out.
-func (db *DB) batchQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
+func (db *DB) batchQuery(v *dbView, qi int, queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
 	q := queries[qi]
 	if q == nil {
 		return fmt.Errorf("core: query %d is nil", qi)
@@ -665,7 +824,7 @@ func (db *DB) batchQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric
 	if q.Dim() != db.dim {
 		return &DimensionError{What: fmt.Sprintf("query %d", qi), Got: q.Dim(), Want: db.dim}
 	}
-	res, err := db.topk(q, nil, k, metric, -1, out[qi][:0])
+	res, err := db.topk(v, q, nil, k, metric, -1, out[qi][:0])
 	if err != nil {
 		return err
 	}
@@ -673,58 +832,61 @@ func (db *DB) batchQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric
 	return nil
 }
 
-// topk evaluates one query: per-shard candidate scoring (inverted index
-// when the metric supports it, bounded-heap scan otherwise) fanned over
-// the worker pool, then a global (score, index) merge. denseQuery may be
-// nil; it is materialized only when the metric lacks a sparse path.
-// Results are appended to out[:0] when it has capacity.
-func (db *DB) topk(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
+// topk evaluates one query against a pinned view: per-shard candidate
+// scoring (inverted index when the metric supports it, bounded-heap
+// scan otherwise) fanned over the worker pool, then a global
+// (score, index) merge. denseQuery may be nil; it is materialized only
+// when the metric lacks a sparse path. Results are appended to out[:0]
+// when it has capacity.
+func (db *DB) topk(v *dbView, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
 	sc := db.scratch.Get()
 	defer db.scratch.Put(sc)
-	return db.topkWith(sc, query, denseQuery, k, metric, workers, out)
+	return db.topkWith(v, sc, query, denseQuery, k, metric, workers, out)
 }
 
 // topkWith is topk running on a caller-held scratch, so callers that
 // need scratch state around the query (the classify paths, which keep
 // hits and votes there) check out exactly one scratch for the whole
-// operation.
-func (db *DB) topkWith(sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
-	if db.closed {
-		// Closed means the segment mappings are gone: a walk would read
-		// unmapped memory. Fail with the typed usage error instead.
+// operation. It touches only the pinned view, never the live writer
+// state — that is the whole serialized-equivalence argument: the result
+// is exactly what a quiescent DB holding the view's signatures returns.
+func (db *DB) topkWith(v *dbView, sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, workers int, out []SearchResult) ([]SearchResult, error) {
+	if v.closed {
+		// Closed means the segment mappings are gone (or going): fail
+		// with the typed usage error instead of walking released state.
 		return nil, errClosed()
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: k %d must be >= 1", k)
 	}
-	if db.total == 0 {
+	if v.total == 0 {
 		return nil, ErrEmptyDB
 	}
-	if k > db.total {
-		k = db.total
+	if k > v.total {
+		k = v.total
 	}
 	if metric.SparseScore == nil && metric.dotScore == nil && denseQuery == nil {
 		denseQuery = query.Dense()
 	}
-	useIndex := !db.noIndex && metric.indexable()
+	useIndex := !v.cfg.noIndex && metric.indexable()
 	qNorm2 := query.Norm2()
-	if parallel.Workers(workers) == 1 || len(db.shards) == 1 {
+	if parallel.Workers(workers) == 1 || len(v.shards) == 1 {
 		// Sequential shard walk: direct calls, so the hot batched path
 		// (queries fan out, shards stay sequential) builds no closure
 		// and stays allocation-free.
-		for si := range db.shards {
-			if err := db.topkShard(si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
+		for si := range v.shards {
+			if err := topkShard(v, si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
 				return nil, err
 			}
 		}
-	} else if err := db.topkShardsParallel(workers, sc, query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
+	} else if err := topkShardsParallel(v, workers, sc, query, denseQuery, k, metric, useIndex, qNorm2); err != nil {
 		return nil, err
 	}
 	merged := &sc.shards[0].heap
-	if len(db.shards) > 1 {
+	if len(v.shards) > 1 {
 		merged = &sc.merged
 		merged.reset(metric.HigherIsCloser)
-		for si := range db.shards {
+		for si := range v.shards {
 			h := &sc.shards[si].heap
 			for j := range h.idx {
 				merged.offer(k, h.idx[j], h.score[j])
@@ -741,7 +903,7 @@ func (db *DB) topkWith(sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.
 	out = out[:n]
 	for j := n - 1; j >= 0; j-- {
 		gid, score := merged.pop()
-		out[j] = SearchResult{Signature: db.at(gid), Score: score}
+		out[j] = SearchResult{Signature: v.at(gid), Score: score}
 	}
 	return out, nil
 }
@@ -750,9 +912,9 @@ func (db *DB) topkWith(sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.
 // It lives apart from topk so the closure (and the captures it boxes)
 // exists only on the parallel path; the sequential path stays
 // allocation-free.
-func (db *DB) topkShardsParallel(workers int, sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
-	return parallel.For(workers, len(db.shards), func(si int) error {
-		return db.topkShard(si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2)
+func topkShardsParallel(v *dbView, workers int, sc *dbScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
+	return parallel.For(workers, len(v.shards), func(si int) error {
+		return topkShard(v, si, &sc.shards[si], query, denseQuery, k, metric, useIndex, qNorm2)
 	})
 }
 
@@ -764,12 +926,12 @@ func (db *DB) topkShardsParallel(workers int, sc *dbScratch, query *vecmath.Spar
 // arithmetic is per-signature — and the heap's (score, insertion index)
 // total order never depends on arrival order, so results are
 // bit-identical at any segment layout.
-func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
-	sh := &db.shards[si]
+func topkShard(v *dbView, si int, ss *shardScratch, query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric, useIndex bool, qNorm2 float64) error {
+	vs := &v.shards[si]
 	h := &ss.heap
 	h.reset(metric.HigherIsCloser)
 	ss.stats = PruneStats{}
-	if len(sh.sigs) == 0 {
+	if len(vs.sigs) == 0 {
 		// More shards than signatures: nothing stored here yet (and no
 		// segments to walk).
 		return nil
@@ -778,13 +940,17 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 	case useIndex:
 		// Inverted-index path, one segment at a time: dot products
 		// accumulate down the posting lists of the query's support only
-		// (flat arrays for the active segment, decoded blocks for sealed
-		// ones — same weights, same order, identical dots either way);
-		// every signature in the segment is then scored from its
-		// (possibly zero) dot in O(1) via the cached norms. Per-candidate
-		// accumulation order inside a segment equals the pre-segment
-		// whole-shard walk (ascending query dims, each candidate sees
-		// exactly its intersection terms), so dots are bit-identical.
+		// (decoded blocks for sealed segments); every signature in the
+		// segment is then scored from its (possibly zero) dot in O(1)
+		// via the cached norms. Per-candidate accumulation order inside
+		// a segment equals the pre-segment whole-shard walk (ascending
+		// query dims, each candidate sees exactly its intersection
+		// terms), so dots are bit-identical. The active segment's frozen
+		// prefix is scored with the canonical merge-walk dot instead —
+		// its flat index is writer-private under the epoch-view contract
+		// — which is the very same float sequence (Sparse.Dot visits the
+		// intersection terms in the same ascending order the posting
+		// accumulation does), so results stay bit-identical.
 		//
 		// With pruning on (the default) and sealed segments present, a
 		// strided sample of min(k, len) candidates is scored canonically
@@ -796,23 +962,29 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 		// per-candidate score, and the heap's (score, index) total order
 		// is arrival-independent — results stay bit-identical with
 		// pruning on or off.
-		prune := !db.noPrune && metric.kind != metricKindOther && sh.segs[0].sealed &&
-			len(sh.sigs) >= db.pruneRowFloor()
+		prune := !v.cfg.noPrune && metric.kind != metricKindOther && vs.segs[0].blocks != nil &&
+			len(vs.sigs) >= v.cfg.pruneFloor
 		var seeds []int32
 		if prune {
-			seeds = seedHeap(sh, &ss.prune, h, k, query, metric, qNorm2)
+			seeds = seedHeap(vs, &ss.prune, h, k, query, metric, qNorm2)
 			prune = len(h.idx) == k
 		}
 		if prune {
-			seeds = db.probeSeed(sh, &ss.prune, h, k, query, metric, qNorm2)
+			seeds = probeSeed(vs, &ss.prune, h, k, query, metric, qNorm2)
 		}
-		theta := db.PruneTheta()
-		for _, sg := range sh.segs {
+		theta := v.cfg.pruneTheta
+		for _, sg := range vs.segs {
 			ss.stats.Segments++
-			if prune && sg.blocks != nil && db.prunedSegment(sh, sg, ss, h, k, query, metric, qNorm2, theta, seeds) {
+			if sg.blocks == nil {
+				// Active-segment frozen prefix: canonical dots, with the
+				// seed rows excluded like every other offer loop.
+				offerCanonical(h, k, vs, sg, query, metric, qNorm2, seeds)
 				continue
 			}
-			sg.postings().dots(query, &ss.acc)
+			if prune && prunedSegment(vs, sg, ss, h, k, query, metric, qNorm2, theta, seeds) {
+				continue
+			}
+			sg.blocks.dots(query, &ss.acc)
 			// Score every candidate from its accumulated dot. The two
 			// built-in metrics take devirtualized loops (their formulas
 			// called directly, plus a heap-root pre-filter that rejects
@@ -823,39 +995,68 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 			// seed pass ran, and metricKindOther never seeds.)
 			switch metric.kind {
 			case metricKindEuclidean:
-				offerEuclidean(h, k, sh, sg, &ss.acc, qNorm2, seeds)
+				offerEuclidean(h, k, vs, sg, &ss.acc, qNorm2, seeds)
 			case metricKindCosine:
-				offerCosine(h, k, sh, sg, &ss.acc, qNorm2, seeds)
+				offerCosine(h, k, vs, sg, &ss.acc, qNorm2, seeds)
 			default:
 				for j := sg.start; j < sg.end; j++ {
-					h.offer(k, sh.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, sh.norms[j]))
+					h.offer(k, vs.gids[j], metric.dotScore(ss.acc.Get(j-sg.start), qNorm2, vs.norms[j]))
 				}
 			}
 		}
 	case metric.SparseScore != nil:
-		for _, sg := range sh.segs {
+		for _, sg := range vs.segs {
 			for j := sg.start; j < sg.end; j++ {
-				h.offer(k, sh.gids[j], metric.SparseScore(query, sh.sigs[j].W))
+				h.offer(k, vs.gids[j], metric.SparseScore(query, vs.sigs[j].W))
 			}
 		}
 	default:
 		// One scratch buffer per shard keeps the dense-fallback scan at
 		// O(1) allocation instead of one materialization per stored
 		// signature.
-		if len(ss.dense) != db.dim {
-			ss.dense = vecmath.NewVector(db.dim)
+		if len(ss.dense) != query.Dim() {
+			ss.dense = vecmath.NewVector(query.Dim())
 		}
-		for _, sg := range sh.segs {
+		for _, sg := range vs.segs {
 			for j := sg.start; j < sg.end; j++ {
-				score, err := metric.Score(denseQuery, sh.sigs[j].W.DenseInto(ss.dense))
+				score, err := metric.Score(denseQuery, vs.sigs[j].W.DenseInto(ss.dense))
 				if err != nil {
 					return err
 				}
-				h.offer(k, sh.gids[j], score)
+				h.offer(k, vs.gids[j], score)
 			}
 		}
 	}
 	return nil
+}
+
+// offerCanonical scores one segment range with the canonical per-
+// candidate dot (query.Dot, the exact float sequence the indexed
+// accumulation produces) and offers the results, skipping the shard
+// rows in seeds like the other offer loops. It is the indexed path's
+// kernel for the active segment's frozen prefix, whose flat posting
+// index belongs to the writer.
+func offerCanonical(h *topkHeap, k int, vs *viewShard, sg viewSegment, query *vecmath.Sparse, metric Metric, qNorm2 float64, seeds []int32) {
+	si := 0
+	for j := sg.start; j < sg.end; j++ {
+		for si < len(seeds) && int(seeds[si]) < j {
+			si++
+		}
+		if si < len(seeds) && int(seeds[si]) == j {
+			continue
+		}
+		dot := query.Dot(vs.sigs[j].W)
+		var score float64
+		switch metric.kind {
+		case metricKindEuclidean:
+			score = euclideanDotScore(dot, qNorm2, vs.norms[j])
+		case metricKindCosine:
+			score = cosineDotScore(dot, qNorm2, vs.norms[j])
+		default:
+			score = metric.dotScore(dot, qNorm2, vs.norms[j])
+		}
+		h.offer(k, vs.gids[j], score)
+	}
 }
 
 // offerEuclidean scores one segment's candidates under the Euclidean
@@ -867,7 +1068,7 @@ func (db *DB) topkShard(si int, ss *shardScratch, query *vecmath.Sparse, denseQu
 // insertion index, never displaces), so the kept set is identical to
 // calling offer for every candidate — the fast path only skips calls
 // that would have returned without mutating the heap.
-func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
+func offerEuclidean(h *topkHeap, k int, vs *viewShard, sg viewSegment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
 	var ri int
@@ -882,8 +1083,8 @@ func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.A
 		if si < len(seeds) && int(seeds[si]) == j {
 			continue
 		}
-		score := euclideanDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
-		gid := sh.gids[j]
+		score := euclideanDotScore(acc.Get(j-sg.start), qNorm2, vs.norms[j])
+		gid := vs.gids[j]
 		if full && (score > rs || (score == rs && gid > ri)) {
 			continue
 		}
@@ -897,7 +1098,7 @@ func offerEuclidean(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.A
 
 // offerCosine is offerEuclidean for the cosine similarity (higher is
 // closer, so the root pre-filter flips).
-func offerCosine(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
+func offerCosine(h *topkHeap, k int, vs *viewShard, sg viewSegment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
 	var ri int
@@ -912,8 +1113,8 @@ func offerCosine(h *topkHeap, k int, sh *dbShard, sg *segment, acc *vecmath.Accu
 		if si < len(seeds) && int(seeds[si]) == j {
 			continue
 		}
-		score := cosineDotScore(acc.Get(j-sg.start), qNorm2, sh.norms[j])
-		gid := sh.gids[j]
+		score := cosineDotScore(acc.Get(j-sg.start), qNorm2, vs.norms[j])
+		gid := vs.gids[j]
 		if full && (score < rs || (score == rs && gid > ri)) {
 			continue
 		}
@@ -947,9 +1148,11 @@ func (db *DB) ClassifySparse(query *vecmath.Sparse, k int, metric Metric) (strin
 // counter, so the whole k-NN labeling path shares TopK's zero-alloc
 // steady state.
 func (db *DB) classify(query *vecmath.Sparse, denseQuery vecmath.Vector, k int, metric Metric) (string, error) {
+	v := db.pinView()
+	defer db.unpinView(v)
 	sc := db.scratch.Get()
 	defer db.scratch.Put(sc)
-	hits, err := db.topkWith(sc, query, denseQuery, k, metric, db.workers, sc.hits[:0])
+	hits, err := db.topkWith(v, sc, query, denseQuery, k, metric, v.cfg.workers, sc.hits[:0])
 	if err != nil {
 		return "", err
 	}
@@ -977,30 +1180,34 @@ func (db *DB) ClassifyBatchInto(queries []*vecmath.Sparse, k int, metric Metric,
 	if len(out) != len(queries) {
 		return fmt.Errorf("core: ClassifyBatchInto: %d result slots for %d queries", len(out), len(queries))
 	}
-	if parallel.Workers(db.workers) == 1 {
+	// One pinned view for the whole batch: every query in the batch
+	// labels against the same frozen store state.
+	v := db.pinView()
+	defer db.unpinView(v)
+	if parallel.Workers(v.cfg.workers) == 1 {
 		// Sequential batch: direct calls keep the steady state at zero
 		// allocations (no closure, no worker bookkeeping).
 		for qi := range queries {
-			if err := db.classifyQuery(qi, queries, k, metric, out); err != nil {
+			if err := db.classifyQuery(v, qi, queries, k, metric, out); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return db.classifyQueriesParallel(queries, k, metric, out)
+	return db.classifyQueriesParallel(v, queries, k, metric, out)
 }
 
 // classifyQueriesParallel fans classifyQuery over the worker pool; split
 // out of ClassifyBatchInto so the closure exists only on the parallel
 // path.
-func (db *DB) classifyQueriesParallel(queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
-	return parallel.For(db.workers, len(queries), func(qi int) error {
-		return db.classifyQuery(qi, queries, k, metric, out)
+func (db *DB) classifyQueriesParallel(v *dbView, queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
+	return parallel.For(v.cfg.workers, len(queries), func(qi int) error {
+		return db.classifyQuery(v, qi, queries, k, metric, out)
 	})
 }
 
 // classifyQuery labels query qi into out[qi] via the pooled scratch.
-func (db *DB) classifyQuery(qi int, queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
+func (db *DB) classifyQuery(v *dbView, qi int, queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
 	q := queries[qi]
 	if q == nil {
 		return fmt.Errorf("core: query %d is nil", qi)
@@ -1010,7 +1217,7 @@ func (db *DB) classifyQuery(qi int, queries []*vecmath.Sparse, k int, metric Met
 	}
 	sc := db.scratch.Get()
 	defer db.scratch.Put(sc)
-	hits, err := db.topkWith(sc, q, nil, k, metric, -1, sc.hits[:0])
+	hits, err := db.topkWith(v, sc, q, nil, k, metric, -1, sc.hits[:0])
 	if err != nil {
 		return err
 	}

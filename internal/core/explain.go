@@ -157,9 +157,11 @@ func (db *DB) TopKSparseStats(query *vecmath.Sparse, k int, metric Metric) ([]Se
 	if query.Dim() != db.dim {
 		return nil, st, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
+	v := db.pinView()
+	defer db.unpinView(v)
 	sc := db.scratch.Get()
 	defer db.scratch.Put(sc)
-	res, err := db.topkWith(sc, query, nil, k, metric, db.workers, nil)
+	res, err := db.topkWith(v, sc, query, nil, k, metric, v.cfg.workers, nil)
 	if err != nil {
 		return nil, st, err
 	}
@@ -176,9 +178,11 @@ func (db *DB) ClassifySparseStats(query *vecmath.Sparse, k int, metric Metric) (
 	if query.Dim() != db.dim {
 		return "", st, &DimensionError{What: "query", Got: query.Dim(), Want: db.dim}
 	}
+	v := db.pinView()
+	defer db.unpinView(v)
 	sc := db.scratch.Get()
 	defer db.scratch.Put(sc)
-	hits, err := db.topkWith(sc, query, nil, k, metric, db.workers, sc.hits[:0])
+	hits, err := db.topkWith(v, sc, query, nil, k, metric, v.cfg.workers, sc.hits[:0])
 	if err != nil {
 		return "", st, err
 	}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// errInjected is the sentinel every injected fault wraps, so the
+// matrices can tell an injected failure from a real one.
+var errInjected = errors.New("injected fault")
+
+// faultPlan fails the step-th filesystem operation (transient), or
+// every operation from the step-th on (crash: the process "dies" and
+// even cleanup stops succeeding).
+type faultPlan struct {
+	step  int
+	crash bool
+	n     int
+	fired bool
+}
+
+func (p *faultPlan) hook(op fsOp, path string) error {
+	i := p.n
+	p.n++
+	if (p.crash && i >= p.step) || (!p.crash && i == p.step) {
+		p.fired = true
+		return fmt.Errorf("%s %s: %w", op, filepath.Base(path), errInjected)
+	}
+	return nil
+}
+
+// buildFaultCorpus makes a fresh snapshot directory holding nOld
+// signatures (snapshot A), then mutates the live DB — more adds, a
+// seal, a compaction — so the next SaveDir has real work at every
+// operation class: new segment files, a manifest rewrite, and orphan
+// removals. Returns the DB, the directory, and the old/new counts.
+func buildFaultCorpus(t *testing.T) (*DB, string, int, int) {
+	t.Helper()
+	const dim, nnz = 24, 6
+	r := rand.New(rand.NewSource(29))
+	sigs := randSigs(r, 150, dim, nnz)
+	db, err := NewShardedDB(dim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSegmentSize(16)
+	if err := db.AddAll(sigs[:100]); err != nil {
+		t.Fatal(err)
+	}
+	db.Seal()
+	dir := t.TempDir()
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddAll(sigs[100:]); err != nil {
+		t.Fatal(err)
+	}
+	db.Seal()
+	db.Compact() // merges small sealed segments: the next save orphans their files
+	return db, dir, 100, 150
+}
+
+// verifyLoadable proves the directory is a complete snapshot: it loads
+// without error and holds one of the two legal counts — the previous
+// snapshot (fault before the manifest landed) or the new one (fault
+// after). Anything else is a partial directory.
+func verifyLoadable(t *testing.T, dir string, step int, mode string, oldN, newN int) int {
+	t.Helper()
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("%s step %d: directory unloadable after fault: %v", mode, step, err)
+	}
+	defer got.Close()
+	if n := got.Len(); n != oldN && n != newN {
+		t.Fatalf("%s step %d: loaded %d signatures, want %d (previous) or %d (new)", mode, step, n, oldN, newN)
+	}
+	return got.Len()
+}
+
+// TestSaveDirTransientFaultMatrix fails each filesystem operation of a
+// SaveDir exactly once — every create, write, fsync, close, rename,
+// remove, and directory sync, one per matrix step. At every step the
+// failure must surface as a typed *SnapshotError wrapping the injected
+// cause, the directory must remain fully loadable (previous snapshot
+// before the manifest rename, new snapshot after), and a retry with
+// the fault cleared must succeed and load as the new snapshot.
+func TestSaveDirTransientFaultMatrix(t *testing.T) {
+	defer func() { fsFault = nil }()
+	for step := 0; ; step++ {
+		db, dir, oldN, newN := buildFaultCorpus(t)
+		plan := &faultPlan{step: step}
+		fsFault = plan.hook
+		err := db.SaveDir(dir)
+		fsFault = nil
+		if !plan.fired {
+			if err != nil {
+				t.Fatalf("step %d: fault never fired yet SaveDir failed: %v", step, err)
+			}
+			t.Logf("transient matrix covered %d operation steps", step)
+			db.Close()
+			return
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("step %d: SaveDir error %v (%T), want *SnapshotError", step, err, err)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("step %d: SaveDir error %v does not wrap the injected fault", step, err)
+		}
+		verifyLoadable(t, dir, step, "transient", oldN, newN)
+		// Transient means transient: the very next save must succeed and
+		// commit the full new state.
+		if err := db.SaveDir(dir); err != nil {
+			t.Fatalf("step %d: retry SaveDir after transient fault: %v", step, err)
+		}
+		if n := verifyLoadable(t, dir, step, "transient-retry", newN, newN); n != newN {
+			t.Fatalf("step %d: retried save loads %d signatures, want %d", step, n, newN)
+		}
+		db.Close()
+	}
+}
+
+// TestSaveDirCrashMatrix simulates a crash at every point of a SaveDir:
+// from the step-th filesystem operation on, nothing succeeds — not even
+// cleanup, exactly like a killed process — and the DB is abandoned. The
+// directory must still load (previous or new snapshot, never partial),
+// and a recovery sequence — load, append, save — must converge to a
+// clean directory with no temp-file or orphan leftovers.
+func TestSaveDirCrashMatrix(t *testing.T) {
+	defer func() { fsFault = nil }()
+	const dim, nnz = 24, 6
+	r := rand.New(rand.NewSource(31))
+	extra := randSigs(r, 10, dim, nnz)
+	for i := range extra {
+		extra[i].DocID = fmt.Sprintf("extra-%d", i)
+	}
+	for step := 0; ; step++ {
+		db, dir, oldN, newN := buildFaultCorpus(t)
+		plan := &faultPlan{step: step, crash: true}
+		fsFault = plan.hook
+		err := db.SaveDir(dir)
+		fsFault = nil
+		if !plan.fired {
+			if err != nil {
+				t.Fatalf("step %d: crash never fired yet SaveDir failed: %v", step, err)
+			}
+			t.Logf("crash matrix covered %d operation steps", step)
+			db.Close()
+			return
+		}
+		if err == nil {
+			// The crash hit only the post-manifest cleanup: the save
+			// itself may legitimately have committed. Either way the
+			// invariants below must hold.
+			_ = err
+		} else {
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("step %d: SaveDir error %v (%T), want *SnapshotError", step, err, err)
+			}
+		}
+		// The process is "dead": abandon db without Close, like a crash
+		// would. The directory left behind must be a complete snapshot.
+		verifyLoadable(t, dir, step, "crash", oldN, newN)
+
+		// Recovery: reopen, append, save. The recovered directory must be
+		// clean — manifest plus exactly the referenced segment files, no
+		// temp leftovers from the crashed save.
+		re, err := LoadDir(dir)
+		if err != nil {
+			t.Fatalf("step %d: recovery load: %v", step, err)
+		}
+		if err := re.AddAll(extra); err != nil {
+			t.Fatalf("step %d: recovery append: %v", step, err)
+		}
+		if err := re.SaveDir(dir); err != nil {
+			t.Fatalf("step %d: recovery save: %v", step, err)
+		}
+		wantN := re.Len()
+		re.Close()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), ".tmp-") {
+				t.Fatalf("step %d: temp file %s survives the recovery save", step, e.Name())
+			}
+		}
+		if n := verifyLoadable(t, dir, step, "recovery", wantN, wantN); n != wantN {
+			t.Fatalf("step %d: recovered directory loads %d signatures, want %d", step, n, wantN)
+		}
+	}
+}
+
+// TestLoadDirFaultMatrix fails each read a LoadDir performs (manifest,
+// then every segment file) and demands a typed *SnapshotError wrapping
+// the injected cause — never a partial DB — and a clean load once the
+// fault passes.
+func TestLoadDirFaultMatrix(t *testing.T) {
+	defer func() { fsFault = nil }()
+	db, dir, _, newN := buildFaultCorpus(t)
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	for step := 0; ; step++ {
+		plan := &faultPlan{step: step}
+		fsFault = plan.hook
+		got, err := LoadDir(dir)
+		fsFault = nil
+		if !plan.fired {
+			if err != nil {
+				t.Fatalf("step %d: fault never fired yet LoadDir failed: %v", step, err)
+			}
+			if got.Len() != newN {
+				t.Fatalf("step %d: clean load holds %d signatures, want %d", step, got.Len(), newN)
+			}
+			got.Close()
+			t.Logf("load matrix covered %d operation steps", step)
+			return
+		}
+		if err == nil {
+			got.Close()
+			t.Fatalf("step %d: LoadDir succeeded despite injected read fault", step)
+		}
+		var se *SnapshotError
+		if !errors.As(err, &se) {
+			t.Fatalf("step %d: LoadDir error %v (%T), want *SnapshotError", step, err, err)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("step %d: LoadDir error %v does not wrap the injected fault", step, err)
+		}
+	}
+}
+
+// TestSaveDirDeferredOrphanRemoval pins a view across a compaction and
+// a save, proving the replaced segment files are NOT removed while the
+// view can still reach them, and ARE removed (exactly the named ones)
+// once the last pin drops and a quiescent SaveDir drains the queue.
+func TestSaveDirDeferredOrphanRemoval(t *testing.T) {
+	db, dir, _, _ := buildFaultCorpus(t)
+	defer db.Close()
+
+	before, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin a view, then commit the compacted layout: the compaction
+	// inputs' files become orphans of the new manifest, but the pinned
+	// view predates the save, so removal must wait for it.
+	v := db.pinView()
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatalf("SaveDir under pin: %v", err)
+	}
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) < len(before) {
+		t.Fatalf("files removed while a pinned view could reach them: %d -> %d", len(before), len(after))
+	}
+
+	// Drop the pin: the deferred removal runs. A follow-up quiescent
+	// SaveDir both surfaces any deferred failure and proves the
+	// directory converged (manifest + live segments only).
+	db.unpinView(v)
+	if err := db.SaveDir(dir); err != nil {
+		t.Fatalf("quiescent SaveDir after drain: %v", err)
+	}
+	final, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{manifestName: true}
+	db.mu.Lock()
+	for si := range db.shards {
+		for _, sg := range db.shards[si].segs {
+			live[segmentFileName(sg.id)] = true
+		}
+	}
+	db.mu.Unlock()
+	for _, e := range final {
+		if !live[e.Name()] {
+			t.Fatalf("orphan %s survives the post-drain save", e.Name())
+		}
+	}
+	if _, err := LoadDir(dir); err != nil {
+		t.Fatalf("converged directory unloadable: %v", err)
+	}
+}

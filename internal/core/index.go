@@ -21,8 +21,16 @@ import (
 // the order Sparse.Dot visits them — so indexed dot products are
 // bit-identical to the merge-walk dots of the scan path.
 //
-// An Index is not safe for concurrent mutation; concurrent Dots calls
-// against a quiescent index are safe (each query owns its Accumulator).
+// Under the DB's epoch-view concurrency model the flat Index is
+// entirely writer-private: only the active segment holds one, DB.Add
+// mutates it under the writer lock, and published views never reference
+// it — a view scores the active segment's frozen prefix with the
+// canonical sparse dot instead (bit-identical, see view.go). Sealing
+// re-encodes the Index into immutable blockPostings, which is what
+// concurrent queries read. A bare Index used outside the DB remains
+// single-writer: no Add concurrent with anything else; concurrent Dots
+// calls against a quiescent index are safe (each query owns its
+// Accumulator).
 type Index struct {
 	dim int
 	n   int

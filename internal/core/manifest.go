@@ -133,8 +133,16 @@ type manifestSegment struct {
 // fsynced, and renamed; the manifest goes last, so a crash mid-save
 // never corrupts the previous snapshot. Files from replaced segments
 // (compaction inputs) and abandoned temp files are removed after the new
-// manifest is durable.
+// manifest is durable — except files a pinned epoch view may still be
+// reading (spliced-away mapped segments), whose removal is deferred
+// until the last such view drains; a deferred removal's failure
+// surfaces from the next SaveDir that reaches a quiescent store.
+//
+// SaveDir serializes with Add/Seal/Compact (one writer side) but never
+// blocks queries, which keep scoring their pinned views throughout.
 func (db *DB) SaveDir(path string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return errClosed()
 	}
@@ -144,7 +152,7 @@ func (db *DB) SaveDir(path string) error {
 	if len(db.shards) > maxSnapshotShards {
 		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
 	}
-	if err := os.MkdirAll(path, 0o755); err != nil {
+	if err := fsMkdirAll(path, 0o755); err != nil {
 		return &SnapshotError{Path: path, Err: err}
 	}
 	if db.saveDir != path {
@@ -223,47 +231,77 @@ func (db *DB) SaveDir(path string) error {
 		return &SnapshotError{Path: path, Err: err}
 	}
 	db.saveDir = path
-	return removeOrphans(path, live)
-}
-
-// removeOrphans deletes segment and temp files the manifest no longer
-// references: compaction inputs, crash leftovers. Safe only after the
-// new manifest is durable.
-func removeOrphans(dir string, live map[string]bool) error {
-	entries, err := os.ReadDir(dir)
+	// The replaced files are garbage now that the manifest is durable,
+	// but a pinned view may still be scoring a mapped blob in one of
+	// them — so list the orphans NOW (a later listing could catch a
+	// subsequent save's fresh temp files) and remove the named files
+	// only when every view predating this save has drained.
+	stale, err := listOrphans(path, live)
 	if err != nil {
-		return &SnapshotError{Path: dir, Err: err}
+		return err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		stale := strings.HasPrefix(name, ".tmp-") ||
-			(strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".fms") && !live[name])
-		if !stale {
-			continue
-		}
-		if err := os.Remove(filepath.Join(dir, name)); err != nil {
-			return &SnapshotError{Path: filepath.Join(dir, name), Err: err}
-		}
+	if len(stale) > 0 {
+		db.publishLocked(func() {
+			for _, name := range stale {
+				fp := filepath.Join(path, name)
+				// Two overlapping saves can both list the same orphan
+				// (the first's removal was still deferred when the
+				// second scanned), so an already-gone file is success.
+				if err := fsRemove(fp); err != nil && !os.IsNotExist(err) && db.orphanErr == nil {
+					db.orphanErr = &SnapshotError{Path: fp, Err: err}
+				}
+			}
+		})
+	}
+	// With no concurrent readers the publish drained synchronously, so a
+	// removal failure surfaces here — the quiescent-caller contract. A
+	// failure during a genuinely deferred removal is reported by the
+	// next SaveDir to find the store quiescent.
+	db.reclMu.Lock()
+	defer db.reclMu.Unlock()
+	if len(db.pendingViews) == 0 {
+		err := db.orphanErr
+		db.orphanErr = nil
+		return err
 	}
 	return nil
+}
+
+// listOrphans names segment and temp files the manifest no longer
+// references: compaction inputs, crash leftovers. Valid only after the
+// new manifest is durable.
+func listOrphans(dir string, live map[string]bool) ([]string, error) {
+	entries, err := fsReadDir(dir)
+	if err != nil {
+		return nil, &SnapshotError{Path: dir, Err: err}
+	}
+	var stale []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") ||
+			(strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".fms") && !live[name]) {
+			stale = append(stale, name)
+		}
+	}
+	return stale, nil
 }
 
 // writeSegmentFile writes one segment's file atomically and returns the
 // CRC32 of its body (everything before the footer).
 func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, error) {
 	final := filepath.Join(dir, segmentFileName(sg.id))
-	f, err := os.CreateTemp(dir, ".tmp-seg-*")
+	f, err := fsCreateTemp(dir, ".tmp-seg-*")
 	if err != nil {
 		return 0, &SnapshotError{Path: final, Err: err}
 	}
 	tmp := f.Name()
 	fail := func(err error) (uint32, error) {
 		f.Close()
-		os.Remove(tmp)
+		fsRemove(tmp)
 		return 0, &SnapshotError{Path: final, Err: err}
 	}
 	h := crc32.NewIEEE()
-	bw := bufio.NewWriter(io.MultiWriter(f, h))
+	bw := bufio.NewWriter(io.MultiWriter(faultFile{f}, h))
 	le := binary.LittleEndian
 	var hdr [segHeaderSize]byte
 	copy(hdr[:4], segMagic)
@@ -296,18 +334,18 @@ func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, er
 	crc := h.Sum32()
 	var foot [4]byte
 	le.PutUint32(foot[:], crc)
-	if _, err := f.Write(foot[:]); err != nil {
+	if _, err := fsWrite(f, foot[:]); err != nil {
 		return fail(err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := fsSync(f); err != nil {
 		return fail(err)
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	if err := fsClose(f); err != nil {
+		fsRemove(tmp)
 		return 0, &SnapshotError{Path: final, Err: err}
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsRename(tmp, final); err != nil {
+		fsRemove(tmp)
 		return 0, &SnapshotError{Path: final, Err: err}
 	}
 	return crc, nil
@@ -317,27 +355,27 @@ func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, er
 // only ever observe the old content or the new, never a torn write.
 func writeFileAtomic(path string, data []byte) error {
 	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, ".tmp-"+base+"-*")
+	f, err := fsCreateTemp(dir, ".tmp-"+base+"-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	if _, err := f.Write(data); err != nil {
+	if _, err := fsWrite(f, data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsRemove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	if err := fsSync(f); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsRemove(tmp)
 		return err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+	if err := fsClose(f); err != nil {
+		fsRemove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsRename(tmp, path); err != nil {
+		fsRemove(tmp)
 		return err
 	}
 	return nil
@@ -346,6 +384,9 @@ func writeFileAtomic(path string, data []byte) error {
 // syncDir fsyncs a directory so a just-renamed file's directory entry is
 // durable.
 func syncDir(path string) error {
+	if err := fsCheck(opSyncDir, path); err != nil {
+		return err
+	}
 	d, err := os.Open(path)
 	if err != nil {
 		return err
@@ -390,7 +431,7 @@ func LoadDirMapped(path string) (*DB, error) {
 // LoadDirOpts is LoadDir under explicit options.
 func LoadDirOpts(path string, opts LoadOptions) (*DB, error) {
 	mpath := filepath.Join(path, manifestName)
-	raw, err := os.ReadFile(mpath)
+	raw, err := fsReadFile(mpath)
 	if err != nil {
 		return nil, &SnapshotError{Path: mpath, Err: err}
 	}
@@ -454,6 +495,9 @@ func LoadDirOpts(path string, opts LoadOptions) (*DB, error) {
 	db.total = m.Count
 	db.nextSeg = m.NextSeg
 	db.saveDir = path
+	// The DB is still private to this goroutine; refresh the published
+	// view to cover the loaded segments before anyone can pin it.
+	db.cur.Store(db.buildViewLocked())
 	return db, nil
 }
 
@@ -477,7 +521,7 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 		}
 	}
 	if raw == nil {
-		r, err := os.ReadFile(path)
+		r, err := fsReadFile(path)
 		if err != nil {
 			return &SnapshotError{Path: path, Err: err}
 		}

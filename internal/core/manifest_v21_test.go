@@ -350,9 +350,11 @@ func TestV2ToV21RoundTrip(t *testing.T) {
 	// nothing a downgrade would need.
 	for si := 0; si < shards; si++ {
 		var rows []Signature
+		vB := dbB.pinView()
 		for gid := si; gid < n; gid += shards {
-			rows = append(rows, dbB.at(gid))
+			rows = append(rows, vB.at(gid))
 		}
+		dbB.unpinView(vB)
 		name := segmentFileName(uint64(si))
 		path := filepath.Join(t.TempDir(), fmt.Sprintf("re-%s", name))
 		writeLegacySegmentFile(t, path, dim, rows)

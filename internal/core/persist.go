@@ -167,9 +167,13 @@ const (
 
 // WriteSnapshot serializes the database in the versioned binary snapshot
 // format. Dimensions beyond the format's bound are rejected here, at
-// write time, so a snapshot that serializes is always loadable.
+// write time, so a snapshot that serializes is always loadable. The
+// snapshot covers one pinned view — a consistent prefix of the store —
+// so concurrent writers neither block nor tear it.
 func (db *DB) WriteSnapshot(w io.Writer) error {
-	if db.closed {
+	v := db.pinView()
+	defer db.unpinView(v)
+	if v.closed {
 		return errClosed()
 	}
 	if db.dim > maxSnapshotDim {
@@ -178,8 +182,8 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	if len(db.shards) > maxSnapshotShards {
 		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
 	}
-	for gid := 0; gid < db.total; gid++ {
-		s := db.at(gid)
+	for gid := 0; gid < v.total; gid++ {
+		s := v.at(gid)
 		if len(s.DocID) > maxSnapshotString || len(s.Label) > maxSnapshotString {
 			return fmt.Errorf("core: signature %d doc-id/label exceeds snapshot string bound %d", gid, maxSnapshotString)
 		}
@@ -198,11 +202,11 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	if err := binary.Write(bw, le, uint32(len(db.shards))); err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
-	if err := binary.Write(bw, le, uint64(db.total)); err != nil {
+	if err := binary.Write(bw, le, uint64(v.total)); err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
-	for gid := 0; gid < db.total; gid++ {
-		if err := writeSigRecord(bw, db.at(gid)); err != nil {
+	for gid := 0; gid < v.total; gid++ {
+		if err := writeSigRecord(bw, v.at(gid)); err != nil {
 			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
 		}
 	}

@@ -97,9 +97,9 @@ type blockPostings struct {
 	dim       int
 	n         int   // signatures covered (the accumulator size)
 	nPostings int64 // total posting entries
-	dir    []int32
-	blocks []blockDesc
-	blob   []byte
+	dir       []int32
+	blocks    []blockDesc
+	blob      []byte
 	// blobMapped marks blob as an alias into a read-only segment-file
 	// mapping (LoadOptions.MapPostings) rather than a heap allocation:
 	// memBytes excludes it, mappedBytes reports it, and the owning

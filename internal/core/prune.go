@@ -73,13 +73,24 @@ const pruneTailSlack = 16
 // the equivalence sweeps exercising the pruned path on small fixtures.
 const pruneMinRows = 512
 
-// pruneRowFloor returns the active shard-size floor (db.pruneFloor,
-// defaulting to pruneMinRows when unset).
-func (db *DB) pruneRowFloor() int {
+// pruneRowFloorLocked returns the active shard-size floor
+// (db.pruneFloor, defaulting to pruneMinRows when unset). Caller holds
+// db.mu; queries read the value frozen into their view.
+func (db *DB) pruneRowFloorLocked() int {
 	if db.pruneFloor != 0 {
 		return db.pruneFloor
 	}
 	return pruneMinRows
+}
+
+// setPruneFloor overrides the shard-size floor below which pruning is
+// not attempted (0 restores pruneMinRows) — a test knob, published like
+// every other query-configuration change.
+func (db *DB) setPruneFloor(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.pruneFloor = n
+	db.publishLocked()
 }
 
 // pruneEps is the relative slack added to every remainder bound before
@@ -142,25 +153,45 @@ func (s *impactSorter) Swap(a, b int) { s.ord[a], s.ord[b] = s.ord[b], s.ord[a] 
 // SetPruned routes indexed queries through the threshold-pruned walk
 // (the default) or forces the plain accumulate-everything indexed walk,
 // for A/B comparison; exact-mode results are bit-identical either way.
-func (db *DB) SetPruned(on bool) { db.noPrune = !on }
+// In-flight queries keep the setting they pinned.
+func (db *DB) SetPruned(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noPrune = !on
+	db.publishLocked()
+}
 
 // Pruned reports whether indexed queries use the threshold-pruned walk.
-func (db *DB) Pruned() bool { return !db.noPrune }
+func (db *DB) Pruned() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return !db.noPrune
+}
 
 // SetPruneTheta sets the approximate-mode relaxation: remainder bounds
 // are scaled by theta before being compared against the heap root.
 // theta == 1 (the default) is exact; theta in (0, 1) prunes more
 // aggressively with a bounded recall loss. Values outside (0, 1] are
-// clamped to 1.
+// clamped to 1. In-flight queries keep the setting they pinned.
 func (db *DB) SetPruneTheta(theta float64) {
 	if !(theta > 0 && theta <= 1) {
 		theta = 1
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.pruneTheta = theta
+	db.publishLocked()
 }
 
 // PruneTheta returns the active approximate-mode relaxation (1 = exact).
 func (db *DB) PruneTheta() float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pruneThetaLocked()
+}
+
+// pruneThetaLocked is PruneTheta for callers already holding db.mu.
+func (db *DB) pruneThetaLocked() float64 {
 	if db.pruneTheta == 0 {
 		return 1
 	}
@@ -179,8 +210,8 @@ func (db *DB) PruneTheta() float64 {
 // its final value. The sample depends only on the shard length, never
 // on the segment layout, and the seeds are scored canonically — the
 // kept set stays layout-independent and bit-identical.
-func seedHeap(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
-	n := len(sh.sigs)
+func seedHeap(vs *viewShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
+	n := len(vs.sigs)
 	warm := k
 	if warm > n {
 		warm = n
@@ -190,14 +221,14 @@ func seedHeap(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.
 	for i := 0; i < warm; i++ {
 		j := i * n / warm
 		ps.seeds = append(ps.seeds, int32(j))
-		dot := query.Dot(sh.sigs[j].W)
+		dot := query.Dot(vs.sigs[j].W)
 		var score float64
 		if cosine {
-			score = cosineDotScore(dot, qNorm2, sh.norms[j])
+			score = cosineDotScore(dot, qNorm2, vs.norms[j])
 		} else {
-			score = euclideanDotScore(dot, qNorm2, sh.norms[j])
+			score = euclideanDotScore(dot, qNorm2, vs.norms[j])
 		}
-		h.offer(k, sh.gids[j], score)
+		h.offer(k, vs.gids[j], score)
 	}
 	return ps.seeds
 }
@@ -219,11 +250,11 @@ const probeBlocks = 2
 // exactly once, and the heap's (score, index) total order makes the
 // kept set walk-order-independent — so probing is a pure threshold
 // accelerator. Returns the updated (sorted) seed list.
-func (db *DB) probeSeed(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
+func probeSeed(vs *viewShard, ps *pruneScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2 float64) []int32 {
 	idx, val := query.Support(), query.Values()
-	var bestSeg *segment
+	var bestSeg viewSegment
 	bestDim, best := -1, 0.0
-	for _, sg := range sh.segs {
+	for _, sg := range vs.segs {
 		if sg.blocks == nil {
 			continue
 		}
@@ -237,7 +268,7 @@ func (db *DB) probeSeed(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query
 			}
 		}
 	}
-	if bestSeg == nil {
+	if bestSeg.blocks == nil {
 		return ps.seeds
 	}
 	base := len(ps.seeds) // the sorted strided run
@@ -256,14 +287,14 @@ func (db *DB) probeSeed(sh *dbShard, ps *pruneScratch, h *topkHeap, k int, query
 				continue
 			}
 			ps.seeds = append(ps.seeds, int32(j))
-			dot := query.Dot(sh.sigs[j].W)
+			dot := query.Dot(vs.sigs[j].W)
 			var score float64
 			if cosine {
-				score = cosineDotScore(dot, qNorm2, sh.norms[j])
+				score = cosineDotScore(dot, qNorm2, vs.norms[j])
 			} else {
-				score = euclideanDotScore(dot, qNorm2, sh.norms[j])
+				score = euclideanDotScore(dot, qNorm2, vs.norms[j])
 			}
-			h.offer(k, sh.gids[j], score)
+			h.offer(k, vs.gids[j], score)
 		}
 	}
 	if len(ps.seeds) == base {
@@ -316,7 +347,7 @@ func seedContains(seeds []int32, j int32) bool {
 // plain fused kernels are strictly faster). seeds holds the shard rows
 // already offered by seedHeap (ascending); the caller guarantees the
 // heap is full.
-func (db *DB) prunedSegment(sh *dbShard, sg *segment, ss *shardScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2, theta float64, seeds []int32) bool {
+func prunedSegment(vs *viewShard, sg viewSegment, ss *shardScratch, h *topkHeap, k int, query *vecmath.Sparse, metric Metric, qNorm2, theta float64, seeds []int32) bool {
 	bp := sg.blocks
 	ps := &ss.prune
 	idx, val := query.Support(), query.Values()
@@ -474,30 +505,30 @@ func (db *DB) prunedSegment(sh *dbShard, sg *segment, ss *shardScratch, h *topkH
 	rs, ri := h.score[0], h.idx[0]
 	for _, id := range ps.touched {
 		j := sg.start + int(id)
-		gid := sh.gids[j]
+		gid := vs.gids[j]
 		ub := acc.Get(int(id)) + rem
 		var score float64
 		if cosine {
-			if b := cosineDotScore(ub, qNorm2, sh.norms[j]); b < rs || (b == rs && gid > ri) {
+			if b := cosineDotScore(ub, qNorm2, vs.norms[j]); b < rs || (b == rs && gid > ri) {
 				continue
 			}
 			if seedContains(seeds, int32(j)) {
 				continue // already offered canonically by seedHeap
 			}
 			ss.stats.CandidatesScored++
-			score = cosineDotScore(query.Dot(sh.sigs[j].W), qNorm2, sh.norms[j])
+			score = cosineDotScore(query.Dot(vs.sigs[j].W), qNorm2, vs.norms[j])
 			if score < rs || (score == rs && gid > ri) {
 				continue
 			}
 		} else {
-			if b := euclideanDotScore(ub, qNorm2, sh.norms[j]); b > rs || (b == rs && gid > ri) {
+			if b := euclideanDotScore(ub, qNorm2, vs.norms[j]); b > rs || (b == rs && gid > ri) {
 				continue
 			}
 			if seedContains(seeds, int32(j)) {
 				continue // already offered canonically by seedHeap
 			}
 			ss.stats.CandidatesScored++
-			score = euclideanDotScore(query.Dot(sh.sigs[j].W), qNorm2, sh.norms[j])
+			score = euclideanDotScore(query.Dot(vs.sigs[j].W), qNorm2, vs.norms[j])
 			if score > rs || (score == rs && gid > ri) {
 				continue
 			}

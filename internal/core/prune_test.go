@@ -24,7 +24,7 @@ func buildPrunedDB(t *testing.T, sigs []Signature, shards, workers, segSize int,
 	}
 	// Small fixtures sit under the production shard-size floor; lower it
 	// so the sweep actually exercises the pruned walk.
-	db.pruneFloor = 1
+	db.setPruneFloor(1)
 	db.SetWorkers(workers)
 	db.SetSegmentSize(segSize)
 	if layout == "compacted" {
@@ -53,7 +53,7 @@ func buildPrunedDB(t *testing.T, sigs []Signature, shards, workers, segSize int,
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { mdb.Close() })
-		mdb.pruneFloor = 1
+		mdb.setPruneFloor(1)
 		mdb.SetWorkers(workers)
 		return mdb
 	}

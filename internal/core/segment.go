@@ -1,5 +1,7 @@
 package core
 
+import "sync/atomic"
+
 // Segmented storage: each shard's signatures live in a run of
 // append-only segments. A segment is a view over a contiguous range of
 // the shard's backing arrays (gids/sigs/norms, which only ever append —
@@ -64,15 +66,21 @@ type segment struct {
 	mf *mapFile
 }
 
+// mapReleaseCount counts segment-file mapping releases DB-wide; tests
+// assert mappings are released exactly once across close/compact races.
+var mapReleaseCount atomic.Int64
+
 // releaseMap releases the segment's file mapping, if any. The caller
 // must guarantee the mapped blob is no longer reachable from queries
-// (the segment was spliced away, or the DB is closing). Idempotent.
+// (the segment was spliced away and the views that could reach it have
+// drained, or the DB is closing). Idempotent.
 func (sg *segment) releaseMap() error {
 	if sg.mf == nil {
 		return nil
 	}
 	err := sg.mf.close()
 	sg.mf = nil
+	mapReleaseCount.Add(1)
 	return err
 }
 
@@ -117,11 +125,20 @@ func (db *DB) SetSegmentSize(n int) {
 	if n < 1 {
 		n = DefaultSegmentSize
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.segSize = n
 }
 
 // SegmentSize returns the active seal threshold.
 func (db *DB) SegmentSize() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.segSizeLocked()
+}
+
+// segSizeLocked is SegmentSize for callers already holding db.mu.
+func (db *DB) segSizeLocked() int {
 	if db.segSize < 1 {
 		return DefaultSegmentSize
 	}
@@ -131,6 +148,8 @@ func (db *DB) SegmentSize() int {
 // Segments returns the total segment count across all shards
 // (introspection for tests, benchmarks, and operators sizing Compact).
 func (db *DB) Segments() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	n := 0
 	for si := range db.shards {
 		n += len(db.shards[si].segs)
@@ -143,6 +162,8 @@ func (db *DB) Segments() int {
 // (Segments minus SealedSegments is the active-segment count, at most
 // one per shard).
 func (db *DB) SealedSegments() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	n := 0
 	for si := range db.shards {
 		for _, sg := range db.shards[si].segs {
@@ -159,6 +180,8 @@ func (db *DB) SealedSegments() int {
 // segments. A DB never saved (or saved to a different directory) counts
 // every segment.
 func (db *DB) DirtySegments() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	n := 0
 	for si := range db.shards {
 		for _, sg := range db.shards[si].segs {
@@ -199,7 +222,13 @@ func (db *DB) appendSegment(sh *dbShard) (*segment, error) {
 // empty active segment is left alone — sealing it would push a
 // zero-length sealed segment into the manifest and every later
 // compaction run for no data at all.
+//
+// Concurrent queries keep the view they pinned: the new segment lists
+// are published atomically afterward, and any mapping a policy merge
+// spliced away is released only once every older view drains.
 func (db *DB) Seal() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return
 	}
@@ -210,6 +239,7 @@ func (db *DB) Seal() {
 			db.policyCompact(sh)
 		}
 	}
+	db.publishLocked(db.takeStaleActionsLocked()...)
 }
 
 // Compact merges runs of adjacent small sealed segments (each below the
@@ -218,20 +248,25 @@ func (db *DB) Seal() {
 // re-scored. Active segments and full-sized sealed segments are left
 // alone. Query results are bit-identical before and after; the merged
 // segments are rewritten by the next SaveDir and their old files
-// removed.
+// removed. In-flight queries keep scoring the pre-merge segments from
+// the view they pinned; spliced-away file mappings are released only
+// once the last such view drains.
 func (db *DB) Compact() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if db.closed {
 		return
 	}
 	for si := range db.shards {
 		db.compactShard(&db.shards[si])
 	}
+	db.publishLocked(db.takeStaleActionsLocked()...)
 }
 
 // compactShard merges each maximal run of >= 2 adjacent sealed
 // small segments into one sealed segment.
 func (db *DB) compactShard(sh *dbShard) {
-	small := func(sg *segment) bool { return sg.sealed && sg.len() < db.SegmentSize() }
+	small := func(sg *segment) bool { return sg.sealed && sg.len() < db.segSizeLocked() }
 	out := sh.segs[:0]
 	for i := 0; i < len(sh.segs); {
 		if !small(sh.segs[i]) {
@@ -278,12 +313,14 @@ func (db *DB) mergeRun(sh *dbShard, i, j int) *segment {
 		merged.end = sg.end
 	}
 	merged.blocks = spliceBlockPostings(db.dim, parts, offsets)
-	// The splice copied every part's blob bytes onto the heap, so input
-	// segments' file mappings (mapped loads) serve nothing anymore —
-	// release them now, before the inputs are dropped from the shard's
-	// segment run, or the mappings would outlive their last reference.
+	// The splice copied every part's blob bytes onto the heap, but a
+	// pinned view may still be scoring an input segment's mapped blob —
+	// queue the mappings for release when the last view that could reach
+	// them drains (takeStaleActionsLocked attaches them to the publish).
 	for _, sg := range sh.segs[i:j] {
-		sg.releaseMap()
+		if sg.mf != nil {
+			db.staleMaps = append(db.staleMaps, sg)
+		}
 	}
 	merged.id = db.nextSeg
 	db.nextSeg++
@@ -315,18 +352,24 @@ func (db *DB) SetCompactionPolicy(p CompactionPolicy) error {
 	if p.TierFanout != 0 && p.TierFanout < 2 {
 		return &ConfigError{Param: "compaction tier fan-out", Value: p.TierFanout, Min: 2}
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.policy = p
 	return nil
 }
 
 // CompactionPolicy returns the active policy (zero value = disabled).
-func (db *DB) CompactionPolicy() CompactionPolicy { return db.policy }
+func (db *DB) CompactionPolicy() CompactionPolicy {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.policy
+}
 
 // tierOf returns the size tier of a segment of n records under fan-out
 // f: tier t spans [segSize·f^t, segSize·f^(t+1)).
 func (db *DB) tierOf(n, f int) int {
 	t := 0
-	for bound := db.SegmentSize() * f; n >= bound; bound *= f {
+	for bound := db.segSizeLocked() * f; n >= bound; bound *= f {
 		t++
 	}
 	return t

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync/atomic"
+)
+
+// Epoch-pinned views: the concurrency backbone of the DB.
+//
+// Every query runs against a dbView — an immutable snapshot of the
+// reader-visible state: the frozen per-shard prefixes of the backing
+// arrays, the segment list (sealed segments by their compressed
+// postings, the active segment by its frozen prefix bounds), and the
+// query configuration. The current view is published through an atomic
+// pointer; readers pin it with a refcount for the duration of one
+// query (or one batch), writers mutate the writer-private structures
+// under db.mu and publish a fresh view when the mutation completes.
+//
+// Why this is safe without a reader lock:
+//
+//   - Sealed segments are immutable (segment.go): their blockPostings
+//     never change after seal, so any view may score them freely.
+//   - The shard backing arrays (gids/sigs/norms) are append-only. A
+//     view captures length-clamped slices, so a writer's append — even
+//     one that reallocates the backing array — never changes a byte a
+//     reader can reach: appends beyond the captured length touch
+//     distinct addresses, and a reallocation leaves the reader's old
+//     slice header aliasing the old array.
+//   - The active segment's mutable flat Index stays writer-private:
+//     a view scores its frozen prefix with the canonical sparse dot
+//     (bit-identical to the indexed accumulation, see topkShard).
+//   - Publication is an atomic pointer swap after the mutation is
+//     complete, so a reader either sees the whole mutation or none of
+//     it. The pin protocol (increment, then revalidate the pointer)
+//     guarantees a validated pin was taken while the view was current,
+//     and the view's current-pin reference keeps its refcount above
+//     zero until the writer retires it — a validated pin therefore
+//     always holds a view whose resources are still live.
+//
+// Deferred reclamation: resources that must outlive the views that can
+// reach them — mmap'd posting blobs spliced away by Compact, snapshot
+// files orphaned by SaveDir — are attached to the superseded view as
+// reclaim actions. Retired views queue FIFO, and actions run only when
+// a view and every older view have drained (refcount zero), preserving
+// publication order; with no concurrent readers this happens
+// synchronously inside the publish, so quiescent callers observe the
+// exact pre-epoch behavior.
+type dbView struct {
+	// closed marks the terminal view Close publishes: every query
+	// against it fails with the typed closed error before touching any
+	// (released) segment state.
+	closed bool
+	// total is the store size this view froze — the (score, insertion
+	// index) universe of every query that pins it.
+	total int
+	// cfg snapshots the query configuration, so setters never race
+	// in-flight queries.
+	cfg viewCfg
+	// shards are the frozen per-shard prefixes.
+	shards []viewShard
+	// refs counts pins: 1 for being the current view (dropped on
+	// retirement) plus 1 per in-flight reader.
+	refs atomic.Int64
+	// reclaim runs when this view and all older ones have drained;
+	// set at retirement, executed exactly once under db.reclMu.
+	reclaim []func()
+}
+
+// viewCfg is the query configuration frozen into a view. Values are
+// normalized (theta in (0,1], floor >= 1) so query paths never consult
+// the live DB fields.
+type viewCfg struct {
+	workers    int
+	noIndex    bool
+	noPrune    bool
+	pruneTheta float64
+	pruneFloor int
+}
+
+// viewShard is one shard's frozen prefix: length-clamped aliases of the
+// shard's append-only backing arrays plus the frozen segment list.
+type viewShard struct {
+	gids  []int
+	sigs  []Signature
+	norms []float64
+	segs  []viewSegment
+}
+
+// viewSegment is one segment as a view sees it. blocks is the sealed
+// segment's immutable compressed postings; nil marks the active
+// segment's frozen prefix [start, end), scored canonically.
+type viewSegment struct {
+	start, end int
+	blocks     *blockPostings
+}
+
+// at returns the signature with the given global insertion index, which
+// must be below the view's total.
+func (v *dbView) at(gid int) Signature {
+	return v.shards[gid%len(v.shards)].sigs[gid/len(v.shards)]
+}
+
+// pinView returns the current view with a reader pin held. The
+// increment-then-revalidate loop makes the pin race-free against
+// publication: a pin that lands on a just-superseded view fails the
+// revalidation (the view pointer moved) and retries — it never
+// dereferences the stale view beyond its refcount, so reclamation
+// already in flight is harmless.
+func (db *DB) pinView() *dbView {
+	for {
+		v := db.cur.Load()
+		v.refs.Add(1)
+		if db.cur.Load() == v {
+			return v
+		}
+		db.unpinView(v)
+	}
+}
+
+// unpinView drops one pin; the last pin off a retired view triggers
+// reclamation.
+func (db *DB) unpinView(v *dbView) {
+	if v.refs.Add(-1) == 0 {
+		db.tryReclaim()
+	}
+}
+
+// buildViewLocked assembles a fresh view from the writer state. Caller
+// holds db.mu. The view starts with one reference — the current-pin —
+// dropped when a later publish retires it.
+func (db *DB) buildViewLocked() *dbView {
+	nv := &dbView{
+		closed: db.closed,
+		total:  db.total,
+		cfg: viewCfg{
+			workers:    db.workers,
+			noIndex:    db.noIndex,
+			noPrune:    db.noPrune,
+			pruneTheta: db.pruneThetaLocked(),
+			pruneFloor: db.pruneRowFloorLocked(),
+		},
+		shards: make([]viewShard, len(db.shards)),
+	}
+	nv.refs.Store(1)
+	for si := range db.shards {
+		db.freezeShardLocked(si, &nv.shards[si])
+	}
+	return nv
+}
+
+// freezeShardLocked captures shard si's frozen prefix into vs:
+// length-clamped array aliases (a later append can never write through
+// them) and value copies of the segment bounds (seal and merge mutate
+// segment structs in place, so views must never hold *segment).
+func (db *DB) freezeShardLocked(si int, vs *viewShard) {
+	sh := &db.shards[si]
+	n := len(sh.sigs)
+	vs.gids = sh.gids[:n:n]
+	vs.sigs = sh.sigs[:n:n]
+	vs.norms = sh.norms[:n:n]
+	vs.segs = make([]viewSegment, len(sh.segs))
+	for i, sg := range sh.segs {
+		b := sg.blocks
+		if !sg.sealed {
+			// The active segment's flat index is writer-private; its
+			// frozen prefix is scored canonically (blocks == nil).
+			b = nil
+		}
+		vs.segs[i] = viewSegment{start: sg.start, end: sg.end, blocks: b}
+	}
+}
+
+// publishLocked swaps in a freshly built view and retires the old one,
+// attaching actions to run when it (and every older view) drains.
+// Caller holds db.mu.
+func (db *DB) publishLocked(actions ...func()) {
+	db.publishViewLocked(db.buildViewLocked(), actions)
+}
+
+// publishAddLocked is the incremental publish after an Add that did not
+// change segment structure: every other shard's frozen state is shared
+// with the previous view, only shard si is refrozen. Caller holds
+// db.mu.
+func (db *DB) publishAddLocked(si int) {
+	old := db.cur.Load()
+	nv := &dbView{total: db.total, cfg: old.cfg, shards: make([]viewShard, len(old.shards))}
+	nv.refs.Store(1)
+	copy(nv.shards, old.shards)
+	db.freezeShardLocked(si, &nv.shards[si])
+	db.publishViewLocked(nv, nil)
+}
+
+// publishViewLocked installs nv as the current view and queues the old
+// one for in-order reclamation. Caller holds db.mu.
+func (db *DB) publishViewLocked(nv *dbView, actions []func()) {
+	old := db.cur.Swap(nv)
+	db.reclMu.Lock()
+	old.reclaim = actions
+	db.pendingViews = append(db.pendingViews, old)
+	db.reclMu.Unlock()
+	// Drop the current-pin. With no concurrent readers this drains the
+	// queue synchronously, so quiescent callers see deferred work (map
+	// releases, orphan removal) complete before their call returns.
+	db.unpinView(old)
+}
+
+// tryReclaim pops drained views off the head of the retirement queue in
+// FIFO order and runs their reclaim actions. A view is popped before
+// its actions run and the queue is walked under db.reclMu, so each
+// action runs exactly once; younger drained views wait for older pinned
+// ones, preserving publication order (a Compact's map release always
+// precedes a later Close's).
+func (db *DB) tryReclaim() {
+	db.reclMu.Lock()
+	for len(db.pendingViews) > 0 && db.pendingViews[0].refs.Load() == 0 {
+		v := db.pendingViews[0]
+		db.pendingViews[0] = nil
+		db.pendingViews = db.pendingViews[1:]
+		for _, f := range v.reclaim {
+			f()
+		}
+	}
+	if len(db.pendingViews) == 0 {
+		db.reclCond.Broadcast()
+	}
+	db.reclMu.Unlock()
+}
+
+// waitReclaimed blocks until every retired view has drained and its
+// reclaim actions have run, then returns (and clears) the first
+// recorded reclaim error. Close uses it to guarantee all mappings are
+// released before it returns.
+func (db *DB) waitReclaimed() error {
+	db.reclMu.Lock()
+	for len(db.pendingViews) > 0 {
+		db.reclCond.Wait()
+	}
+	err := db.closeErr
+	db.closeErr = nil
+	db.reclMu.Unlock()
+	return err
+}

@@ -7,8 +7,11 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,11 +26,50 @@ import (
 // use 10 s.
 const DefaultInterval = 10 * time.Second
 
+// ErrCountersUnavailable wraps a debugfs read failure that persisted
+// through the whole retry schedule. The series collectors treat it as a
+// degraded interval — skip and count — rather than a run-ending fault;
+// everything else (workload errors, counter wraps, a removed node)
+// still aborts.
+var ErrCountersUnavailable = errors.New("daemon: counters unavailable")
+
+// RetryPolicy governs how the collector handles transient debugfs read
+// failures: each failed read is retried Retries more times, sleeping
+// Backoff<<attempt before each retry with the delay jittered uniformly
+// in [1-Jitter, 1+Jitter] so a fleet of daemons doesn't re-read in
+// lockstep. Retries <= 0 disables retrying (and with it the
+// skip-don't-abort behaviour, restoring fail-fast semantics).
+type RetryPolicy struct {
+	Retries int
+	Backoff time.Duration
+	Jitter  float64
+}
+
+// DefaultRetryPolicy retries three times over ~70ms of jittered
+// exponential backoff — long enough to ride out a torn read or a
+// transiently busy debugfs, short next to any sane collection interval.
+var DefaultRetryPolicy = RetryPolicy{Retries: 3, Backoff: 10 * time.Millisecond, Jitter: 0.5}
+
+// Stats are the collector's degradation counters: how many reads needed
+// a retry, and how many intervals were dropped after the retries ran
+// out. A long-running daemon exports these instead of dying.
+type Stats struct {
+	Retries          uint64
+	SkippedIntervals uint64
+}
+
 // Collector reads counters through debugfs and produces interval
 // documents.
 type Collector struct {
 	fs *debugfs.FS
 	st *kernel.SymbolTable
+
+	policy  RetryPolicy
+	sleepFn func(time.Duration) // test seam; time.Sleep
+	randFn  func() float64      // test seam; rand.Float64
+	warnf   func(format string, args ...any)
+	retries atomic.Uint64
+	skipped atomic.Uint64
 }
 
 // NewCollector builds a collector over the debugfs instance where an
@@ -42,11 +84,53 @@ func NewCollector(fs *debugfs.FS, st *kernel.SymbolTable) (*Collector, error) {
 	if !fs.Exists(trace.CountersPath) {
 		return nil, fmt.Errorf("daemon: %s not present; is the Fmeter backend registered?", trace.CountersPath)
 	}
-	return &Collector{fs: fs, st: st}, nil
+	return &Collector{
+		fs:      fs,
+		st:      st,
+		policy:  DefaultRetryPolicy,
+		sleepFn: time.Sleep,
+		randFn:  rand.Float64,
+	}, nil
 }
 
-// ReadCounters reads and parses the current counter export.
-func (c *Collector) ReadCounters() ([]uint64, error) {
+// SetRetryPolicy replaces the read retry schedule (see RetryPolicy).
+func (c *Collector) SetRetryPolicy(p RetryPolicy) {
+	if p.Retries < 0 {
+		p.Retries = 0
+	}
+	c.policy = p
+}
+
+// SetWarnf installs the sink for the collector's counted warnings
+// (retry exhaustion, skipped intervals). nil silences them; a daemon
+// typically passes log.Printf.
+func (c *Collector) SetWarnf(fn func(format string, args ...any)) { c.warnf = fn }
+
+// Stats returns the degradation counters accumulated so far.
+func (c *Collector) Stats() Stats {
+	return Stats{Retries: c.retries.Load(), SkippedIntervals: c.skipped.Load()}
+}
+
+func (c *Collector) warn(format string, args ...any) {
+	if c.warnf != nil {
+		c.warnf(format, args...)
+	}
+}
+
+// backoff is the jittered exponential delay before retry attempt k.
+func (c *Collector) backoff(attempt int) time.Duration {
+	d := c.policy.Backoff << uint(attempt)
+	if j := c.policy.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 + j*(2*c.randFn()-1)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// readOnce performs one read+parse of the counter export.
+func (c *Collector) readOnce() ([]uint64, error) {
 	data, err := c.fs.ReadFile(trace.CountersPath)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: reading counters: %w", err)
@@ -56,6 +140,34 @@ func (c *Collector) ReadCounters() ([]uint64, error) {
 		return nil, fmt.Errorf("daemon: parsing counters: %w", err)
 	}
 	return counts, nil
+}
+
+// ReadCounters reads and parses the current counter export, retrying
+// transient failures per the RetryPolicy. A missing or write-only node
+// is permanent (the backend unregistered) and fails immediately; any
+// other failure is retried, and once the schedule runs out the error
+// wraps both ErrCountersUnavailable and the last underlying cause.
+func (c *Collector) ReadCounters() ([]uint64, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		counts, err := c.readOnce()
+		if err == nil {
+			return counts, nil
+		}
+		if errors.Is(err, debugfs.ErrNotFound) || errors.Is(err, debugfs.ErrNotSupported) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.policy.Retries {
+			if c.policy.Retries <= 0 {
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("%w after %d attempts: %w", ErrCountersUnavailable, attempt+1, lastErr)
+		}
+		c.retries.Add(1)
+		c.warn("daemon: counter read failed (attempt %d/%d), retrying: %v", attempt+1, c.policy.Retries+1, err)
+		c.sleepFn(c.backoff(attempt))
+	}
 }
 
 // CollectInterval reads the counters, runs one monitoring interval via
@@ -88,7 +200,12 @@ func (c *Collector) CollectInterval(id, label string, d time.Duration, run func(
 
 // CollectSeries collects n consecutive intervals, optionally streaming
 // each document to w (nil w disables logging). Documents are named
-// "<prefix>-<index>".
+// "<prefix>-<index>". An interval whose counter reads stay unavailable
+// through the whole retry schedule is skipped with a counted warning
+// (see Stats) instead of aborting the run — a long-lived daemon
+// degrades, it does not die — so the result can hold fewer than n
+// documents. Any other failure still aborts with the documents
+// collected so far.
 func (c *Collector) CollectSeries(prefix, label string, n int, d time.Duration, run func(time.Duration) error, w io.Writer) ([]*core.Document, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("daemon: series length %d must be >= 1", n)
@@ -97,6 +214,11 @@ func (c *Collector) CollectSeries(prefix, label string, n int, d time.Duration, 
 	for i := 0; i < n; i++ {
 		doc, err := c.CollectInterval(fmt.Sprintf("%s-%04d", prefix, i), label, d, run)
 		if err != nil {
+			if errors.Is(err, ErrCountersUnavailable) {
+				c.skipped.Add(1)
+				c.warn("daemon: skipping interval %d (%d skipped so far): %v", i, c.skipped.Load(), err)
+				continue
+			}
 			return docs, fmt.Errorf("daemon: interval %d: %w", i, err)
 		}
 		docs = append(docs, doc)
@@ -107,4 +229,53 @@ func (c *Collector) CollectSeries(prefix, label string, n int, d time.Duration, 
 		}
 	}
 	return docs, nil
+}
+
+// CollectStream collects n consecutive intervals and feeds each one
+// straight into a live signature database: the interval document is
+// embedded through the fitted tf-idf model, L2-normalized, and Added to
+// db the moment its interval ends. Under the DB's epoch-view contract
+// this ingestion runs safely while other goroutines query db — the
+// always-on serving posture of a production daemon. Unavailable-counter
+// intervals are retried and then skipped exactly like CollectSeries; a
+// non-nil w additionally logs each raw document as JSON Lines. Returns
+// the number of signatures added.
+func (c *Collector) CollectStream(prefix, label string, n int, d time.Duration, run func(time.Duration) error, model *core.Model, db *core.DB, w io.Writer) (int, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("daemon: series length %d must be >= 1", n)
+	}
+	if model == nil {
+		return 0, fmt.Errorf("daemon: nil model")
+	}
+	if db == nil {
+		return 0, fmt.Errorf("daemon: nil database")
+	}
+	added := 0
+	for i := 0; i < n; i++ {
+		doc, err := c.CollectInterval(fmt.Sprintf("%s-%04d", prefix, i), label, d, run)
+		if err != nil {
+			if errors.Is(err, ErrCountersUnavailable) {
+				c.skipped.Add(1)
+				c.warn("daemon: skipping interval %d (%d skipped so far): %v", i, c.skipped.Load(), err)
+				continue
+			}
+			return added, fmt.Errorf("daemon: interval %d: %w", i, err)
+		}
+		sig, err := model.Transform(doc)
+		if err != nil {
+			return added, fmt.Errorf("daemon: embedding interval %d: %w", i, err)
+		}
+		sigs := []core.Signature{sig}
+		core.Normalize(sigs)
+		if err := db.Add(sigs[0]); err != nil {
+			return added, fmt.Errorf("daemon: ingesting interval %d: %w", i, err)
+		}
+		added++
+		if w != nil {
+			if err := core.WriteDocuments(w, []*core.Document{doc}); err != nil {
+				return added, fmt.Errorf("daemon: logging interval %d: %w", i, err)
+			}
+		}
+	}
+	return added, nil
 }
