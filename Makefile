@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check build crossbuild vet test race stress bench bench-smoke fmt
+.PHONY: check build crossbuild vet lint test race stress bench bench-smoke fmt
 
 ## check: the tier-1 gate — what CI runs.
-check: vet build crossbuild test race
+check: vet lint build crossbuild test race
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ crossbuild:
 
 vet:
 	$(GO) vet ./...
+
+## lint: the repo-specific contract checkers (internal/lint): the
+## determinism, view-pinning, typed-error, and no-alloc contracts,
+## machine-checked over every package. Failures print file:line with
+## the violated contract's name; suppressions are //fmeter: directives
+## that always carry a reason.
+lint:
+	$(GO) run ./cmd/fmeter-vet ./...
 
 test:
 	$(GO) test ./...

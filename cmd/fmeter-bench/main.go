@@ -36,6 +36,7 @@ var experimentNames = []string{
 	"fig4", "fig5", "fig6", "ablations",
 }
 
+//fmeter:nondeterministic-ok bench harness: wall-clock timing and run timestamps are the product
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fmeter-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)

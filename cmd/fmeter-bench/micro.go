@@ -72,6 +72,8 @@ func microCorpus(docs, nnz int) (*core.Corpus, error) {
 // (threshold-pruned by default; -prune=off flips it for A/B runs), and
 // the batched BenchmarkDBTopKBatch with reused result buffers (the
 // 0 allocs/op record).
+//
+//fmeter:nondeterministic-ok bench harness: run timestamps for the perf record
 func runMicroBench(path string, indexOn, pruneOn bool, stderr io.Writer) error {
 	c, err := microCorpus(100, 250)
 	if err != nil {

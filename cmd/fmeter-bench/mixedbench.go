@@ -60,6 +60,8 @@ func percentile(sorted []float64, p float64) float64 {
 // measureQueries runs single-threaded TopK queries against db for d,
 // timing each one. Single-threaded on purpose: per-query latency, not
 // throughput, is what writer interference would show up in.
+//
+//fmeter:nondeterministic-ok bench harness: measures wall-clock per-query latency
 func measureQueries(db *core.DB, queries []*vecmath.Sparse, k int, d time.Duration) (mixedLat, error) {
 	lats := make([]float64, 0, 1<<14)
 	var sum float64
@@ -84,6 +86,8 @@ func measureQueries(db *core.DB, queries []*vecmath.Sparse, k int, d time.Durati
 
 // runMixedBench measures query latency with and without a fixed-rate
 // concurrent writer and writes the JSON record.
+//
+//fmeter:nondeterministic-ok bench harness: wall-clock pacing for the fixed-rate writer and run timestamps
 func runMixedBench(path string, stderr io.Writer) error {
 	const (
 		n         = 3000 // preloaded store

@@ -75,6 +75,8 @@ type postColdLoad struct {
 
 // runPostBench measures the posting-compression trajectory and writes
 // the JSON record.
+//
+//fmeter:nondeterministic-ok bench harness: cold-load timing and run timestamps
 func runPostBench(path string, stderr io.Writer) error {
 	rec := postRecord{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),

@@ -189,6 +189,8 @@ func tierBudget(perShard, segSize, fanout, shards int) int {
 // runPruneBench builds the ladder corpus once (each rung extends the
 // previous), measuring ingestion, the segment trajectory, and the TopK
 // arms at every rung, then writes the JSON record.
+//
+//fmeter:nondeterministic-ok bench harness: ladder timing and run timestamps
 func runPruneBench(path string, scale int, stderr io.Writer) error {
 	const (
 		dim     = 3815

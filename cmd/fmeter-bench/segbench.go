@@ -64,6 +64,8 @@ func dirSizes(dir string) (map[string]int64, error) {
 // fullSave runs one SaveDir into an empty directory, where every file
 // on disk afterwards was just written: files = dirty segments +
 // manifest, bytes = the whole directory.
+//
+//fmeter:nondeterministic-ok bench harness: times the save it measures
 func fullSave(db *core.DB, dir string) (segSave, error) {
 	dirty := db.DirtySegments()
 	start := time.Now()
@@ -84,6 +86,8 @@ func fullSave(db *core.DB, dir string) (segSave, error) {
 
 // runSegBench measures the segmented-store persistence trajectory and
 // writes the JSON record.
+//
+//fmeter:nondeterministic-ok bench harness: persistence timing and run timestamps
 func runSegBench(path string, stderr io.Writer) error {
 	const (
 		n        = 2000

@@ -39,6 +39,7 @@ func main() {
 	}
 }
 
+//fmeter:nondeterministic-ok daemon loop: interval timestamps and collection pacing are wall-clock by design
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("fmeterd", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -614,7 +614,7 @@ func OpenDB(path string, opts ...Option) (*DB, error) {
 	o := applyOpts(opts)
 	fi, err := os.Stat(path)
 	if err != nil {
-		return nil, err
+		return nil, &SnapshotError{Path: path, Err: err}
 	}
 	if fi.IsDir() {
 		db, err := core.LoadDirOpts(path, core.LoadOptions{MapPostings: o.mapped})
@@ -625,7 +625,7 @@ func OpenDB(path string, opts ...Option) (*DB, error) {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, &SnapshotError{Path: path, Err: err}
 	}
 	defer f.Close()
 	db, err := core.ReadSnapshot(f, o.shards)

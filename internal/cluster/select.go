@@ -119,6 +119,7 @@ func Silhouette(points []vecmath.Vector, assign []int) (float64, error) {
 				continue
 			}
 			if m := s / float64(sizes[c]); m < b {
+				//fmeter:map-order-ok min over the values is the same whatever the visit order
 				b = m
 			}
 		}

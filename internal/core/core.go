@@ -25,7 +25,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -125,9 +124,11 @@ type Corpus struct {
 }
 
 // NewCorpus creates an empty corpus over dim terms.
+//
+//fmeter:errdomain config
 func NewCorpus(dim int) (*Corpus, error) {
 	if dim < 1 {
-		return nil, fmt.Errorf("core: dimension %d must be >= 1", dim)
+		return nil, &ConfigError{Param: "dimension", Value: dim, Min: 1}
 	}
 	return &Corpus{dim: dim, df: make([]int, dim)}, nil
 }
@@ -143,13 +144,15 @@ func (c *Corpus) Len() int { return len(c.docs) }
 func (c *Corpus) Docs() []*Document { return c.docs }
 
 // Add appends a document to the corpus, validating its term indices.
+//
+//fmeter:errdomain config
 func (c *Corpus) Add(doc *Document) error {
 	if doc == nil {
-		return errors.New("core: nil document")
+		return &ConfigError{Param: "document", Msg: "nil document"}
 	}
 	for i := range doc.Counts {
 		if i < 0 || i >= c.dim {
-			return fmt.Errorf("core: document %s has term %d outside dimension %d", doc.ID, i, c.dim)
+			return &ConfigError{Param: "document", Msg: fmt.Sprintf("document %s has term %d outside dimension %d", doc.ID, i, c.dim)}
 		}
 	}
 	c.docs = append(c.docs, doc)
@@ -208,9 +211,11 @@ type Model struct {
 //
 // Terms absent from every document get idf 0 (they contribute nothing, and
 // there is no evidence to weight them by).
+//
+//fmeter:errdomain config
 func (c *Corpus) Fit() (*Model, error) {
 	if len(c.docs) == 0 {
-		return nil, errors.New("core: cannot fit tf-idf on an empty corpus")
+		return nil, &ConfigError{Param: "corpus", Msg: "cannot fit tf-idf on an empty corpus"}
 	}
 	m := &Model{dim: c.dim, idf: make([]float64, c.dim)}
 	n := float64(len(c.docs))
@@ -242,15 +247,18 @@ func (m *Model) IDF() []float64 {
 // length-normalized; use Normalize when a method requires unit vectors,
 // as the paper does for SVM classification ("scaled into the unit-ball
 // using the L2 norm").
+//
+//fmeter:errdomain config
 func (m *Model) Transform(doc *Document) (Signature, error) {
 	if doc == nil {
-		return Signature{}, errors.New("core: nil document")
+		return Signature{}, &ConfigError{Param: "document", Msg: "nil document"}
 	}
 	idx := make([]int32, 0, len(doc.Counts))
 	for i := range doc.Counts {
 		if i < 0 || i >= m.dim {
-			return Signature{}, fmt.Errorf("core: document %s term %d outside dimension %d", doc.ID, i, m.dim)
+			return Signature{}, &ConfigError{Param: "document", Msg: fmt.Sprintf("document %s term %d outside dimension %d", doc.ID, i, m.dim)}
 		}
+		//fmeter:map-order-ok support indices are sorted right below
 		idx = append(idx, int32(i))
 	}
 	slices.Sort(idx)
@@ -266,12 +274,14 @@ func (m *Model) Transform(doc *Document) (Signature, error) {
 	}
 	w, err := vecmath.SparseFromSorted(m.dim, nz, val)
 	if err != nil {
-		return Signature{}, fmt.Errorf("core: document %s: %w", doc.ID, err)
+		return Signature{}, &ConfigError{Param: "document", Msg: fmt.Sprintf("document %s", doc.ID), Err: err}
 	}
 	return Signature{DocID: doc.ID, Label: doc.Label, W: w}, nil
 }
 
 // TransformAll embeds a slice of documents.
+//
+//fmeter:errdomain config
 func (m *Model) TransformAll(docs []*Document) ([]Signature, error) {
 	out := make([]Signature, 0, len(docs))
 	for _, d := range docs {

@@ -179,17 +179,30 @@ type ConfigError struct {
 	// usage violation (an operation on a closed database) rather than
 	// an out-of-range knob.
 	Msg string
+	// Err, when non-nil, is the underlying cause (a malformed weight
+	// vector rejected by vecmath, say) exposed through Unwrap.
+	Err error
 }
 
 // Error implements error.
 func (e *ConfigError) Error() string {
-	if e.Msg != "" {
+	switch {
+	case e.Msg != "" && e.Err != nil:
+		return fmt.Sprintf("core: %s: %v", e.Msg, e.Err)
+	case e.Msg != "":
 		return "core: " + e.Msg
+	case e.Err != nil:
+		return fmt.Sprintf("core: %s: %v", e.Param, e.Err)
 	}
 	return fmt.Sprintf("core: %s %d must be >= %d", e.Param, e.Value, e.Min)
 }
 
+// Unwrap exposes the cause for errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
 // errClosed is the typed error every operation on a closed DB returns.
+//
+//fmeter:errdomain config
 func errClosed() error {
 	return &ConfigError{Param: "database", Msg: "operation on closed database"}
 }
@@ -317,6 +330,8 @@ func NewDB(dim int) (*DB, error) { return NewShardedDB(dim, 1) }
 // NewShardedDB creates an empty database with the given shard count.
 // Shards bound the fan-out of TopK scans; the query results are
 // identical at any shard count.
+//
+//fmeter:errdomain config
 func NewShardedDB(dim, shards int) (*DB, error) {
 	if dim < 1 {
 		return nil, &ConfigError{Param: "dimension", Value: dim, Min: 1}
@@ -392,7 +407,7 @@ func (db *DB) Add(sig Signature) error {
 		return errClosed()
 	}
 	if sig.W == nil {
-		return fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
+		return &ConfigError{Param: "signature", Msg: fmt.Sprintf("signature %s has no weight vector", sig.DocID)}
 	}
 	if sig.Dim() != db.dim {
 		return &DimensionError{What: fmt.Sprintf("signature %s", sig.DocID), Got: sig.Dim(), Want: db.dim}
@@ -582,7 +597,7 @@ func (db *DB) AddAll(sigs []Signature) error {
 	}
 	for _, s := range sigs {
 		if s.W == nil {
-			return fmt.Errorf("core: signature %s has no weight vector", s.DocID)
+			return &ConfigError{Param: "signature", Msg: fmt.Sprintf("signature %s has no weight vector", s.DocID)}
 		}
 		if s.Dim() != db.dim {
 			return &DimensionError{What: fmt.Sprintf("signature %s", s.DocID), Got: s.Dim(), Want: db.dim}
@@ -651,6 +666,8 @@ type topkHeap struct {
 }
 
 // reset empties the heap for a new query, keeping its capacity.
+//
+//fmeter:noalloc
 func (h *topkHeap) reset(higher bool) {
 	h.idx = h.idx[:0]
 	h.score = h.score[:0]
@@ -659,6 +676,8 @@ func (h *topkHeap) reset(higher bool) {
 
 // worseAt reports whether the candidate at position a ranks strictly
 // worse than the one at position b.
+//
+//fmeter:noalloc
 func (h *topkHeap) worseAt(a, b int) bool {
 	if h.score[a] != h.score[b] {
 		if h.higher {
@@ -669,11 +688,13 @@ func (h *topkHeap) worseAt(a, b int) bool {
 	return h.idx[a] > h.idx[b]
 }
 
+//fmeter:noalloc
 func (h *topkHeap) swap(a, b int) {
 	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
 	h.score[a], h.score[b] = h.score[b], h.score[a]
 }
 
+//fmeter:noalloc
 func (h *topkHeap) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -685,6 +706,7 @@ func (h *topkHeap) up(i int) {
 	}
 }
 
+//fmeter:noalloc
 func (h *topkHeap) down(i int) {
 	n := len(h.idx)
 	for {
@@ -707,7 +729,10 @@ func (h *topkHeap) down(i int) {
 // displaces the root only when the root ranks strictly worse under the
 // (score, index) total order. Candidates may arrive in any order — the
 // kept set is always the k best overall.
+//
+//fmeter:noalloc
 func (h *topkHeap) offer(k int, i int, score float64) {
+	//fmeter:alloc-ok the heap grows to k once; the scratch pool reuses it across queries
 	if len(h.idx) < k {
 		h.idx = append(h.idx, i)
 		h.score = append(h.score, score)
@@ -734,6 +759,8 @@ func (h *topkHeap) offer(k int, i int, score float64) {
 // pop removes and returns the worst remaining candidate. Draining the
 // heap therefore yields candidates in worst-to-best (score, index)
 // order — the allocation-free replacement for sorting the survivors.
+//
+//fmeter:noalloc
 func (h *topkHeap) pop() (int, float64) {
 	gid, score := h.idx[0], h.score[0]
 	last := len(h.idx) - 1
@@ -788,7 +815,7 @@ func (db *DB) TopKBatch(queries []*vecmath.Sparse, k int, metric Metric) ([][]Se
 // result reflects the same store prefix even under concurrent writes.
 func (db *DB) TopKBatchInto(queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
 	if len(out) != len(queries) {
-		return fmt.Errorf("core: TopKBatchInto: %d result slots for %d queries", len(out), len(queries))
+		return &ConfigError{Param: "out", Msg: fmt.Sprintf("TopKBatchInto: %d result slots for %d queries", len(out), len(queries))}
 	}
 	v := db.pinView()
 	defer db.unpinView(v)
@@ -819,7 +846,7 @@ func (db *DB) batchQueriesParallel(v *dbView, queries []*vecmath.Sparse, k int, 
 func (db *DB) batchQuery(v *dbView, qi int, queries []*vecmath.Sparse, k int, metric Metric, out [][]SearchResult) error {
 	q := queries[qi]
 	if q == nil {
-		return fmt.Errorf("core: query %d is nil", qi)
+		return &ConfigError{Param: "query", Msg: fmt.Sprintf("query %d is nil", qi)}
 	}
 	if q.Dim() != db.dim {
 		return &DimensionError{What: fmt.Sprintf("query %d", qi), Got: q.Dim(), Want: db.dim}
@@ -857,7 +884,7 @@ func (db *DB) topkWith(v *dbView, sc *dbScratch, query *vecmath.Sparse, denseQue
 		return nil, errClosed()
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: k %d must be >= 1", k)
+		return nil, &ConfigError{Param: "k", Value: k, Min: 1}
 	}
 	if v.total == 0 {
 		return nil, ErrEmptyDB
@@ -1036,6 +1063,8 @@ func topkShard(v *dbView, si int, ss *shardScratch, query *vecmath.Sparse, dense
 // rows in seeds like the other offer loops. It is the indexed path's
 // kernel for the active segment's frozen prefix, whose flat posting
 // index belongs to the writer.
+//
+//fmeter:noalloc
 func offerCanonical(h *topkHeap, k int, vs *viewShard, sg viewSegment, query *vecmath.Sparse, metric Metric, qNorm2 float64, seeds []int32) {
 	si := 0
 	for j := sg.start; j < sg.end; j++ {
@@ -1068,6 +1097,8 @@ func offerCanonical(h *topkHeap, k int, vs *viewShard, sg viewSegment, query *ve
 // insertion index, never displaces), so the kept set is identical to
 // calling offer for every candidate — the fast path only skips calls
 // that would have returned without mutating the heap.
+//
+//fmeter:noalloc
 func offerEuclidean(h *topkHeap, k int, vs *viewShard, sg viewSegment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
@@ -1098,6 +1129,8 @@ func offerEuclidean(h *topkHeap, k int, vs *viewShard, sg viewSegment, acc *vecm
 
 // offerCosine is offerEuclidean for the cosine similarity (higher is
 // closer, so the root pre-filter flips).
+//
+//fmeter:noalloc
 func offerCosine(h *topkHeap, k int, vs *viewShard, sg viewSegment, acc *vecmath.Accumulator, qNorm2 float64, seeds []int32) {
 	full := len(h.idx) == k
 	var rs float64
@@ -1178,7 +1211,7 @@ func (db *DB) ClassifyBatch(queries []*vecmath.Sparse, k int, metric Metric) ([]
 // out holds a mix of old and new labels and must not be interpreted.
 func (db *DB) ClassifyBatchInto(queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
 	if len(out) != len(queries) {
-		return fmt.Errorf("core: ClassifyBatchInto: %d result slots for %d queries", len(out), len(queries))
+		return &ConfigError{Param: "out", Msg: fmt.Sprintf("ClassifyBatchInto: %d result slots for %d queries", len(out), len(queries))}
 	}
 	// One pinned view for the whole batch: every query in the batch
 	// labels against the same frozen store state.
@@ -1210,7 +1243,7 @@ func (db *DB) classifyQueriesParallel(v *dbView, queries []*vecmath.Sparse, k in
 func (db *DB) classifyQuery(v *dbView, qi int, queries []*vecmath.Sparse, k int, metric Metric, out []string) error {
 	q := queries[qi]
 	if q == nil {
-		return fmt.Errorf("core: query %d is nil", qi)
+		return &ConfigError{Param: "query", Msg: fmt.Sprintf("query %d is nil", qi)}
 	}
 	if q.Dim() != db.dim {
 		return &DimensionError{What: fmt.Sprintf("query %d", qi), Got: q.Dim(), Want: db.dim}

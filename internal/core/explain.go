@@ -23,16 +23,19 @@ type TermWeight struct {
 // the signature's dimension. This is the operator-facing "why does this
 // signature look like that" view: the kernel functions whose (idf-damped)
 // relative frequencies dominate the interval. The walk covers only the
-// sparse support — zero components can never rank.
+// sparse support — zero components can never rank. Validation failures
+// are typed *ConfigError.
+//
+//fmeter:errdomain config
 func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
 	if k < 1 {
-		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
+		return nil, &ConfigError{Param: "k", Value: k, Min: 1}
 	}
 	if sig.W == nil {
-		return nil, fmt.Errorf("core: signature %s has no weight vector", sig.DocID)
+		return nil, &ConfigError{Param: "signature", Msg: fmt.Sprintf("signature %s has no weight vector", sig.DocID)}
 	}
 	if names != nil && len(names) < sig.Dim() {
-		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), sig.Dim())
+		return nil, &ConfigError{Param: "names", Msg: fmt.Sprintf("name table has %d entries for dimension %d", len(names), sig.Dim())}
 	}
 	terms := make([]TermWeight, 0, sig.W.NNZ())
 	sig.W.ForEach(func(i int, w float64) {
@@ -54,19 +57,21 @@ func TopTerms(sig Signature, k int, names []string) ([]TermWeight, error) {
 // difference preserved (positive = stronger in a). It is the similarity
 // search's inverse: given two behaviours, which kernel functions separate
 // them. Only the union of the two supports can differ, so the walk is
-// O(nnz_a + nnz_b).
+// O(nnz_a + nnz_b). Validation failures are typed *ConfigError.
+//
+//fmeter:errdomain config
 func Contrast(a, b Signature, k int, names []string) ([]TermWeight, error) {
 	if a.W == nil || b.W == nil {
-		return nil, fmt.Errorf("core: contrast signature has no weight vector")
+		return nil, &ConfigError{Param: "signature", Msg: "contrast signature has no weight vector"}
 	}
 	if a.Dim() != b.Dim() {
-		return nil, fmt.Errorf("core: contrast dimensions differ: %d vs %d", a.Dim(), b.Dim())
+		return nil, &ConfigError{Param: "signature", Msg: fmt.Sprintf("contrast dimensions differ: %d vs %d", a.Dim(), b.Dim())}
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: k=%d must be >= 1", k)
+		return nil, &ConfigError{Param: "k", Value: k, Min: 1}
 	}
 	if names != nil && len(names) < a.Dim() {
-		return nil, fmt.Errorf("core: name table has %d entries for dimension %d", len(names), a.Dim())
+		return nil, &ConfigError{Param: "names", Msg: fmt.Sprintf("name table has %d entries for dimension %d", len(names), a.Dim())}
 	}
 	terms := make([]TermWeight, 0, a.W.NNZ()+b.W.NNZ())
 	a.W.ForEachUnion(b.W, func(i int, wa, wb float64) {

@@ -42,6 +42,8 @@ type Index struct {
 }
 
 // NewIndex creates an empty inverted index over the given dimension.
+//
+//fmeter:errdomain config
 func NewIndex(dim int) (*Index, error) {
 	if dim < 1 {
 		return nil, &ConfigError{Param: "index dimension", Value: dim, Min: 1}

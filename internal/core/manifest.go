@@ -87,11 +87,14 @@ const (
 // segmentFileName names segment id's file inside a snapshot directory.
 func segmentFileName(id uint64) string { return fmt.Sprintf("seg-%08d.fms", id) }
 
-// SnapshotError reports a corrupt, missing, or unreadable piece of a v2
-// snapshot directory. It is typed so callers can tell storage corruption
-// from API misuse, and it always names the offending file.
+// SnapshotError reports a corrupt, missing, or unreadable piece of a
+// snapshot — a v2 directory file, or the v1/model byte streams. It is
+// typed so callers can tell storage corruption from API misuse, and it
+// names the offending file when the snapshot has one.
 type SnapshotError struct {
 	// Path is the file that failed (a segment file or the manifest).
+	// Empty for stream snapshots (WriteSnapshot/ReadSnapshot and the
+	// model codecs), which read whatever the caller handed them.
 	Path string
 	// Err is the underlying cause (CRC mismatch, truncation, fs error).
 	Err error
@@ -99,6 +102,9 @@ type SnapshotError struct {
 
 // Error implements error.
 func (e *SnapshotError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("core: snapshot: %v", e.Err)
+	}
 	return fmt.Sprintf("core: snapshot file %s: %v", e.Path, e.Err)
 }
 
@@ -140,6 +146,10 @@ type manifestSegment struct {
 //
 // SaveDir serializes with Add/Seal/Compact (one writer side) but never
 // blocks queries, which keep scoring their pinned views throughout.
+// Every failure is a typed *SnapshotError (or *ConfigError for misuse
+// of a closed database).
+//
+//fmeter:errdomain snapshot
 func (db *DB) SaveDir(path string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -147,10 +157,10 @@ func (db *DB) SaveDir(path string) error {
 		return errClosed()
 	}
 	if db.dim > maxSnapshotDim {
-		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
+		return &SnapshotError{Path: path, Err: fmt.Errorf("dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)}
 	}
 	if len(db.shards) > maxSnapshotShards {
-		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
+		return &SnapshotError{Path: path, Err: fmt.Errorf("shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)}
 	}
 	if err := fsMkdirAll(path, 0o755); err != nil {
 		return &SnapshotError{Path: path, Err: err}
@@ -221,7 +231,7 @@ func (db *DB) SaveDir(path string) error {
 	}
 	buf, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return fmt.Errorf("core: encoding manifest: %w", err)
+		return &SnapshotError{Path: path, Err: fmt.Errorf("encoding manifest: %w", err)}
 	}
 	mpath := filepath.Join(path, manifestName)
 	if err := writeFileAtomic(mpath, append(buf, '\n')); err != nil {
@@ -270,6 +280,8 @@ func (db *DB) SaveDir(path string) error {
 // listOrphans names segment and temp files the manifest no longer
 // references: compaction inputs, crash leftovers. Valid only after the
 // new manifest is durable.
+//
+//fmeter:errdomain snapshot
 func listOrphans(dir string, live map[string]bool) ([]string, error) {
 	entries, err := fsReadDir(dir)
 	if err != nil {
@@ -288,6 +300,8 @@ func listOrphans(dir string, live map[string]bool) ([]string, error) {
 
 // writeSegmentFile writes one segment's file atomically and returns the
 // CRC32 of its body (everything before the footer).
+//
+//fmeter:errdomain snapshot
 func (db *DB) writeSegmentFile(dir string, sh *dbShard, sg *segment) (uint32, error) {
 	final := filepath.Join(dir, segmentFileName(sg.id))
 	f, err := fsCreateTemp(dir, ".tmp-seg-*")
@@ -429,6 +443,8 @@ func LoadDirMapped(path string) (*DB, error) {
 }
 
 // LoadDirOpts is LoadDir under explicit options.
+//
+//fmeter:errdomain snapshot
 func LoadDirOpts(path string, opts LoadOptions) (*DB, error) {
 	mpath := filepath.Join(path, manifestName)
 	raw, err := fsReadFile(mpath)
@@ -510,6 +526,8 @@ func LoadDirOpts(path string, opts LoadOptions) (*DB, error) {
 // mapping handle and owns its lifetime (released by Close, or by
 // Compact when the blob is spliced into a heap copy). A failed mapping
 // silently falls back to the heap read path.
+//
+//fmeter:errdomain snapshot
 func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegment, opts LoadOptions) error {
 	path := filepath.Join(dir, ent.File)
 	var mf *mapFile
@@ -650,6 +668,8 @@ func (db *DB) loadSegmentFile(dir string, si int, sh *dbShard, ent manifestSegme
 // its rows and compresses them — the path for bodies that carry no
 // postings section (v1 files, or segments saved while still active),
 // the one load that still pays the posting-by-posting rebuild.
+//
+//fmeter:errdomain config
 func (db *DB) rebuildSegmentPostings(sh *dbShard, sg *segment) error {
 	ix, err := NewIndex(db.dim)
 	if err != nil {

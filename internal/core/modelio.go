@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -20,10 +21,13 @@ type modelJSON struct {
 // fit the idf weighting once over a labeled history corpus and reuse it to
 // embed signatures collected later (the paper's database workflow, §2.2):
 // a classifier is only meaningful against vectors weighted by the same
-// model.
+// model. Failures are typed *SnapshotError (model I/O is part of the
+// snapshot domain; Path is empty for caller-owned streams).
+//
+//fmeter:errdomain snapshot
 func WriteModel(w io.Writer, m *Model) error {
 	if m == nil {
-		return fmt.Errorf("core: nil model")
+		return &SnapshotError{Err: errors.New("nil model")}
 	}
 	mj := modelJSON{Dim: m.dim, IDF: make(map[int]float64)}
 	for i, x := range m.idf {
@@ -32,26 +36,31 @@ func WriteModel(w io.Writer, m *Model) error {
 		}
 	}
 	enc := json.NewEncoder(w)
-	return enc.Encode(mj)
+	if err := enc.Encode(mj); err != nil {
+		return &SnapshotError{Err: fmt.Errorf("writing model: %w", err)}
+	}
+	return nil
 }
 
 // ReadModel parses a model written by WriteModel.
+//
+//fmeter:errdomain snapshot
 func ReadModel(r io.Reader) (*Model, error) {
 	var mj modelJSON
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&mj); err != nil {
-		return nil, fmt.Errorf("core: reading model: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading model: %w", err)}
 	}
 	if mj.Dim < 1 {
-		return nil, fmt.Errorf("core: model dimension %d invalid", mj.Dim)
+		return nil, &SnapshotError{Err: fmt.Errorf("model dimension %d invalid", mj.Dim)}
 	}
 	m := &Model{dim: mj.Dim, idf: make([]float64, mj.Dim)}
 	for i, x := range mj.IDF {
 		if i < 0 || i >= mj.Dim {
-			return nil, fmt.Errorf("core: idf index %d outside dimension %d", i, mj.Dim)
+			return nil, &SnapshotError{Err: fmt.Errorf("idf index %d outside dimension %d", i, mj.Dim)}
 		}
 		if x < 0 {
-			return nil, fmt.Errorf("core: negative idf %v at term %d", x, i)
+			return nil, &SnapshotError{Err: fmt.Errorf("negative idf %v at term %d", x, i)}
 		}
 		m.idf[i] = x
 	}
@@ -74,16 +83,18 @@ const (
 
 // WriteModelSnapshot serializes a fitted model in the versioned binary
 // snapshot format.
+//
+//fmeter:errdomain snapshot
 func WriteModelSnapshot(w io.Writer, m *Model) error {
 	if m == nil {
-		return fmt.Errorf("core: nil model")
+		return &SnapshotError{Err: errors.New("nil model")}
 	}
 	if m.dim > maxSnapshotDim {
-		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", m.dim, maxSnapshotDim)
+		return &SnapshotError{Err: fmt.Errorf("dimension %d exceeds snapshot format bound %d", m.dim, maxSnapshotDim)}
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(modelMagic); err != nil {
-		return fmt.Errorf("core: writing model snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing model snapshot: %w", err)}
 	}
 	le := binary.LittleEndian
 	nnz := 0
@@ -94,7 +105,7 @@ func WriteModelSnapshot(w io.Writer, m *Model) error {
 	}
 	for _, v := range []any{uint16(modelVersion), uint32(m.dim), uint32(nnz)} {
 		if err := binary.Write(bw, le, v); err != nil {
-			return fmt.Errorf("core: writing model snapshot: %w", err)
+			return &SnapshotError{Err: fmt.Errorf("writing model snapshot: %w", err)}
 		}
 	}
 	var rec [12]byte
@@ -105,60 +116,62 @@ func WriteModelSnapshot(w io.Writer, m *Model) error {
 		le.PutUint32(rec[:4], uint32(i))
 		le.PutUint64(rec[4:12], math.Float64bits(x))
 		if _, err := bw.Write(rec[:]); err != nil {
-			return fmt.Errorf("core: writing model snapshot: %w", err)
+			return &SnapshotError{Err: fmt.Errorf("writing model snapshot: %w", err)}
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("core: writing model snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing model snapshot: %w", err)}
 	}
 	return nil
 }
 
 // ReadModelSnapshot parses a model snapshot written by WriteModelSnapshot.
+//
+//fmeter:errdomain snapshot
 func ReadModelSnapshot(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(modelMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading model snapshot magic: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading model snapshot magic: %w", err)}
 	}
 	if string(magic) != modelMagic {
-		return nil, fmt.Errorf("core: bad model snapshot magic %q", magic)
+		return nil, &SnapshotError{Err: fmt.Errorf("bad model snapshot magic %q", magic)}
 	}
 	le := binary.LittleEndian
 	var version uint16
 	if err := binary.Read(br, le, &version); err != nil {
-		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading model snapshot: %w", err)}
 	}
 	if version != modelVersion {
-		return nil, fmt.Errorf("core: unsupported model snapshot version %d (have %d)", version, modelVersion)
+		return nil, &SnapshotError{Err: fmt.Errorf("unsupported model snapshot version %d (have %d)", version, modelVersion)}
 	}
 	var dim32, nnz uint32
 	if err := binary.Read(br, le, &dim32); err != nil {
-		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading model snapshot: %w", err)}
 	}
 	if err := binary.Read(br, le, &nnz); err != nil {
-		return nil, fmt.Errorf("core: reading model snapshot: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading model snapshot: %w", err)}
 	}
 	if dim32 < 1 || dim32 > maxSnapshotDim {
-		return nil, fmt.Errorf("core: model snapshot dimension %d outside [1, %d]", dim32, maxSnapshotDim)
+		return nil, &SnapshotError{Err: fmt.Errorf("model snapshot dimension %d outside [1, %d]", dim32, maxSnapshotDim)}
 	}
 	if nnz > dim32 {
-		return nil, fmt.Errorf("core: model snapshot nnz %d exceeds dimension %d", nnz, dim32)
+		return nil, &SnapshotError{Err: fmt.Errorf("model snapshot nnz %d exceeds dimension %d", nnz, dim32)}
 	}
 	m := &Model{dim: int(dim32), idf: make([]float64, dim32)}
 	rec := make([]byte, 12)
 	prev := int32(-1)
 	for k := uint32(0); k < nnz; k++ {
 		if _, err := io.ReadFull(br, rec); err != nil {
-			return nil, fmt.Errorf("core: model snapshot entry %d: %w", k, noEOF(err))
+			return nil, &SnapshotError{Err: fmt.Errorf("model snapshot entry %d: %w", k, noEOF(err))}
 		}
 		i := int32(le.Uint32(rec[:4]))
 		x := math.Float64frombits(le.Uint64(rec[4:12]))
 		if i <= prev || int(i) >= m.dim {
-			return nil, fmt.Errorf("core: model snapshot entry %d: index %d not strictly ascending in [0, %d)", k, i, m.dim)
+			return nil, &SnapshotError{Err: fmt.Errorf("model snapshot entry %d: index %d not strictly ascending in [0, %d)", k, i, m.dim)}
 		}
 		if x <= 0 {
-			return nil, fmt.Errorf("core: model snapshot entry %d: idf %v must be positive", k, x)
+			return nil, &SnapshotError{Err: fmt.Errorf("model snapshot entry %d: idf %v must be positive", k, x)}
 		}
 		prev = i
 		m.idf[i] = x

@@ -169,7 +169,11 @@ const (
 // format. Dimensions beyond the format's bound are rejected here, at
 // write time, so a snapshot that serializes is always loadable. The
 // snapshot covers one pinned view — a consistent prefix of the store —
-// so concurrent writers neither block nor tear it.
+// so concurrent writers neither block nor tear it. Every failure is a
+// typed *SnapshotError (Path empty: the snapshot is a caller-owned
+// stream).
+//
+//fmeter:errdomain snapshot
 func (db *DB) WriteSnapshot(w io.Writer) error {
 	v := db.pinView()
 	defer db.unpinView(v)
@@ -177,41 +181,41 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 		return errClosed()
 	}
 	if db.dim > maxSnapshotDim {
-		return fmt.Errorf("core: dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)
+		return &SnapshotError{Err: fmt.Errorf("dimension %d exceeds snapshot format bound %d", db.dim, maxSnapshotDim)}
 	}
 	if len(db.shards) > maxSnapshotShards {
-		return fmt.Errorf("core: shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)
+		return &SnapshotError{Err: fmt.Errorf("shard count %d exceeds snapshot format bound %d", len(db.shards), maxSnapshotShards)}
 	}
 	for gid := 0; gid < v.total; gid++ {
 		s := v.at(gid)
 		if len(s.DocID) > maxSnapshotString || len(s.Label) > maxSnapshotString {
-			return fmt.Errorf("core: signature %d doc-id/label exceeds snapshot string bound %d", gid, maxSnapshotString)
+			return &SnapshotError{Err: fmt.Errorf("signature %d doc-id/label exceeds snapshot string bound %d", gid, maxSnapshotString)}
 		}
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	le := binary.LittleEndian
 	if err := binary.Write(bw, le, uint16(snapshotVersion)); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	if err := binary.Write(bw, le, uint32(db.dim)); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	if err := binary.Write(bw, le, uint32(len(db.shards))); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	if err := binary.Write(bw, le, uint64(v.total)); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	for gid := 0; gid < v.total; gid++ {
 		if err := writeSigRecord(bw, v.at(gid)); err != nil {
-			return fmt.Errorf("core: writing snapshot record %d: %w", gid, err)
+			return &SnapshotError{Err: fmt.Errorf("writing snapshot record %d: %w", gid, err)}
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("core: writing snapshot: %w", err)
+		return &SnapshotError{Err: fmt.Errorf("writing snapshot: %w", err)}
 	}
 	return nil
 }
@@ -499,41 +503,44 @@ func readSigRecord(br byteScanner, dim int) (Signature, error) {
 // naming the offending record, never a partially valid database. The
 // per-shard inverted indexes are rebuilt incrementally as records load
 // (each goes through DB.Add), so snapshots carry no index data and the
-// format is unchanged from pre-index versions.
+// format is unchanged from pre-index versions. Every failure is a typed
+// *SnapshotError (Path empty: the snapshot is a caller-owned stream).
+//
+//fmeter:errdomain snapshot
 func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot magic: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading snapshot magic: %w", err)}
 	}
 	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("core: bad snapshot magic %q", magic)
+		return nil, &SnapshotError{Err: fmt.Errorf("bad snapshot magic %q", magic)}
 	}
 	le := binary.LittleEndian
 	var version uint16
 	if err := binary.Read(br, le, &version); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot version: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading snapshot version: %w", err)}
 	}
 	if version != snapshotVersion {
-		return nil, fmt.Errorf("core: unsupported snapshot version %d (have %d)", version, snapshotVersion)
+		return nil, &SnapshotError{Err: fmt.Errorf("unsupported snapshot version %d (have %d)", version, snapshotVersion)}
 	}
 	var dim32, wshards uint32
 	var count uint64
 	if err := binary.Read(br, le, &dim32); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading snapshot header: %w", err)}
 	}
 	if err := binary.Read(br, le, &wshards); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading snapshot header: %w", err)}
 	}
 	if err := binary.Read(br, le, &count); err != nil {
-		return nil, fmt.Errorf("core: reading snapshot header: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading snapshot header: %w", err)}
 	}
 	if dim32 < 1 || dim32 > maxSnapshotDim {
-		return nil, fmt.Errorf("core: snapshot dimension %d outside [1, %d]", dim32, maxSnapshotDim)
+		return nil, &SnapshotError{Err: fmt.Errorf("dimension %d outside [1, %d]", dim32, maxSnapshotDim)}
 	}
 	dim := int(dim32)
 	if wshards > maxSnapshotShards {
-		return nil, fmt.Errorf("core: snapshot shard count %d exceeds bound %d", wshards, maxSnapshotShards)
+		return nil, &SnapshotError{Err: fmt.Errorf("shard count %d exceeds bound %d", wshards, maxSnapshotShards)}
 	}
 	if shards == 0 {
 		shards = int(wshards)
@@ -548,10 +555,10 @@ func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
 	for gid := uint64(0); gid < count; gid++ {
 		sig, err := readSigRecord(br, dim)
 		if err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
+			return nil, &SnapshotError{Err: fmt.Errorf("record %d: %w", gid, err)}
 		}
 		if err := db.Add(sig); err != nil {
-			return nil, fmt.Errorf("core: snapshot record %d: %w", gid, err)
+			return nil, &SnapshotError{Err: fmt.Errorf("record %d: %w", gid, err)}
 		}
 	}
 	// Require clean EOF after record `count`: trailing bytes mean the
@@ -559,9 +566,9 @@ func ReadSnapshot(r io.Reader, shards int) (*DB, error) {
 	// concatenated, or plain corruption) — loading it silently would hand
 	// the operator a database that disagrees with what was saved.
 	if _, err := br.ReadByte(); err == nil {
-		return nil, fmt.Errorf("core: snapshot has trailing data after record %d", count)
+		return nil, &SnapshotError{Err: fmt.Errorf("trailing data after record %d", count)}
 	} else if err != io.EOF {
-		return nil, fmt.Errorf("core: snapshot trailer: %w", err)
+		return nil, &SnapshotError{Err: fmt.Errorf("reading trailer: %w", err)}
 	}
 	return db, nil
 }

@@ -89,7 +89,8 @@ func NewCollector(fs *debugfs.FS, st *kernel.SymbolTable) (*Collector, error) {
 		st:      st,
 		policy:  DefaultRetryPolicy,
 		sleepFn: time.Sleep,
-		randFn:  rand.Float64,
+		//fmeter:nondeterministic-ok backoff jitter is deliberately unseeded so retrying daemons decorrelate
+		randFn: rand.Float64,
 	}, nil
 }
 

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Determinism enforces the bit-identical-results contract from
+// DESIGN-PERF.md: result-affecting code may not read wall-clock time or
+// the global math/rand source (seed discipline: randomness flows from
+// rand.New(rand.NewSource(seed))), and may not let map-iteration order
+// leak into returned or accumulated state.
+var Determinism = &Analyzer{
+	Name:     "determinism",
+	Contract: "determinism",
+	Doc: `flag time.Now / global math/rand uses outside //fmeter:nondeterministic-ok
+annotations (everywhere), and range-over-map loops whose bodies perform
+order-sensitive writes to state that outlives the loop (in the
+result-affecting packages and //fmeter:deterministic files)`,
+	Run: runDeterminism,
+}
+
+// resultAffecting lists the packages whose outputs the determinism
+// property tests sweep; the map-range check runs only there (and in
+// files opted in with //fmeter:deterministic).
+var resultAffecting = map[string]bool{
+	"repro/internal/core":        true,
+	"repro/internal/vecmath":     true,
+	"repro/internal/svm":         true,
+	"repro/internal/cluster":     true,
+	"repro/internal/crossval":    true,
+	"repro/internal/experiments": true,
+	"repro/internal/parallel":    true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that do NOT
+// draw from the global source: constructing a seeded generator is the
+// seed discipline, not a violation.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+// wallClockFuncs are the time package functions that read the wall
+// clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		mapCheck := resultAffecting[pass.PkgPath] || pass.Dirs.InFile("deterministic", f.Pos()) != nil
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkNondetUse(pass, n)
+			case *ast.RangeStmt:
+				if mapCheck {
+					checkMapRange(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkNondetUse flags any reference (call or value) to time.Now-family
+// or global-source math/rand package functions.
+func checkNondetUse(pass *Pass, sel *ast.SelectorExpr) {
+	obj, ok := pass.Info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // method, not a package-level function
+	}
+	var what string
+	switch obj.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[obj.Name()] {
+			what = "wall-clock read time." + obj.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandFuncs[obj.Name()] {
+			what = "global-source rand." + obj.Name()
+		}
+	}
+	if what == "" || pass.Suppressed("nondeterministic-ok", sel.Pos()) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"%s breaks seed discipline: results must be reproducible from the seed; thread a *rand.Rand from rand.New(rand.NewSource(seed)) or annotate %snondeterministic-ok <reason>",
+		what, DirectivePrefix)
+}
+
+// checkMapRange flags order-sensitive writes under `range m` where m is
+// a map: iteration order is randomized per run, so any write whose
+// final value depends on visit order makes results irreproducible.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	body := rng.Body
+	report := func(pos token.Pos, form string) {
+		if pass.Suppressed("map-order-ok", pos) {
+			return
+		}
+		pass.Reportf(pos,
+			"%s under range over map %s: map iteration order is randomized, so this result depends on visit order; iterate sorted keys or annotate %smap-order-ok <reason>",
+			form, exprString(rng.X), DirectivePrefix)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope; writes there run later
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.IncDecStmt:
+			if keyedByRangeKey(pass, rng, n.X) {
+				break
+			}
+			if outer, elem := outerWrite(pass, body, n.X); outer && !orderInsensitiveCompound(n.Tok, elem) {
+				report(n.Pos(), "increment of outer state")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// Writes indexed by the range key land in a distinct slot
+				// per iteration, so the final state is visit-order
+				// independent whatever the element type.
+				if keyedByRangeKey(pass, rng, lhs) {
+					continue
+				}
+				outer, elem := outerWrite(pass, body, lhs)
+				if !outer {
+					continue
+				}
+				switch {
+				case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+					if idx, ok := lhs.(*ast.IndexExpr); ok {
+						if mt := pass.Info.TypeOf(idx.X); mt != nil {
+							if _, isMap := mt.Underlying().(*types.Map); isMap {
+								// m[k] = v keyed writes land independently of
+								// visit order (same-key overwrites excepted,
+								// which keyed-by-range-key loops never do).
+								continue
+							}
+						}
+					}
+					if isAppendTo(pass, n, lhs) {
+						report(n.Pos(), "append to outer slice")
+						continue
+					}
+					report(n.Pos(), "assignment to outer state")
+				default: // compound: +=, -=, *=, |=, ...
+					if !orderInsensitiveCompound(n.Tok, elem) {
+						report(n.Pos(), "order-sensitive accumulation")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// keyedByRangeKey reports whether lhs is an index expression whose
+// index is the loop's range key (directly or through a conversion like
+// int(k)): each iteration then writes a distinct slot.
+func keyedByRangeKey(pass *Pass, rng *ast.RangeStmt, lhs ast.Expr) bool {
+	keyID, ok := rng.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.Info.Defs[keyID]
+	if keyObj == nil {
+		keyObj = pass.Info.Uses[keyID]
+	}
+	if keyObj == nil {
+		return false
+	}
+	idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	e := ast.Unparen(idx.Index)
+	if call, isCall := e.(*ast.CallExpr); isCall && len(call.Args) == 1 {
+		if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+			e = ast.Unparen(call.Args[0])
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == keyObj
+}
+
+// outerWrite reports whether lhs writes through a variable declared
+// outside the loop body (so the write survives the loop), along with
+// the written element's type for commutativity checks.
+func outerWrite(pass *Pass, body *ast.BlockStmt, lhs ast.Expr) (bool, types.Type) {
+	root := lhs
+	for {
+		switch e := root.(type) {
+		case *ast.IndexExpr:
+			root = e.X
+			continue
+		case *ast.SelectorExpr:
+			root = e.X
+			continue
+		case *ast.StarExpr:
+			// Writing through a pointer: treat as outer — the pointee
+			// outlives the loop unless proven otherwise.
+			if id, ok := e.X.(*ast.Ident); ok {
+				root = id
+				break
+			}
+			return true, pass.Info.TypeOf(lhs)
+		case *ast.ParenExpr:
+			root = e.X
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false, nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false, nil
+	}
+	if obj.Pos() >= body.Pos() && obj.Pos() < body.End() {
+		return false, nil // declared inside the loop body
+	}
+	return true, pass.Info.TypeOf(lhs)
+}
+
+// orderInsensitiveCompound reports whether a compound write with tok on
+// an element of type t yields the same final value under any visit
+// order: commutative+associative integer ops qualify; float arithmetic
+// (rounding is order-dependent), strings, shifts, and division do not.
+func orderInsensitiveCompound(tok token.Token, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN,
+		token.INC, token.DEC:
+		return true
+	}
+	return false
+}
+
+// isAppendTo reports whether assign is `lhs = append(lhs, ...)`.
+func isAppendTo(pass *Pass, assign *ast.AssignStmt, lhs ast.Expr) bool {
+	for _, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if obj, ok := pass.Info.Uses[id]; ok {
+				if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// exprString renders a short source-ish form of e for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expression"
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAllocZone enforces the 0-alloc contract on the batched query paths:
+// a function annotated //fmeter:noalloc promises its steady-state body
+// performs no heap allocation (the property the
+// BenchmarkDBTopKBatch/ClassifyBatch 0 allocs/op records pin down). The
+// analyzer flags the allocation sites a benchmark would count: make /
+// new, slice and map literals, growing appends, capturing closures,
+// string building, go statements, and interface boxing at call sites
+// and assignments. Sites that are provably cold or amortized (error
+// paths, one-time pool growth) carry //fmeter:alloc-ok <reason>.
+var NoAllocZone = &Analyzer{
+	Name:     "noalloczone",
+	Contract: "no-alloc",
+	Doc: `//fmeter:noalloc functions may not contain allocation sites: make/new,
+slice/map/pointer composite literals, append growth, capturing func
+literals, string concatenation or conversions, go statements, or
+interface boxing; suppress cold sites with //fmeter:alloc-ok <reason>`,
+	Run: runNoAllocZone,
+}
+
+func runNoAllocZone(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if dir := pass.Dirs.At("noalloc", fd.Pos()); dir == nil || dir.Scope != FuncScope {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	flag := func(pos token.Pos, format string, args ...any) {
+		if pass.Suppressed("alloc-ok", pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			flag(n.Pos(), "go statement in a noalloc zone allocates a goroutine")
+		case *ast.FuncLit:
+			if captures(pass, n) {
+				flag(n.Pos(), "capturing func literal in a noalloc zone allocates its closure context")
+			}
+			return false // the literal's own body runs elsewhere
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal in a noalloc zone allocates its backing array")
+			case *types.Map:
+				flag(n.Pos(), "map literal in a noalloc zone allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flag(n.Pos(), "&composite literal in a noalloc zone escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.Info.TypeOf(n); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(n.Pos(), "string concatenation in a noalloc zone allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n, flag)
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				checkBoxing(pass, pass.Info.TypeOf(lhs), n.Rhs[i], flag)
+			}
+		}
+		return true
+	})
+}
+
+// checkNoAllocCall classifies one call inside a noalloc zone.
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, flag func(token.Pos, string, ...any)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "make":
+				flag(call.Pos(), "make in a noalloc zone allocates; use pooled or caller-provided scratch")
+			case "new":
+				flag(call.Pos(), "new in a noalloc zone allocates")
+			case "append":
+				flag(call.Pos(), "append in a noalloc zone may grow its backing array; append into preallocated capacity and annotate, or size the scratch up front")
+			}
+			return
+		}
+	}
+	// Conversions: string([]byte), []byte(string), []rune(string).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := pass.Info.TypeOf(call.Args[0])
+		if from == nil {
+			return
+		}
+		fromB, fromIsBasic := from.Underlying().(*types.Basic)
+		switch to := to.(type) {
+		case *types.Basic:
+			if to.Info()&types.IsString != 0 && !fromIsBasic {
+				flag(call.Pos(), "string conversion in a noalloc zone copies and allocates")
+			}
+		case *types.Slice:
+			if fromIsBasic && fromB.Info()&types.IsString != 0 {
+				flag(call.Pos(), "string-to-slice conversion in a noalloc zone copies and allocates")
+			}
+		case *types.Interface:
+			checkBoxing(pass, tv.Type, call.Args[0], flag)
+		}
+		return
+	}
+	// Interface boxing at argument positions.
+	sig, ok := pass.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		}
+		checkBoxing(pass, pt, arg, flag)
+	}
+}
+
+// checkBoxing flags a concrete non-pointer value converted to an
+// interface: the conversion boxes the value on the heap (pointers and
+// previously-boxed interfaces convert for free).
+func checkBoxing(pass *Pass, to types.Type, val ast.Expr, flag func(token.Pos, string, ...any)) {
+	if to == nil {
+		return
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return
+	}
+	vt := pass.Info.TypeOf(val)
+	if vt == nil {
+		return
+	}
+	tv, hasTV := pass.Info.Types[val]
+	if hasTV && (tv.IsNil() || tv.Value != nil) {
+		return // nil or a constant: constants box to static data
+	}
+	switch vt.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return
+	}
+	flag(val.Pos(), "interface boxing of %s value in a noalloc zone allocates", vt.String())
+}
+
+// captures reports whether fl references any variable declared outside
+// its own body (package-level objects excluded — they need no context).
+func captures(pass *Pass, fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if v.Parent() == types.Universe || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+			return true // package-level
+		}
+		if v.Pos() < fl.Pos() || v.Pos() >= fl.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinPair enforces the PR-8 epoch-view contract: every view a reader
+// pins with pinView() must be released with unpinView(v) on every path
+// out of the function — including early error returns — or the view
+// never drains and retired segments/mmaps are never reclaimed.
+var PinPair = &Analyzer{
+	Name:     "pinpair",
+	Contract: "view-pinning",
+	Doc: `prove every pinView() result is unpinned on all paths: the pin must be
+assigned to a local, and either deferred-unpinned or explicitly unpinned
+before every return and at function exit`,
+	Run: runPinPair,
+}
+
+const (
+	pinName   = "pinView"
+	unpinName = "unpinView"
+)
+
+func runPinPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// pinView's own body loads and releases views through the
+			// epoch pointer; the pairing contract applies to its callers.
+			if fd.Name.Name == pinName || fd.Name.Name == unpinName {
+				continue
+			}
+			checkPins(pass, fd)
+			// Function literals get the same treatment, each as its own
+			// scope: a pin taken inside a closure must be released on the
+			// closure's paths.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkPinBlock(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkPins(pass *Pass, fd *ast.FuncDecl) {
+	checkPinBlock(pass, fd.Body)
+}
+
+// checkPinBlock finds each pin in one function scope (skipping nested
+// function literals, which are scanned separately) and proves release.
+func checkPinBlock(pass *Pass, body *ast.BlockStmt) {
+	var walkStmts func(stmts []ast.Stmt)
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if isPinCall(pass, s.X) != nil {
+				pass.Reportf(s.Pos(), "pinView() result discarded: the pin can never be released; assign it to a local and unpin it")
+			}
+		case *ast.AssignStmt:
+			if v, call := pinAssign(pass, s); call != nil {
+				if v == nil {
+					pass.Reportf(s.Pos(), "pinView() result assigned to _ or a non-local: the checker cannot prove release; use a local variable")
+					return
+				}
+				checkRelease(pass, s, v, enclosingStmts(body, s))
+			} else {
+				for _, rhs := range s.Rhs {
+					if isPinCall(pass, rhs) != nil && len(s.Rhs) > 1 {
+						pass.Reportf(s.Pos(), "pinView() in a multi-assignment: the checker cannot prove release; pin on its own line")
+					}
+				}
+			}
+		case *ast.BlockStmt:
+			walkStmts(s.List)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmt(s.Init)
+			}
+			walkStmts(s.Body.List)
+			if s.Else != nil {
+				walkStmt(s.Else)
+			}
+		case *ast.ForStmt:
+			walkStmts(s.Body.List)
+		case *ast.RangeStmt:
+			walkStmts(s.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CaseClause).Body)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CaseClause).Body)
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				walkStmts(c.(*ast.CommClause).Body)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt)
+		}
+	}
+	walkStmts = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmts(body.List)
+}
+
+// pinAssign matches `v := x.pinView()` (or `v = ...`), returning the
+// pinned variable's object and the call. A nil object with a non-nil
+// call means the result went to _ .
+func pinAssign(pass *Pass, s *ast.AssignStmt) (types.Object, *ast.CallExpr) {
+	if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+		return nil, nil
+	}
+	call := isPinCall(pass, s.Rhs[0])
+	if call == nil {
+		return nil, nil
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, call
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return nil, call
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil, call
+	}
+	return obj, call
+}
+
+// isPinCall returns e as a call to a method named pinView, else nil.
+func isPinCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != pinName {
+		return nil
+	}
+	return call
+}
+
+// enclosingStmts returns the statement list that directly contains
+// target, so release checking starts right after the pin.
+func enclosingStmts(body *ast.BlockStmt, target ast.Stmt) []ast.Stmt {
+	var found []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for _, s := range list {
+			if s == target {
+				found = list
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkRelease proves v is unpinned on every path after pinStmt. The
+// walk is structural rather than a full CFG: it understands sequencing,
+// defer, if/else, for/range, switch/select, and returns — the shapes
+// the codebase uses. Anything it cannot prove is a finding; exotic but
+// correct shapes carry //fmeter:pin-ok <reason>.
+func checkRelease(pass *Pass, pinStmt *ast.AssignStmt, v types.Object, stmts []ast.Stmt) {
+	if stmts == nil {
+		return
+	}
+	if pass.Suppressed("pin-ok", pinStmt.Pos()) {
+		return
+	}
+	// Slice off everything up to and including the pin.
+	rest := stmts
+	for i, s := range stmts {
+		if s == pinStmt {
+			rest = stmts[i+1:]
+			break
+		}
+	}
+	leaks := make(map[token.Pos]string)
+	exitReleased := walkRelease(pass, rest, v, false, leaks)
+	if !exitReleased {
+		leaks[pinStmt.Pos()] = "pinned view " + v.Name() + " is not released on the fall-through path to function exit"
+	}
+	// Report in source order for stable output.
+	var poss []token.Pos
+	for p := range leaks {
+		poss = append(poss, p)
+	}
+	sortPos(poss)
+	for _, p := range poss {
+		pass.Reportf(p, "%s; release with `defer %s(%s)` right after the pin or unpin on every path", leaks[p], unpinName, v.Name())
+	}
+}
+
+func sortPos(p []token.Pos) {
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j] < p[j-1]; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+}
+
+// walkRelease walks one statement list with entry state released,
+// recording leaky returns, and returns whether v is provably released
+// when (if) control falls off the end of the list.
+func walkRelease(pass *Pass, stmts []ast.Stmt, v types.Object, released bool, leaks map[token.Pos]string) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if deferReleases(pass, s, v) {
+				released = true
+			}
+		case *ast.ExprStmt:
+			if isUnpinCallOf(pass, s.X, v) {
+				released = true
+			}
+		case *ast.ReturnStmt:
+			if !released {
+				leaks[s.Pos()] = "return leaks pinned view " + v.Name()
+			}
+			return released
+		case *ast.BranchStmt:
+			// break/continue/goto: leave the list; releases on this path
+			// beyond here are the target's business. Conservatively treat
+			// like fall-through end.
+			return released
+		case *ast.BlockStmt:
+			released = walkRelease(pass, s.List, v, released, leaks)
+		case *ast.IfStmt:
+			released = walkIfRelease(pass, s, v, released, leaks)
+		case *ast.ForStmt:
+			walkRelease(pass, s.Body.List, v, released, leaks)
+		case *ast.RangeStmt:
+			walkRelease(pass, s.Body.List, v, released, leaks)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var clauses []ast.Stmt
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				clauses = sw.Body.List
+			case *ast.TypeSwitchStmt:
+				clauses = sw.Body.List
+			case *ast.SelectStmt:
+				clauses = sw.Body.List
+			}
+			hasDefault := false
+			allReleased := true
+			for _, c := range clauses {
+				var body []ast.Stmt
+				switch c := c.(type) {
+				case *ast.CaseClause:
+					body = c.Body
+					if c.List == nil {
+						hasDefault = true
+					}
+				case *ast.CommClause:
+					body = c.Body
+					if c.Comm == nil {
+						hasDefault = true
+					}
+				}
+				br := walkRelease(pass, body, v, released, leaks)
+				if !br {
+					allReleased = false
+				}
+			}
+			if _, isSelect := s.(*ast.SelectStmt); isSelect {
+				hasDefault = true // select always takes some clause
+			}
+			if allReleased && hasDefault && len(clauses) > 0 {
+				released = true
+			}
+		case *ast.LabeledStmt:
+			released = walkRelease(pass, []ast.Stmt{s.Stmt}, v, released, leaks)
+		case *ast.AssignStmt:
+			// Re-pinning into the same variable before release loses the
+			// first pin.
+			if v2, call := pinAssign(pass, s); call != nil && v2 == v && !released {
+				leaks[s.Pos()] = "re-pinning into " + v.Name() + " overwrites an unreleased pinned view"
+			}
+		}
+	}
+	return released
+}
+
+// walkIfRelease merges an if/else: the statement releases v for the
+// code after it only when every branch that can fall through has
+// released it.
+func walkIfRelease(pass *Pass, s *ast.IfStmt, v types.Object, released bool, leaks map[token.Pos]string) bool {
+	thenReleased := walkRelease(pass, s.Body.List, v, released, leaks)
+	elseReleased := released
+	if s.Else != nil {
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseReleased = walkRelease(pass, e.List, v, released, leaks)
+		case *ast.IfStmt:
+			elseReleased = walkIfRelease(pass, e, v, released, leaks)
+		}
+	}
+	// A branch ending in return doesn't fall through; its released
+	// state was already checked at the return. For the merge, a
+	// terminated branch imposes no constraint.
+	thenFalls := fallsThrough(s.Body.List)
+	elseFalls := true
+	if s.Else != nil {
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			elseFalls = fallsThrough(e.List)
+		case *ast.IfStmt:
+			elseFalls = true // approximated; nested merge already handled
+		}
+	} else {
+		elseReleased = released
+	}
+	out := true
+	if thenFalls && !thenReleased {
+		out = false
+	}
+	if elseFalls && !elseReleased {
+		out = false
+	}
+	// If neither branch falls through, code below is unreachable; keep
+	// the entry state.
+	if !thenFalls && (s.Else != nil && !elseFalls) {
+		return released
+	}
+	return out
+}
+
+// fallsThrough reports whether a statement list can reach its end
+// (i.e., does not end in return or panic).
+func fallsThrough(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return true
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	case *ast.BranchStmt:
+		return false // break/continue/goto leave the list
+	}
+	return true
+}
+
+// deferReleases reports whether d is `defer x.unpinView(v)` or a
+// deferred closure that (somewhere) calls unpinView(v).
+func deferReleases(pass *Pass, d *ast.DeferStmt, v types.Object) bool {
+	if isUnpinCallOf(pass, d.Call, v) {
+		return true
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && isUnpinCallOf(pass, e, v) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// isUnpinCallOf matches `x.unpinView(v)` for the pinned object v.
+func isUnpinCallOf(pass *Pass, e ast.Expr, v types.Object) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != unpinName || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Info.Uses[id] == v
+}

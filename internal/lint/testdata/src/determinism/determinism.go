@@ -1,0 +1,85 @@
+// Package determinism is the golden suite for the determinism analyzer.
+// The file-scope directive below opts it into the map-range check the
+// way result-affecting repro packages are by import path.
+//
+//fmeter:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global-source rand.Intn"
+}
+
+// Seed discipline: constructing a seeded generator is the fix, not a
+// violation.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func allowedTimestamp() time.Time {
+	//fmeter:nondeterministic-ok timestamps label log lines only, never results
+	return time.Now()
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "order-sensitive accumulation"
+	}
+	return sum
+}
+
+func appendCollect(m map[int]string) []string {
+	var out []string
+	for _, s := range m {
+		out = append(out, s) // want "append to outer slice"
+	}
+	return out
+}
+
+// Commutative integer accumulation is order-insensitive.
+func intCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Writes indexed by the range key land in a distinct slot per
+// iteration, whatever the element type.
+func keyed(m map[int]float64, out []float64) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// The sorted-support idiom: collecting keys under an annotation, then
+// iterating deterministically.
+func sortedKeys(m map[int]float64) []float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		//fmeter:map-order-ok the keys are sorted right below
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+// Package noalloczone is the golden suite for the no-alloc analyzer:
+// only functions annotated //fmeter:noalloc are checked, and every
+// allocation shape a benchmark's allocs/op would count is a finding.
+package noalloczone
+
+type point struct{ x, y int }
+
+type heap struct{ idx []int }
+
+var drainCh = make(chan int, 1)
+
+//fmeter:noalloc
+func makes(n int) []int {
+	return make([]int, n) // want "make in a noalloc zone"
+}
+
+//fmeter:noalloc
+func news() *point {
+	return new(point) // want "new in a noalloc zone"
+}
+
+//fmeter:noalloc
+func appends(dst []int, x int) []int {
+	return append(dst, x) // want "append in a noalloc zone"
+}
+
+//fmeter:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal in a noalloc zone"
+}
+
+//fmeter:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal in a noalloc zone"
+}
+
+//fmeter:noalloc
+func ptrLit() *point {
+	return &point{x: 1} // want "&composite literal in a noalloc zone"
+}
+
+//fmeter:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation in a noalloc zone"
+}
+
+//fmeter:noalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want "string-to-slice conversion"
+}
+
+func sink(v any) any { return v }
+
+//fmeter:noalloc
+func boxes(x int) any {
+	return sink(x) // want "interface boxing of int value"
+}
+
+func drain() { <-drainCh }
+
+//fmeter:noalloc
+func goStmt() {
+	go drain() // want "go statement in a noalloc zone"
+}
+
+// The ISSUE's seeded violation: a closure capturing locals allocates
+// its context.
+//
+//fmeter:noalloc
+func closureCapture(target int) func(int) bool {
+	return func(x int) bool { return x == target } // want "capturing func literal"
+}
+
+// A capture-free literal is static data: no allocation, no finding.
+//
+//fmeter:noalloc
+func freeClosure() func(int) bool {
+	return func(x int) bool { return x > 0 }
+}
+
+// Amortized growth is allowed when documented: the heap grows to k once
+// and the scratch pool reuses it.
+//
+//fmeter:noalloc
+func amortized(h *heap, x int) {
+	//fmeter:alloc-ok grows once to capacity, reused across queries by the scratch pool
+	h.idx = append(h.idx, x)
+}
+
+// Unannotated functions are out of zone: allocation is fine.
+func unannotated() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,11 @@
+// Package noreason holds the one case the want-comment format cannot
+// express: a suppression directive with no reason is reported at the
+// directive's own line.
+package noreason
+
+import "time"
+
+func stamped() time.Time {
+	//fmeter:nondeterministic-ok
+	return time.Now()
+}

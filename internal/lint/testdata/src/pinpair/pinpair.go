@@ -1,0 +1,108 @@
+// Package pinpair is the golden suite for the view-pinning analyzer.
+// It declares its own pinView/unpinView pair — the analyzer matches the
+// method names, so the suite runs without the real core package.
+package pinpair
+
+import "errors"
+
+type view struct{ epoch int }
+
+type db struct{ pins int }
+
+func (d *db) pinView() *view { d.pins++; return &view{} }
+
+func (d *db) unpinView(v *view) { d.pins-- }
+
+var errBoom = errors.New("boom")
+
+// The canonical shape: defer right after the pin covers every path.
+func deferred(d *db, bad bool) error {
+	v := d.pinView()
+	defer d.unpinView(v)
+	if bad {
+		return errBoom
+	}
+	_ = v.epoch
+	return nil
+}
+
+// Explicit release on every path also proves out.
+func explicit(d *db, bad bool) error {
+	v := d.pinView()
+	if bad {
+		d.unpinView(v)
+		return errBoom
+	}
+	d.unpinView(v)
+	return nil
+}
+
+// The ISSUE's seeded violation: an early error return that skips the
+// release.
+func earlyReturnLeak(d *db, bad bool) error {
+	v := d.pinView()
+	if bad {
+		return errBoom // want "return leaks pinned view v"
+	}
+	d.unpinView(v)
+	return nil
+}
+
+func fallThroughLeak(d *db) { // kept: the finding lands on the pin below
+	v := d.pinView() // want "not released on the fall-through path"
+	_ = v.epoch
+}
+
+func discarded(d *db) {
+	d.pinView() // want "result discarded"
+}
+
+func blankAssigned(d *db) {
+	_ = d.pinView() // want "assigned to _ or a non-local"
+}
+
+func multiAssigned(d *db) {
+	v, w := d.pinView(), d.pinView() // want "multi-assignment" "multi-assignment"
+	d.unpinView(v)
+	d.unpinView(w)
+}
+
+func repin(d *db) {
+	v := d.pinView()
+	v = d.pinView() // want "overwrites an unreleased pinned view"
+	d.unpinView(v)
+}
+
+// Both arms of a branch releasing merges to released.
+func branches(d *db, cond bool) {
+	v := d.pinView()
+	if cond {
+		d.unpinView(v)
+	} else {
+		d.unpinView(v)
+	}
+}
+
+// A pin per loop iteration, released inside the iteration.
+func pinPerIteration(d *db) {
+	for i := 0; i < 3; i++ {
+		v := d.pinView()
+		d.unpinView(v)
+	}
+}
+
+// A deferred closure releasing the pin counts as a release.
+func deferredClosure(d *db) {
+	v := d.pinView()
+	defer func() {
+		d.unpinView(v)
+	}()
+	_ = v.epoch
+}
+
+// Ownership transfer the checker cannot prove, documented instead.
+func handedOff(d *db) *view {
+	//fmeter:pin-ok ownership moves to the caller, which unpins via view.done
+	v := d.pinView()
+	return v
+}

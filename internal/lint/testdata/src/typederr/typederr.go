@@ -1,0 +1,110 @@
+// Package typederr is the golden suite for the typed-error analyzer.
+// It declares its own SnapshotError/ConfigError — the analyzer matches
+// the type names, so the suite runs without the real core package.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+type SnapshotError struct {
+	Path string
+	Err  error
+}
+
+func (e *SnapshotError) Error() string { return "snapshot " + e.Path }
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+type ConfigError struct {
+	Param string
+	Msg   string
+}
+
+func (e *ConfigError) Error() string { return "config " + e.Param }
+
+type plainErr struct{ msg string }
+
+func (e *plainErr) Error() string { return e.msg }
+
+//fmeter:errdomain snapshot
+func bareNew() error {
+	return errors.New("boom") // want "bare errors.New"
+}
+
+//fmeter:errdomain snapshot
+func noWrapVerb(err error) error {
+	return fmt.Errorf("loading: %v", err) // want "without %w"
+}
+
+//fmeter:errdomain snapshot
+func wrapsTyped(path string, err error) error {
+	return fmt.Errorf("while loading: %w", &SnapshotError{Path: path, Err: err})
+}
+
+//fmeter:errdomain snapshot
+func constructs(path string) error {
+	return &SnapshotError{Path: path}
+}
+
+// Propagating an errdomain sibling is trusted: its returns are checked
+// where they are written.
+//
+//fmeter:errdomain snapshot
+func propagates(path string) error {
+	if err := constructs(path); err != nil {
+		return err
+	}
+	return nil
+}
+
+func unannotatedHelper() error { return errors.New("io failure") }
+
+//fmeter:errdomain snapshot
+func rawPropagation() error {
+	return unannotatedHelper() // want "escapes an errdomain function untyped"
+}
+
+//fmeter:errdomain config
+func untypedComposite() error {
+	return &plainErr{msg: "x"} // want "untyped error composite"
+}
+
+//fmeter:errdomain config
+func namedResult() (err error) {
+	err = errors.New("named") // want "bare errors.New"
+	return
+}
+
+// Leaf helpers a wrapping caller owns opt out explicitly.
+//
+//fmeter:errdomain none
+func leafOptOut() error {
+	return errors.New("leaf: callers wrap")
+}
+
+//fmeter:errdomain config
+func suppressedSite() error {
+	//fmeter:untyped-ok bridging a legacy error until the typed wrapper lands
+	return errors.New("legacy")
+}
+
+// The fail-closure idiom: a local closure that wraps covers every call.
+//
+//fmeter:errdomain snapshot
+func closureWrap(path string) error {
+	fail := func(err error) error {
+		return &SnapshotError{Path: path, Err: err}
+	}
+	return fail(errors.New("inner"))
+}
+
+// A pass-through closure shifts the proof to its arguments.
+//
+//fmeter:errdomain snapshot
+func closurePassThrough() error {
+	fail := func(err error) error {
+		return err
+	}
+	return fail(errors.New("inner")) // want "bare errors.New"
+}

@@ -150,7 +150,10 @@ func (s *Sparse) DenseInto(dst Vector) Vector {
 
 // Get returns the value at dimension i (zero when absent), by binary
 // search over the sorted support.
+//
+//fmeter:noalloc
 func (s *Sparse) Get(i int) float64 {
+	//fmeter:alloc-ok sort.Search never retains the predicate, so escape analysis keeps the closure on the stack
 	k := sort.Search(len(s.idx), func(k int) bool { return s.idx[k] >= int32(i) })
 	if k < len(s.idx) && s.idx[k] == int32(i) {
 		return s.val[k]
@@ -161,8 +164,11 @@ func (s *Sparse) Get(i int) float64 {
 // Dot returns s·t by a two-pointer merge over the sorted supports,
 // accumulating in ascending index order. The result is bit-identical to
 // the dense MustDot of the same vectors.
+//
+//fmeter:noalloc
 func (s *Sparse) Dot(t *Sparse) float64 {
 	if s.dim != t.dim {
+		//fmeter:alloc-ok the panic path aborts the query; only misuse allocates
 		panic(fmt.Sprintf("vecmath: sparse Dot dimension mismatch %d vs %d", s.dim, t.dim))
 	}
 	var sum float64
@@ -186,8 +192,11 @@ func (s *Sparse) Dot(t *Sparse) float64 {
 
 // DotDense returns s·v by gathering v at s's support, accumulating in
 // ascending index order; bit-identical to the dense dot.
+//
+//fmeter:noalloc
 func (s *Sparse) DotDense(v Vector) float64 {
 	if s.dim != len(v) {
+		//fmeter:alloc-ok the panic path aborts the query; only misuse allocates
 		panic(fmt.Sprintf("vecmath: sparse DotDense dimension mismatch %d vs %d", s.dim, len(v)))
 	}
 	var sum float64
@@ -201,6 +210,8 @@ func (s *Sparse) DotDense(v Vector) float64 {
 // ||s||^2 - 2 s·t + ||t||^2, clamped at zero against cancellation noise.
 // This costs O(nnz) but is NOT bit-identical to the dense subtract-square
 // loop; callers that need exact dense agreement must use the dense path.
+//
+//fmeter:noalloc
 func (s *Sparse) SquaredDistance(t *Sparse) float64 {
 	d2 := s.norm2 - 2*s.Dot(t) + t.norm2
 	if d2 < 0 {
@@ -212,6 +223,8 @@ func (s *Sparse) SquaredDistance(t *Sparse) float64 {
 // SquaredDistanceDense returns ||s - v||^2 where v's squared norm vNorm2
 // was precomputed by the caller (K-means recomputes centroid norms once
 // per Lloyd iteration, then scores every point against them in O(nnz)).
+//
+//fmeter:noalloc
 func (s *Sparse) SquaredDistanceDense(v Vector, vNorm2 float64) float64 {
 	d2 := s.norm2 - 2*s.DotDense(v) + vNorm2
 	if d2 < 0 {

@@ -333,11 +333,13 @@ func (s SparseVector) Add(i int, x float64) { s.Set(i, s[i]+x) }
 // NNZ returns the number of non-zero entries.
 func (s SparseVector) NNZ() int { return len(s) }
 
-// Sum returns the sum of all entries.
+// Sum returns the sum of all entries. Accumulation runs in sorted
+// support order: float addition rounds differently under different
+// orders, and map iteration order is randomized per run.
 func (s SparseVector) Sum() float64 {
 	var t float64
-	for _, x := range s {
-		t += x
+	for _, i := range s.Support() {
+		t += s[i]
 	}
 	return t
 }
@@ -359,19 +361,20 @@ func (s SparseVector) Dot(t SparseVector) float64 {
 		a, b = b, a
 	}
 	var sum float64
-	for i, x := range a {
+	for _, i := range a.Support() {
 		if y, ok := b[i]; ok {
-			sum += x * y
+			sum += a[i] * y
 		}
 	}
 	return sum
 }
 
-// L2 returns the Euclidean norm of s.
+// L2 returns the Euclidean norm of s. Like Sum, the accumulation runs
+// in sorted support order so the rounded result is reproducible.
 func (s SparseVector) L2() float64 {
 	var sum float64
-	for _, x := range s {
-		sum += x * x
+	for _, i := range s.Support() {
+		sum += s[i] * s[i]
 	}
 	return math.Sqrt(sum)
 }
@@ -393,6 +396,7 @@ func (s SparseVector) Dense(dim int) (Vector, error) {
 func (s SparseVector) Support() []int {
 	idx := make([]int, 0, len(s))
 	for i := range s {
+		//fmeter:map-order-ok the support is sorted right below
 		idx = append(idx, i)
 	}
 	sort.Ints(idx)

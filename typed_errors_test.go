@@ -1,0 +1,123 @@
+package fmeter
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The typed-error contract (machine-checked by fmeter-vet/typederr):
+// every snapshot or config failure surfaced through the facade must be
+// reachable with errors.As as a *SnapshotError / *ConfigError, so
+// operators can branch on the failure domain without string matching.
+
+func TestConfigErrorAsFromFacade(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"NewDB bad dimension", func() error {
+			_, err := NewDB(0)
+			return err
+		}},
+		{"NewCorpus bad dimension", func() error {
+			_, err := NewCorpus(-1)
+			return err
+		}},
+		{"Fit empty corpus", func() error {
+			c, err := NewCorpus(4)
+			if err != nil {
+				return err
+			}
+			_, err = c.Fit()
+			return err
+		}},
+		{"TopTerms bad k", func() error {
+			_, err := TopTerms(Signature{}, 0, nil)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("errors.As(*ConfigError) = false for %v (%T)", err, err)
+			}
+		})
+	}
+}
+
+func TestSnapshotErrorAsFromFacade(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"ReadDBSnapshot bad magic", func() error {
+			_, err := ReadDBSnapshot(strings.NewReader("not a snapshot"), 1)
+			return err
+		}},
+		{"ReadDBSnapshot truncated", func() error {
+			_, err := ReadDBSnapshot(strings.NewReader(""), 1)
+			return err
+		}},
+		{"ReadModelSnapshot bad magic", func() error {
+			_, err := ReadModelSnapshot(strings.NewReader("junk data here"))
+			return err
+		}},
+		{"ReadModel bad JSON", func() error {
+			_, err := ReadModel(strings.NewReader("{"))
+			return err
+		}},
+		{"OpenDB missing directory", func() error {
+			_, err := OpenDB(t.TempDir() + "/nonexistent")
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var se *SnapshotError
+			if !errors.As(err, &se) {
+				t.Fatalf("errors.As(*SnapshotError) = false for %v (%T)", err, err)
+			}
+		})
+	}
+}
+
+// A snapshot failure wrapped by intermediate fmt.Errorf layers must still
+// unwrap to the typed error, and ConfigError's cause chain (Unwrap) must
+// be visible through errors.Is.
+func TestTypedErrorUnwrapChain(t *testing.T) {
+	_, err := ReadDBSnapshot(bytes.NewReader(nil), 1)
+	if err == nil {
+		t.Fatal("want error, got nil")
+	}
+	var se *SnapshotError
+	if !errors.As(err, &se) {
+		t.Fatalf("errors.As(*SnapshotError) = false for %v", err)
+	}
+	if se.Err == nil {
+		t.Fatal("SnapshotError carries no cause")
+	}
+	if !errors.Is(err, se.Err) {
+		t.Fatal("errors.Is does not reach the SnapshotError cause")
+	}
+
+	sentinel := errors.New("root cause")
+	ce := &ConfigError{Param: "document", Msg: "wrapping test", Err: sentinel}
+	if !errors.Is(ce, sentinel) {
+		t.Fatal("ConfigError.Unwrap does not expose the cause")
+	}
+	var ce2 *ConfigError
+	if wrapped := error(ce); !errors.As(wrapped, &ce2) {
+		t.Fatal("errors.As(*ConfigError) failed on a direct value")
+	}
+}
