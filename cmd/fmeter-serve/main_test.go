@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeEndToEnd boots the whole service on a loopback port, runs
+// the self-test round trip (healthz, topk, classify, ingest, metrics),
+// and drains — the same path the CI serve-smoke step exercises.
+func TestSmokeEndToEnd(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run([]string{"-smoke", "-warmup", "6", "-interval", "2s"}, &stderr)
+	if err != nil {
+		t.Fatalf("smoke run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "smoke OK") {
+		t.Fatalf("stderr missing smoke OK:\n%s", stderr.String())
+	}
+}
+
+// TestSmokeUncoalescedBaseline runs the same smoke with coalescing
+// disabled (-max-batch 1, the direct path) — both modes must serve
+// identical traffic shapes.
+func TestSmokeUncoalescedBaseline(t *testing.T) {
+	var stderr bytes.Buffer
+	err := run([]string{"-smoke", "-warmup", "6", "-interval", "2s", "-max-batch", "1"}, &stderr)
+	if err != nil {
+		t.Fatalf("smoke run (max-batch 1): %v\nstderr:\n%s", err, stderr.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-warmup", "1"}, &stderr); err == nil {
+		t.Fatal("warmup 1 accepted, want error")
+	}
+	if err := run([]string{"-workload", "nope"}, &stderr); err == nil {
+		t.Fatal("unknown workload accepted, want error")
+	}
+}

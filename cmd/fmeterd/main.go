@@ -17,15 +17,25 @@
 //
 //	fmeterd -workload dbench -intervals 360 -db /var/lib/fmeter/db -warmup 20 -save-every 60
 //
+// With -serve the live DB is additionally fronted by the HTTP/JSON
+// serving layer (internal/serve) for the duration of the stream, and
+// -ingest-batch N streams intervals in chunks of N so each chunk lands
+// with a single RCU publish:
+//
+//	fmeterd -workload dbench -intervals 360 -db /var/lib/fmeter/db -serve :8080 -ingest-batch 8
+//
 // Transient debugfs read failures are retried with jittered backoff
 // (-read-retries/-read-backoff) and an interval that stays unreadable is
 // skipped with a counted warning instead of killing the daemon.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -56,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		saveEvery    = fs.Int("save-every", 60, "with -db: snapshot the DB every N ingested intervals (0 = only at exit)")
 		readRetries  = fs.Int("read-retries", 3, "retries per failed debugfs counter read before skipping the interval")
 		readBackoff  = fs.Duration("read-backoff", 10*time.Millisecond, "base backoff before a counter-read retry (jittered, doubles per attempt)")
+		serveAddr    = fs.String("serve", "", "with -db: serve the live DB over HTTP/JSON on this address while streaming")
+		ingestBatch  = fs.Int("ingest-batch", 1, "with -db: stream intervals in chunks of N, publishing each chunk with one AddAll")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +77,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *dbDir != "" && (*warmup < 2 || *warmup >= *intervals) {
 		return fmt.Errorf("-warmup must be in [2, intervals) when -db is set, have %d of %d", *warmup, *intervals)
+	}
+	if *serveAddr != "" && *dbDir == "" {
+		return fmt.Errorf("-serve requires -db (the server fronts the live DB)")
+	}
+	if *ingestBatch < 1 {
+		return fmt.Errorf("-ingest-batch must be >= 1, have %d", *ingestBatch)
 	}
 
 	var spec fmeter.WorkloadSpec
@@ -169,25 +187,75 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := db.AddAll(sigs); err != nil {
 			return err
 		}
+
+		// With -serve, front the live DB with the HTTP serving layer
+		// while the stream below keeps ingesting into it — queries ride
+		// epoch-pinned views, so serving and ingestion never block each
+		// other. The server owns the graceful drain (the deferred Close
+		// above then finds an already-closed DB, which is harmless).
+		var srv *fmeter.Server
+		var httpSrv *http.Server
+		var serveDone chan error
+		if *serveAddr != "" {
+			srv, err = fmeter.NewServer(db, model, fmeter.ServeConfig{
+				SnapshotDir: *dbDir,
+				Warnf: func(format string, a ...any) {
+					fmt.Fprintf(stderr, "[fmeterd] "+format+"\n", a...)
+				},
+			})
+			if err != nil {
+				return err
+			}
+			ln, lerr := net.Listen("tcp", *serveAddr)
+			if lerr != nil {
+				return lerr
+			}
+			httpSrv = &http.Server{Handler: srv.Handler()}
+			serveDone = make(chan error, 1)
+			go func() { serveDone <- httpSrv.Serve(ln) }()
+			fmt.Fprintf(stderr, "[fmeterd] serving live DB on %s\n", ln.Addr())
+		}
+
+		sys.SetIngestBatch(*ingestBatch)
 		ingested := 0
-		for i := warm; i < *intervals; i++ {
-			added, err := sys.CollectStream(spec, 1, *interval, model, db, out)
+		for i := warm; i < *intervals; {
+			chunk := *ingestBatch
+			if rem := *intervals - i; chunk > rem {
+				chunk = rem
+			}
+			added, err := sys.CollectStream(spec, chunk, *interval, model, db, out)
 			if err != nil {
 				return fmt.Errorf("interval %d: %w", i, err)
 			}
 			ingested += added
-			if *saveEvery > 0 && ingested > 0 && ingested%*saveEvery == 0 {
+			if *saveEvery > 0 && ingested > 0 && ingested/(*saveEvery) > (ingested-added)/(*saveEvery) {
 				if err := fmeter.SaveDB(*dbDir, db); err != nil {
 					return fmt.Errorf("snapshotting db: %w", err)
 				}
 			}
-			status(i)
+			i += chunk
+			status(i - 1)
 		}
-		if err := fmeter.SaveDB(*dbDir, db); err != nil {
+		dbLen := db.Len()
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(stderr, "[fmeterd] http shutdown: %v\n", err)
+			}
+			<-serveDone
+			m := srv.Metrics()
+			fmt.Fprintf(stderr, "[fmeterd] served %d queries in %d batches (%d rejected)\n",
+				m.Queries, m.Batches, m.Rejected)
+			if err := srv.Shutdown(ctx); err != nil {
+				cancel()
+				return fmt.Errorf("server shutdown: %w", err)
+			}
+			cancel()
+		} else if err := fmeter.SaveDB(*dbDir, db); err != nil {
 			return fmt.Errorf("snapshotting db: %w", err)
 		}
 		fmt.Fprintf(stderr, "[fmeterd] db %s: %d signatures (%d warmup + %d streamed)\n",
-			*dbDir, db.Len(), len(sigs), ingested)
+			*dbDir, dbLen, len(sigs), ingested)
 	}
 
 	st := sys.CollectorStats()

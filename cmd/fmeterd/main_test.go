@@ -127,3 +127,39 @@ func TestDaemonRejectsBadWarmup(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonServeAndBatchedIngest: -serve fronts the live DB with the
+// HTTP layer while -ingest-batch streams intervals in chunks published
+// by one AddAll each; the daemon must drain the server cleanly and the
+// snapshot must hold every interval.
+func TestDaemonServeAndBatchedIngest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	var out, errBuf bytes.Buffer
+	err := run([]string{
+		"-workload", "scp", "-intervals", "8", "-interval", "5s",
+		"-db", dir, "-warmup", "2", "-status-every", "0",
+		"-serve", "127.0.0.1:0", "-ingest-batch", "3",
+	}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("%v\nstderr:\n%s", err, errBuf.String())
+	}
+	for _, want := range []string{"serving live DB on", "served ", "db " + dir} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errBuf.String())
+		}
+	}
+	db, err := fmeter.OpenDB(dir)
+	if err != nil {
+		t.Fatalf("opening live DB snapshot: %v", err)
+	}
+	defer db.Close()
+	if db.Len() != 8 {
+		t.Fatalf("db.Len() = %d, want 8 (2 warmup + 6 streamed)", db.Len())
+	}
+	if err := run([]string{"-serve", ":0", "-intervals", "4"}, &out, &errBuf); err == nil {
+		t.Error("-serve without -db should fail")
+	}
+	if err := run([]string{"-ingest-batch", "0", "-intervals", "4"}, &out, &errBuf); err == nil {
+		t.Error("-ingest-batch 0 should fail")
+	}
+}

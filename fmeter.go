@@ -61,6 +61,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/serve"
 	"repro/internal/svm"
 	"repro/internal/trace"
 	"repro/internal/vecmath"
@@ -112,6 +113,19 @@ type (
 	// CollectorStats are the collector's degradation counters: reads
 	// that needed a retry, intervals skipped after retries ran out.
 	CollectorStats = daemon.Stats
+	// Server is the HTTP/JSON serving layer: batched query + ingest
+	// endpoints over a live DB with adaptive micro-batch coalescing,
+	// bounded-queue backpressure, and graceful shutdown (see NewServer).
+	Server = serve.Server
+	// ServeConfig tunes the serving layer (batch/queue/backpressure
+	// knobs); the zero value gets production defaults.
+	ServeConfig = serve.Config
+	// ServeMetrics is the GET /metrics payload (QPS, queue depth,
+	// batch-size histogram, latency quantiles, PruneStats aggregates).
+	ServeMetrics = serve.MetricsSnapshot
+	// OverloadError is the typed rejection a full request queue returns;
+	// it maps to HTTP 429 + Retry-After.
+	OverloadError = serve.OverloadError
 )
 
 // Driver variants of the paper's subtle-behaviour experiment.
@@ -422,6 +436,17 @@ func (s *System) CollectStream(spec WorkloadSpec, n int, interval time.Duration,
 	return s.col.CollectStream(spec.Name, spec.Name, n, interval, body, model, db, w)
 }
 
+// SetIngestBatch makes CollectStream buffer up to n embedded signatures
+// and publish them with one AddAll (one epoch-view publication) instead
+// of one Add per signature — the amortized live-ingestion path. n <= 1
+// restores per-signature publishes. Requires the Fmeter tracer (a no-op
+// otherwise).
+func (s *System) SetIngestBatch(n int) {
+	if s.col != nil {
+		s.col.SetIngestBatch(n)
+	}
+}
+
 // SetRetryPolicy replaces the collector's schedule for transient
 // debugfs read failures: each failed read retries Retries more times
 // behind jittered exponential backoff, and an interval still
@@ -585,6 +610,20 @@ func ClassifyBatch(db *DB, queries []*Sparse, k int, metric Metric) ([]string, e
 // SignatureFromDense wraps a dense weight vector as a signature.
 func SignatureFromDense(docID, label string, v Vector) Signature {
 	return core.SignatureFromDense(docID, label, v)
+}
+
+// NewServer builds the HTTP/JSON serving layer over db: POST /v1/topk,
+// /v1/classify, /v1/ingest plus GET /healthz and /metrics, with an
+// adaptive micro-batch coalescer draining a bounded queue into the
+// 0-alloc batched kernels (coalesced responses are bit-identical to
+// per-request queries), 429 + Retry-After on overload, periodic
+// incremental snapshots when cfg.SnapshotDir is set, and a Shutdown
+// that drains in-flight batches before closing the DB. model may be
+// nil for query-only deployments (ingest then answers 503). Mount
+// srv.Handler() on an http.Server; the server owns db from here on —
+// Shutdown closes it.
+func NewServer(db *DB, model *Model, cfg ServeConfig) (*Server, error) {
+	return serve.New(db, model, cfg)
 }
 
 // SaveDB persists a signature database at path in the v2 snapshot

@@ -294,6 +294,10 @@ type DB struct {
 	mu sync.Mutex
 	// cur is the published view every query pins.
 	cur atomic.Pointer[dbView]
+	// publishes counts view publications (every Add/AddAll/Seal/Compact/
+	// SaveDir/setter that swapped cur) — the currency batched ingest
+	// saves, observable via Publishes().
+	publishes atomic.Uint64
 	// reclMu guards the retirement queue, its condition variable, and
 	// the deferred-reclaim error; reclaim actions run under it.
 	reclMu       sync.Mutex
@@ -391,6 +395,13 @@ func (db *DB) Len() int {
 
 // Dim returns the signature dimension.
 func (db *DB) Dim() int { return db.dim }
+
+// Publishes returns how many view publications the DB has performed —
+// one per completed mutation (Add, AddAll, Seal, Compact, SaveDir,
+// setters). Batched ingest exists to keep this number small: AddAll
+// publishes once for the whole batch where per-signature Add publishes
+// once per signature.
+func (db *DB) Publishes() uint64 { return db.publishes.Load() }
 
 // Add stores a signature, routing it to the next shard round-robin and
 // appending it to that shard's active segment (weights into the

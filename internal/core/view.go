@@ -193,6 +193,7 @@ func (db *DB) publishAddLocked(si int) {
 // one for in-order reclamation. Caller holds db.mu.
 func (db *DB) publishViewLocked(nv *dbView, actions []func()) {
 	old := db.cur.Swap(nv)
+	db.publishes.Add(1)
 	db.reclMu.Lock()
 	old.reclaim = actions
 	db.pendingViews = append(db.pendingViews, old)

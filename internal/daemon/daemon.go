@@ -70,6 +70,10 @@ type Collector struct {
 	warnf   func(format string, args ...any)
 	retries atomic.Uint64
 	skipped atomic.Uint64
+
+	// ingestBatch is how many signatures CollectStream buffers before
+	// publishing them in one AddAll; <= 1 keeps per-signature Add.
+	ingestBatch int
 }
 
 // NewCollector builds a collector over the debugfs instance where an
@@ -106,6 +110,15 @@ func (c *Collector) SetRetryPolicy(p RetryPolicy) {
 // (retry exhaustion, skipped intervals). nil silences them; a daemon
 // typically passes log.Printf.
 func (c *Collector) SetWarnf(fn func(format string, args ...any)) { c.warnf = fn }
+
+// SetIngestBatch makes CollectStream buffer up to n embedded signatures
+// and publish them with a single AddAll instead of one Add (and thus
+// one RCU view publication) per signature — amortizing the writer-lock
+// epoch churn that ROADMAP flagged on the live-ingestion path. n <= 1
+// restores the per-signature behavior. The stream still flushes the
+// partial tail batch at the end and before surfacing any abort error,
+// so callers observe exactly the same signatures in the DB either way.
+func (c *Collector) SetIngestBatch(n int) { c.ingestBatch = n }
 
 // Stats returns the degradation counters accumulated so far.
 func (c *Collector) Stats() Stats {
@@ -251,7 +264,28 @@ func (c *Collector) CollectStream(prefix, label string, n int, d time.Duration, 
 	if db == nil {
 		return 0, fmt.Errorf("daemon: nil database")
 	}
+	// With an ingest batch configured, embedded signatures accumulate in
+	// buf and publish through one AddAll per flush — one epoch view
+	// publication amortized over the whole batch. flush is called on a
+	// full buffer, at stream end, and before every abort return, so the
+	// DB contents match the per-signature path exactly.
+	batch := c.ingestBatch
+	var buf []core.Signature
+	if batch > 1 {
+		buf = make([]core.Signature, 0, batch)
+	}
 	added := 0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := db.AddAll(buf); err != nil {
+			return err
+		}
+		added += len(buf)
+		buf = buf[:0]
+		return nil
+	}
 	for i := 0; i < n; i++ {
 		doc, err := c.CollectInterval(fmt.Sprintf("%s-%04d", prefix, i), label, d, run)
 		if err != nil {
@@ -260,23 +294,44 @@ func (c *Collector) CollectStream(prefix, label string, n int, d time.Duration, 
 				c.warn("daemon: skipping interval %d (%d skipped so far): %v", i, c.skipped.Load(), err)
 				continue
 			}
+			if ferr := flush(); ferr != nil {
+				return added, fmt.Errorf("daemon: flushing before abort at interval %d: %w", i, ferr)
+			}
 			return added, fmt.Errorf("daemon: interval %d: %w", i, err)
 		}
 		sig, err := model.Transform(doc)
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return added, fmt.Errorf("daemon: flushing before abort at interval %d: %w", i, ferr)
+			}
 			return added, fmt.Errorf("daemon: embedding interval %d: %w", i, err)
 		}
 		sigs := []core.Signature{sig}
 		core.Normalize(sigs)
-		if err := db.Add(sigs[0]); err != nil {
-			return added, fmt.Errorf("daemon: ingesting interval %d: %w", i, err)
+		if batch > 1 {
+			buf = append(buf, sigs[0])
+			if len(buf) >= batch {
+				if err := flush(); err != nil {
+					return added, fmt.Errorf("daemon: ingesting batch at interval %d: %w", i, err)
+				}
+			}
+		} else {
+			if err := db.Add(sigs[0]); err != nil {
+				return added, fmt.Errorf("daemon: ingesting interval %d: %w", i, err)
+			}
+			added++
 		}
-		added++
 		if w != nil {
 			if err := core.WriteDocuments(w, []*core.Document{doc}); err != nil {
+				if ferr := flush(); ferr != nil {
+					return added, fmt.Errorf("daemon: flushing before abort at interval %d: %w", i, ferr)
+				}
 				return added, fmt.Errorf("daemon: logging interval %d: %w", i, err)
 			}
 		}
+	}
+	if err := flush(); err != nil {
+		return added, fmt.Errorf("daemon: ingesting final batch: %w", err)
 	}
 	return added, nil
 }

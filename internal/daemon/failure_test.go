@@ -332,3 +332,60 @@ func TestCollectStreamIngestsLiveDB(t *testing.T) {
 		t.Fatalf("db.Len() = %d, want %d", db.Len(), len(sigs)+5)
 	}
 }
+
+// TestCollectStreamBatchedIngestAmortizesPublishes: with an ingest
+// batch configured, an n-interval stream must land the same signatures
+// in the DB while publishing far fewer epoch views — one AddAll per
+// full batch instead of one Add per signature.
+func TestCollectStreamBatchedIngestAmortizesPublishes(t *testing.T) {
+	h := newHarness(t, workload.Dbench(16), 61)
+	warm, err := h.col.CollectSeries("warm", "dbench", 6, 10*time.Second, h.body, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := core.NewCorpus(h.st.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range warm {
+		if err := corpus.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, model, err := corpus.Signatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const intervals = 8
+	stream := func(batch int) (*core.DB, uint64) {
+		t.Helper()
+		db, err := core.NewShardedDB(h.st.Len(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		h.col.SetIngestBatch(batch)
+		before := db.Publishes()
+		added, err := h.col.CollectStream(fmt.Sprintf("b%d", batch), "dbench", intervals, 10*time.Second, h.body, model, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != intervals {
+			t.Fatalf("batch=%d: added = %d, want %d", batch, added, intervals)
+		}
+		if db.Len() != intervals {
+			t.Fatalf("batch=%d: db.Len() = %d, want %d", batch, db.Len(), intervals)
+		}
+		return db, db.Publishes() - before
+	}
+
+	_, unbatched := stream(1)
+	_, batched := stream(4)
+	if unbatched != intervals {
+		t.Fatalf("unbatched stream cost %d publishes, want %d (one per Add)", unbatched, intervals)
+	}
+	if want := uint64(intervals / 4); batched != want {
+		t.Fatalf("batched stream cost %d publishes, want %d (one per AddAll)", batched, want)
+	}
+}

@@ -1,0 +1,426 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// reqKind selects which batched kernel a task rides.
+type reqKind uint8
+
+const (
+	kindTopK reqKind = iota
+	kindClassify
+)
+
+// task is one request's unit of work in the coalescer queue. The
+// handler fills the input fields, Submit enqueues it, the dispatcher
+// closes done after writing either the outputs or err.
+type task struct {
+	kind    reqKind
+	queries []*vecmath.Sparse
+	k       int
+	metric  core.Metric
+
+	hits   [][]core.SearchResult // kindTopK output
+	labels []string              // kindClassify output
+	err    error
+	done   chan struct{}
+}
+
+// OverloadError is returned by Submit when the bounded queue is full.
+// It maps to HTTP 429 with a Retry-After derived from the dispatcher's
+// recent batch-drain rate.
+type OverloadError struct {
+	// RetryAfter is the suggested client backoff.
+	RetryAfter time.Duration
+	// Depth is the queue depth observed at rejection time.
+	Depth int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: queue full (depth %d), retry after %s", e.Depth, e.RetryAfter)
+}
+
+// ErrDraining is the error tasks and submissions see once the batcher
+// has begun shutdown; handlers map it to 503.
+var errDraining = &core.ConfigError{Param: "server", Msg: "server is draining"}
+
+// batcher is the adaptive micro-batch coalescer: a bounded queue of
+// tasks drained by a single dispatcher goroutine into the DB's batched
+// kernels.
+//
+// The adaptive rule: the dispatcher blocks for the first task, then
+// greedily drains whatever else is already queued (no waiting). Only if
+// the server is loaded — the greedy drain found company, or the
+// previous flush did (one flush of hysteresis, since a channel handoff
+// can wake the dispatcher after a single enqueue even mid-burst) —
+// does it arm a MaxWait timer to fill the batch toward MaxBatch. A
+// lone request on an idle server therefore flushes immediately and
+// sees near-zero added latency, while under load per-query overhead
+// (view pin, scratch checkout, goroutine wakeups) is amortized across
+// up to MaxBatch queries through the 0-alloc batched path. The one
+// request that pays the full MaxWait is the first lone arrival after a
+// burst ends — bounded by construction at MaxWait.
+//
+// Results are bit-identical to unbatched calls because the batched
+// kernels themselves guarantee it (TopKBatchInto pins one view and runs
+// the same per-query code as TopKSparse); the coalescer only
+// concatenates inputs and scatters outputs, never reorders within a
+// task or mixes k/metric across a kernel call.
+type batcher struct {
+	db  *core.DB
+	cfg Config
+	met *metrics
+
+	queue chan *task
+
+	// mu guards closed: Submit holds it shared around the channel send
+	// so close() (which takes it exclusively before closing the channel)
+	// can never race a send-on-closed-channel panic.
+	mu     sync.RWMutex
+	closed bool
+
+	// done is closed when the dispatcher has drained every queued task
+	// and exited.
+	done chan struct{}
+
+	// ewmaBatchNS tracks the recent wall-clock cost of one drained
+	// batch, feeding the Retry-After estimate.
+	ewmaBatchNS atomic.Int64
+
+	// sampleTick counts batched TopK kernel calls for PruneStats
+	// sampling.
+	sampleTick atomic.Uint64
+
+	// Dispatcher-private scratch, reused across flushes. allOut entries
+	// handed to tasks are nil-ed so the kernels never recycle a backing
+	// array an HTTP response still aliases.
+	allQ   []*vecmath.Sparse
+	allOut [][]core.SearchResult
+	allLab []string
+}
+
+// newBatcher starts the dispatcher unless cfg.MaxBatch <= 1, in which
+// case the batcher runs in direct mode: Submit executes the task
+// synchronously on the caller's goroutine — the exact batch-size-1
+// baseline the bench ladder compares against.
+func newBatcher(db *core.DB, cfg Config, met *metrics) *batcher {
+	b := &batcher{db: db, cfg: cfg, met: met, done: make(chan struct{})}
+	if cfg.MaxBatch > 1 {
+		b.queue = make(chan *task, cfg.MaxQueue)
+		go b.dispatch()
+	} else {
+		close(b.done) // no dispatcher to wait for
+	}
+	return b
+}
+
+// depth reports the current queue depth (0 in direct mode).
+func (b *batcher) depth() int {
+	if b.queue == nil {
+		return 0
+	}
+	return len(b.queue)
+}
+
+// submit enqueues t and blocks until the dispatcher completes it.
+// Returns t.err (nil on success). A full queue fails fast with
+// *OverloadError; a draining batcher fails with the typed 503 error.
+func (b *batcher) submit(t *task) error {
+	if b.queue == nil {
+		b.execDirect(t)
+		return t.err
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return errDraining
+	}
+	select {
+	case b.queue <- t:
+		b.mu.RUnlock()
+	default:
+		depth := len(b.queue)
+		b.mu.RUnlock()
+		return &OverloadError{RetryAfter: b.retryAfter(depth), Depth: depth}
+	}
+	<-t.done
+	return t.err
+}
+
+// retryAfter estimates when the backlog will have drained: queue depth
+// over MaxBatch gives the batches ahead, times the recent per-batch
+// cost, clamped to [1s, 60s] (whole seconds — HTTP Retry-After has no
+// finer grain).
+func (b *batcher) retryAfter(depth int) time.Duration {
+	per := b.ewmaBatchNS.Load()
+	if per <= 0 {
+		per = int64(time.Millisecond)
+	}
+	batches := depth/b.cfg.MaxBatch + 1
+	est := time.Duration(int64(batches) * per)
+	secs := math.Ceil(est.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// close stops intake and waits for the dispatcher to drain every
+// already-queued task. Safe to call once.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.done
+		return
+	}
+	b.closed = true
+	if b.queue != nil {
+		// No sender can be mid-send: Submit checks closed under the
+		// read lock we now hold exclusively.
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	<-b.done
+}
+
+// dispatch is the coalescing loop. Receiving from the closed queue
+// yields the remaining buffered tasks first and ok=false only once
+// empty, so shutdown naturally drains in-flight work.
+func (b *batcher) dispatch() {
+	defer close(b.done)
+	var timer *time.Timer
+	loaded := false // did the previous flush have company?
+	pending := make([]*task, 0, b.cfg.MaxBatch)
+	for {
+		t, ok := <-b.queue
+		if !ok {
+			return
+		}
+		pending = append(pending[:0], t)
+
+		// Greedy drain: take whatever is already waiting, no timer yet.
+		closed := false
+	greedy:
+		for b.pendingQueries(pending) < b.cfg.MaxBatch {
+			select {
+			case t, ok := <-b.queue:
+				if !ok {
+					closed = true
+					break greedy
+				}
+				pending = append(pending, t)
+			default:
+				break greedy
+			}
+		}
+
+		// Adaptive fill: only a loaded server — company in this drain or
+		// the previous flush — waits up to MaxWait for more; a lone
+		// request on an idle server flushes immediately.
+		if !closed && (len(pending) > 1 || loaded) && b.pendingQueries(pending) < b.cfg.MaxBatch {
+			if timer == nil {
+				timer = time.NewTimer(b.cfg.MaxWait)
+			} else {
+				timer.Reset(b.cfg.MaxWait)
+			}
+		fill:
+			for b.pendingQueries(pending) < b.cfg.MaxBatch {
+				select {
+				case t, ok := <-b.queue:
+					if !ok {
+						break fill
+					}
+					pending = append(pending, t)
+				case <-timer.C:
+					break fill
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+
+		b.flush(pending)
+		loaded = len(pending) > 1
+	}
+}
+
+// pendingQueries sums the queries across pending tasks — batches close
+// on query count, not task count, since one request may carry several.
+func (b *batcher) pendingQueries(pending []*task) int {
+	n := 0
+	for _, t := range pending {
+		n += len(t.queries)
+	}
+	return n
+}
+
+// execDirect runs one task synchronously — the MaxBatch<=1 baseline
+// path. Same kernels, no queue, no coalescing.
+func (b *batcher) execDirect(t *task) {
+	switch t.kind {
+	case kindTopK:
+		out := make([][]core.SearchResult, len(t.queries))
+		if err := b.db.TopKBatchInto(t.queries, t.k, t.metric, out); err != nil {
+			t.err = err
+			return
+		}
+		t.hits = out
+		b.met.observeBatch(len(t.queries))
+	case kindClassify:
+		lab := make([]string, len(t.queries))
+		if err := b.db.ClassifyBatchInto(t.queries, t.k, t.metric, lab); err != nil {
+			t.err = err
+			return
+		}
+		t.labels = lab
+		b.met.observeBatch(len(t.queries))
+	}
+}
+
+// groupKey partitions pending tasks into kernel calls: tasks sharing
+// kind, k, and metric coalesce into one batched call.
+type groupKey struct {
+	kind  reqKind
+	k     int
+	mname string
+}
+
+// flush executes the pending tasks. Tasks are grouped by (kind, k,
+// metric); each group becomes one batched kernel call whose outputs are
+// scattered back to the owning tasks. Every task's done channel is
+// closed exactly once, success or error.
+//
+//fmeter:nondeterministic-ok serving telemetry: per-batch wall-clock feeds the Retry-After EWMA
+func (b *batcher) flush(pending []*task) {
+	start := time.Now()
+	first := groupKey{kind: pending[0].kind, k: pending[0].k, mname: pending[0].metric.Name}
+	uniform := true
+	for _, t := range pending[1:] {
+		if (groupKey{kind: t.kind, k: t.k, mname: t.metric.Name}) != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		// The common case — every task wants the same kernel call — skips
+		// the grouping map entirely; flushes happen tens of thousands of
+		// times a second and the map allocation is measurable there.
+		b.runGroup(first, pending)
+	} else {
+		// Group in first-seen order: stable, no map iteration over results.
+		var keys []groupKey
+		groups := make(map[groupKey][]*task, 2)
+		for _, t := range pending {
+			k := groupKey{kind: t.kind, k: t.k, mname: t.metric.Name}
+			if _, seen := groups[k]; !seen {
+				keys = append(keys, k)
+			}
+			groups[k] = append(groups[k], t)
+		}
+		for _, key := range keys {
+			b.runGroup(key, groups[key])
+		}
+	}
+	for _, t := range pending {
+		close(t.done)
+	}
+
+	// EWMA (alpha 1/4) of per-batch wall time → Retry-After estimates.
+	elapsed := time.Since(start).Nanoseconds()
+	old := b.ewmaBatchNS.Load()
+	if old == 0 {
+		b.ewmaBatchNS.Store(elapsed)
+	} else {
+		b.ewmaBatchNS.Store(old + (elapsed-old)/4)
+	}
+}
+
+// runGroup executes one batched kernel call for tasks sharing a group
+// key and scatters the outputs back to the owning tasks. Does not close
+// done channels — flush owns that.
+func (b *batcher) runGroup(key groupKey, tasks []*task) {
+	b.allQ = b.allQ[:0]
+	for _, t := range tasks {
+		b.allQ = append(b.allQ, t.queries...)
+	}
+	n := len(b.allQ)
+	switch key.kind {
+	case kindTopK:
+		for len(b.allOut) < n {
+			b.allOut = append(b.allOut, nil)
+		}
+		out := b.allOut[:n]
+		err := b.db.TopKBatchInto(b.allQ, key.k, tasks[0].metric, out)
+		off := 0
+		for _, t := range tasks {
+			if err != nil {
+				t.err = err
+			} else {
+				t.hits = make([][]core.SearchResult, len(t.queries))
+				copy(t.hits, out[off:off+len(t.queries)])
+			}
+			off += len(t.queries)
+		}
+		if err == nil {
+			// The kernels reuse out[i] capacity on the next call;
+			// the slice headers now belong to task responses, so
+			// drop them from the scratch.
+			for i := range out {
+				out[i] = nil
+			}
+			b.samplePrune(b.allQ[0], key.k, tasks[0].metric)
+		}
+	case kindClassify:
+		for len(b.allLab) < n {
+			b.allLab = append(b.allLab, "")
+		}
+		lab := b.allLab[:n]
+		err := b.db.ClassifyBatchInto(b.allQ, key.k, tasks[0].metric, lab)
+		off := 0
+		for _, t := range tasks {
+			if err != nil {
+				t.err = err
+			} else {
+				t.labels = make([]string, len(t.queries))
+				copy(t.labels, lab[off:off+len(t.queries)])
+			}
+			off += len(t.queries)
+		}
+	}
+	if n > 0 {
+		b.met.observeBatch(n)
+	}
+}
+
+// samplePrune re-runs one query of every PruneSampleEvery-th batched
+// TopK call through TopKSparseStats to harvest pruning counters for
+// /metrics. Results are bit-identical by the stats API's contract; only
+// the counters are kept.
+func (b *batcher) samplePrune(q *vecmath.Sparse, k int, metric core.Metric) {
+	every := uint64(b.cfg.PruneSampleEvery)
+	if every == 0 {
+		return
+	}
+	if b.sampleTick.Add(1)%every != 0 {
+		return
+	}
+	if _, st, err := b.db.TopKSparseStats(q, k, metric); err == nil {
+		b.met.observePrune(st)
+	}
+}

@@ -1,0 +1,523 @@
+// Package serve is the HTTP/JSON serving layer over the fmeter DB: a
+// query + ingest API whose performance heart is an adaptive micro-batch
+// coalescer (coalesce.go) draining a bounded request queue into the
+// 0-alloc batched kernels. The production shape follows the batched
+// translation services the Marian line of work converged on: bounded
+// queues, backpressure with Retry-After instead of unbounded
+// goroutines, health and metrics endpoints, and graceful shutdown that
+// drains in-flight batches before closing the store.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vecmath"
+)
+
+// Config tunes the server. The zero value is usable: every field below
+// has a default applied by withDefaults.
+type Config struct {
+	// MaxBatch is the largest query count one batched kernel call may
+	// coalesce. <= 1 disables coalescing entirely (direct mode — the
+	// batch-size-1 baseline). Default 64.
+	MaxBatch int
+	// MaxWait bounds how long a loaded dispatcher waits to fill a batch
+	// beyond the tasks already queued. Default 500µs.
+	MaxWait time.Duration
+	// MaxQueue bounds the request queue; a full queue rejects with 429 +
+	// Retry-After. Default 1024.
+	MaxQueue int
+	// MaxK bounds the per-request k. Default 100.
+	MaxK int
+	// MaxQueriesPerRequest bounds the queries one request body may
+	// carry. Default 256.
+	MaxQueriesPerRequest int
+	// MaxBodyBytes bounds request bodies. Default 8MB.
+	MaxBodyBytes int64
+	// SnapshotDir, when non-empty, enables the periodic incremental
+	// SaveDir loop: every SnapshotEvery the server checks the sealed
+	// segment count and snapshots when it has advanced past the last
+	// saved watermark.
+	SnapshotDir string
+	// SnapshotEvery is the watermark poll interval. Default 2s.
+	SnapshotEvery time.Duration
+	// PruneSampleEvery samples PruneStats from every Nth batched TopK
+	// call for /metrics aggregates; 0 keeps the default 32, negative
+	// disables sampling.
+	PruneSampleEvery int
+	// Warnf, when non-nil, receives operational warnings (snapshot
+	// failures). Default drops them.
+	Warnf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 500 * time.Microsecond
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 1024
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 100
+	}
+	if c.MaxQueriesPerRequest == 0 {
+		c.MaxQueriesPerRequest = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 2 * time.Second
+	}
+	if c.PruneSampleEvery == 0 {
+		c.PruneSampleEvery = 32
+	}
+	if c.PruneSampleEvery < 0 {
+		c.PruneSampleEvery = 0
+	}
+	if c.Warnf == nil {
+		c.Warnf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Create with New, mount via Handler
+// (or pass directly to http.Server), stop with Shutdown.
+type Server struct {
+	db    *core.DB
+	model *core.Model
+	cfg   Config
+	met   *metrics
+	bat   *batcher
+	mux   *http.ServeMux
+
+	// ingestMu serializes ingest bodies so each body's Transform →
+	// Normalize → AddAll runs as one unit (one RCU publish per body).
+	ingestMu sync.Mutex
+
+	shutdown   atomic.Bool
+	snapStop   chan struct{}
+	snapDone   chan struct{}
+	lastSealed int
+}
+
+// New builds a Server over db. model may be nil, in which case
+// /v1/ingest answers 503 (query-only deployments serving a prebuilt
+// snapshot).
+func New(db *core.DB, model *core.Model, cfg Config) (*Server, error) {
+	if db == nil {
+		return nil, &core.ConfigError{Param: "database", Msg: "serve.New requires a non-nil DB"}
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:       db,
+		model:    model,
+		cfg:      cfg,
+		met:      newMetrics(),
+		snapStop: make(chan struct{}),
+		snapDone: make(chan struct{}),
+	}
+	s.bat = newBatcher(db, cfg, s.met)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.SnapshotDir != "" {
+		go s.snapshotLoop()
+	} else {
+		close(s.snapDone)
+	}
+	return s, nil
+}
+
+// Handler returns the root handler (method-routed mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns a point-in-time snapshot of the server counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.met.snapshot(s.db, s.bat.depth(), s.cfg.MaxQueue)
+}
+
+// Shutdown stops intake, drains in-flight batches, takes a final
+// snapshot when configured, and closes the DB. ctx bounds the wait; on
+// expiry the drain keeps running in the background but Shutdown returns
+// ctx.Err(). Idempotent: later calls return the DB's typed closed
+// error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.shutdown.CompareAndSwap(false, true) {
+		return s.db.Close()
+	}
+	done := make(chan error, 1)
+	go func() {
+		s.bat.close() // stop intake, drain queued tasks
+		close(s.snapStop)
+		<-s.snapDone
+		if s.cfg.SnapshotDir != "" {
+			if err := s.db.SaveDir(s.cfg.SnapshotDir); err != nil {
+				s.met.snapshotErrors.Add(1)
+				s.cfg.Warnf("serve: final snapshot: %v", err)
+			} else {
+				s.met.snapshots.Add(1)
+			}
+		}
+		done <- s.db.Close()
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TopK is the programmatic entry to the coalescer: identical semantics
+// to POST /v1/topk but skipping HTTP. The serve bench drives this to
+// measure coalescing without connection overhead; embedders get a
+// batched query path with backpressure for free.
+func (s *Server) TopK(queries []*vecmath.Sparse, k int, metric core.Metric) ([][]core.SearchResult, error) {
+	if s.shutdown.Load() {
+		return nil, errDraining
+	}
+	t := &task{kind: kindTopK, queries: queries, k: k, metric: metric, done: make(chan struct{})}
+	if err := s.bat.submit(t); err != nil {
+		return nil, err
+	}
+	return t.hits, nil
+}
+
+// Classify is the programmatic classify twin of TopK.
+func (s *Server) Classify(queries []*vecmath.Sparse, k int, metric core.Metric) ([]string, error) {
+	if s.shutdown.Load() {
+		return nil, errDraining
+	}
+	t := &task{kind: kindClassify, queries: queries, k: k, metric: metric, done: make(chan struct{})}
+	if err := s.bat.submit(t); err != nil {
+		return nil, err
+	}
+	return t.labels, nil
+}
+
+// snapshotLoop polls the sealed-segment watermark and snapshots
+// incrementally when it advances — SaveDir only rewrites dirty
+// segments, so a quiet store costs one stat-like check per tick.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	ticker := time.NewTicker(s.cfg.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.snapStop:
+			return
+		case <-ticker.C:
+			sealed := s.db.SealedSegments()
+			if sealed == s.lastSealed {
+				continue
+			}
+			if err := s.db.SaveDir(s.cfg.SnapshotDir); err != nil {
+				s.met.snapshotErrors.Add(1)
+				s.cfg.Warnf("serve: snapshot: %v", err)
+				continue
+			}
+			s.lastSealed = sealed
+			s.met.snapshots.Add(1)
+		}
+	}
+}
+
+// --- wire types ---
+
+// wireQuery is one sparse query vector on the wire: parallel arrays of
+// strictly ascending in-range indices and their non-zero values.
+type wireQuery struct {
+	Idx []int32   `json:"idx"`
+	Val []float64 `json:"val"`
+}
+
+// queryRequest is the POST /v1/topk and /v1/classify body.
+type queryRequest struct {
+	Queries []wireQuery `json:"queries"`
+	K       int         `json:"k,omitempty"`      // default 10
+	Metric  string      `json:"metric,omitempty"` // "cosine" (default) | "euclidean"
+	Dim     int         `json:"dim,omitempty"`    // optional cross-check against the store
+}
+
+// wireHit is one TopK result on the wire.
+type wireHit struct {
+	DocID string  `json:"doc_id"`
+	Label string  `json:"label,omitempty"`
+	Score float64 `json:"score"`
+}
+
+type topkResponse struct {
+	Results [][]wireHit `json:"results"`
+}
+
+type classifyResponse struct {
+	Labels []string `json:"labels"`
+}
+
+// ingestRequest is the POST /v1/ingest body: raw documents the server
+// embeds with its fitted model and publishes in one AddAll.
+type ingestRequest struct {
+	Documents []*core.Document `json:"documents"`
+}
+
+type ingestResponse struct {
+	Added int `json:"added"`
+}
+
+// errorPayload is every non-2xx body: a machine-readable kind plus the
+// human message.
+type errorPayload struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+}
+
+// --- handlers ---
+
+//fmeter:nondeterministic-ok serving telemetry: request latency measurement is wall-clock by definition
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.topkRequests.Add(1)
+	queries, k, metric, ok := s.decodeQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	hits, err := s.TopK(queries, k, metric)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := topkResponse{Results: make([][]wireHit, len(hits))}
+	for i, hs := range hits {
+		row := make([]wireHit, len(hs))
+		for j, h := range hs {
+			row[j] = wireHit{DocID: h.Signature.DocID, Label: h.Signature.Label, Score: h.Score}
+		}
+		resp.Results[i] = row
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	s.met.observeLatency(time.Since(start))
+}
+
+//fmeter:nondeterministic-ok serving telemetry: request latency measurement is wall-clock by definition
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.classifyRequests.Add(1)
+	queries, k, metric, ok := s.decodeQueryRequest(w, r)
+	if !ok {
+		return
+	}
+	labels, err := s.Classify(queries, k, metric)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, classifyResponse{Labels: labels})
+	s.met.observeLatency(time.Since(start))
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.met.ingestRequests.Add(1)
+	if s.shutdown.Load() {
+		s.writeError(w, errDraining)
+		return
+	}
+	var req ingestRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Documents) == 0 {
+		s.writeTyped(w, http.StatusBadRequest, "bad_request", "ingest body carries no documents")
+		return
+	}
+	if s.model == nil {
+		s.writeTyped(w, http.StatusServiceUnavailable, "unavailable", "server has no fitted model; ingest is disabled")
+		return
+	}
+	sigs := make([]core.Signature, 0, len(req.Documents))
+	for i, doc := range req.Documents {
+		sig, err := s.model.Transform(doc)
+		if err != nil {
+			s.writeError(w, fmt.Errorf("document %d: %w", i, err))
+			return
+		}
+		sigs = append(sigs, sig)
+	}
+	core.Normalize(sigs)
+	// One publish for the whole body — the batched-ingest amortization.
+	s.ingestMu.Lock()
+	err := s.db.AddAll(sigs)
+	s.ingestMu.Unlock()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.met.docsIngested.Add(uint64(len(sigs)))
+	s.writeJSON(w, http.StatusOK, ingestResponse{Added: len(sigs)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.shutdown.Load() {
+		s.writeTyped(w, http.StatusServiceUnavailable, "unavailable", "server is draining")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"signatures": s.db.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// --- request decoding ---
+
+// decodeBody strictly decodes one JSON body into dst, mapping failures
+// to 400 bad_request. The body is size-capped and must contain exactly
+// one JSON value.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeTyped(w, http.StatusBadRequest, "bad_request", "malformed JSON body: "+err.Error())
+		return false
+	}
+	if dec.More() {
+		s.writeTyped(w, http.StatusBadRequest, "bad_request", "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// decodeQueryRequest decodes and validates a topk/classify body into
+// kernel inputs. On failure it has already written the error response.
+func (s *Server) decodeQueryRequest(w http.ResponseWriter, r *http.Request) ([]*vecmath.Sparse, int, core.Metric, bool) {
+	var req queryRequest
+	if !s.decodeBody(w, r, &req) {
+		return nil, 0, core.Metric{}, false
+	}
+	if len(req.Queries) == 0 {
+		s.writeTyped(w, http.StatusBadRequest, "bad_request", "request carries no queries")
+		return nil, 0, core.Metric{}, false
+	}
+	if len(req.Queries) > s.cfg.MaxQueriesPerRequest {
+		s.writeTyped(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("request carries %d queries, limit %d", len(req.Queries), s.cfg.MaxQueriesPerRequest))
+		return nil, 0, core.Metric{}, false
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 1 || k > s.cfg.MaxK {
+		s.writeTyped(w, http.StatusBadRequest, "config",
+			fmt.Sprintf("k=%d outside [1, %d]", k, s.cfg.MaxK))
+		return nil, 0, core.Metric{}, false
+	}
+	var metric core.Metric
+	switch req.Metric {
+	case "", "cosine":
+		metric = core.CosineMetric()
+	case "euclidean":
+		metric = core.EuclideanMetric()
+	default:
+		s.writeTyped(w, http.StatusBadRequest, "config",
+			fmt.Sprintf("unknown metric %q (want cosine or euclidean)", req.Metric))
+		return nil, 0, core.Metric{}, false
+	}
+	dim := s.db.Dim()
+	if req.Dim != 0 && req.Dim != dim {
+		s.writeError(w, &core.DimensionError{What: "request", Got: req.Dim, Want: dim})
+		return nil, 0, core.Metric{}, false
+	}
+	queries := make([]*vecmath.Sparse, len(req.Queries))
+	for i, q := range req.Queries {
+		sp, err := vecmath.SparseFromSorted(dim, q.Idx, q.Val)
+		if err != nil {
+			// Out-of-range or unsorted indices are dimension-class
+			// errors on the wire: the query doesn't fit the store's
+			// vector space.
+			s.writeTyped(w, http.StatusBadRequest, "dimension",
+				fmt.Sprintf("query %d: %v", i, err))
+			return nil, 0, core.Metric{}, false
+		}
+		queries[i] = sp
+	}
+	return queries, k, metric, true
+}
+
+// --- response writing ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeTyped writes an errorPayload with the given kind, counting it in
+// the right error class.
+func (s *Server) writeTyped(w http.ResponseWriter, status int, kind, msg string) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.met.rejected.Add(1)
+	case status >= 500:
+		s.met.serverErrors.Add(1)
+	case status >= 400:
+		s.met.clientErrors.Add(1)
+	}
+	s.writeJSON(w, status, errorPayload{Error: errorBody{Kind: kind, Message: msg}})
+}
+
+// writeError maps the repo's typed errors onto wire payloads:
+//
+//	*DimensionError          → 400 kind=dimension
+//	*OverloadError           → 429 kind=overload + Retry-After
+//	draining / closed DB     → 503 kind=unavailable
+//	*ConfigError (other)     → 400 kind=config
+//	ErrEmptyDB               → 409 kind=empty_db
+//	anything else            → 500 kind=internal
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var de *core.DimensionError
+	var oe *OverloadError
+	var ce *core.ConfigError
+	switch {
+	case errors.As(err, &de):
+		s.writeTyped(w, http.StatusBadRequest, "dimension", de.Error())
+	case errors.As(err, &oe):
+		w.Header().Set("Retry-After", strconv.Itoa(int(oe.RetryAfter.Seconds())))
+		s.writeTyped(w, http.StatusTooManyRequests, "overload", oe.Error())
+	case errors.As(err, &ce):
+		if ce.Param == "database" || ce.Param == "server" {
+			// Closed DB or draining server: the store is going away,
+			// not a bad request.
+			s.writeTyped(w, http.StatusServiceUnavailable, "unavailable", ce.Error())
+			return
+		}
+		s.writeTyped(w, http.StatusBadRequest, "config", ce.Error())
+	case errors.Is(err, core.ErrEmptyDB):
+		s.writeTyped(w, http.StatusConflict, "empty_db", err.Error())
+	default:
+		s.writeTyped(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
